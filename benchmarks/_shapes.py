@@ -1,0 +1,58 @@
+"""Shared shape assertions for the figure benchmarks.
+
+Each helper encodes one qualitative claim of the paper's §8 and raises
+with the offending series when the regenerated figure contradicts it.
+The factors are deliberately loose (we assert orderings and coarse
+magnitudes, not the authors' absolute numbers — see DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import CostSweepResult
+
+__all__ = [
+    "assert_mot_beats_stun",
+    "assert_mot_matches_zdat",
+    "assert_mot_ratio_bounded",
+    "attach_series",
+]
+
+
+def _series(result: CostSweepResult, metric: str, alg: str) -> list[float]:
+    return result.series(metric, alg)
+
+
+def assert_mot_beats_stun(result: CostSweepResult, metric: str, from_size: int = 64) -> None:
+    """Figs. 4–7/12–15: MOT's ratio below STUN's on the larger networks."""
+    mot = _series(result, metric, "MOT")
+    stun = _series(result, metric, "STUN")
+    checked = [(n, m, s) for n, m, s in zip(result.sizes, mot, stun) if n >= from_size]
+    assert checked, "sweep contained no large networks"
+    wins = sum(1 for _, m, s in checked if m < s)
+    assert wins >= len(checked) - 1, (
+        f"MOT should beat STUN on {metric} for n >= {from_size}: "
+        f"MOT={mot} STUN={stun} sizes={result.sizes}"
+    )
+
+
+def assert_mot_matches_zdat(result: CostSweepResult, metric: str, factor: float = 3.0) -> None:
+    """Figs. 4/5: 'MOT has a small overhead compared to Z-DAT variations'."""
+    mot = _series(result, metric, "MOT")
+    zdat = _series(result, metric, "Z-DAT")
+    for n, m, z in zip(result.sizes, mot, zdat):
+        assert m <= factor * z + 1.0, (
+            f"MOT {metric} ratio {m:.2f} not within {factor}x of Z-DAT {z:.2f} at n={n}"
+        )
+
+
+def assert_mot_ratio_bounded(result: CostSweepResult, metric: str, bound: float) -> None:
+    """Theorems 4.8/4.11 in practice: MOT's ratios stay small at every size."""
+    mot = _series(result, metric, "MOT")
+    assert max(mot) <= bound, f"MOT {metric} series {mot} exceeded bound {bound}"
+
+
+def attach_series(benchmark, result: CostSweepResult, metric: str) -> None:
+    """Record the regenerated series on the benchmark report."""
+    benchmark.extra_info["sizes"] = result.sizes
+    for alg in result.experiment.algorithms:
+        benchmark.extra_info[alg] = [round(v, 3) for v in result.series(metric, alg)]

@@ -1,0 +1,40 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one paper figure (or theory check) and
+asserts its *shape* — who wins, roughly by how much — matching the
+reproduction contract in DESIGN.md §4. Costs ratios are averages of
+seeded repetitions, so each benchmark runs its experiment exactly once
+(``benchmark.pedantic(rounds=1)``): the interesting number is the
+experiment's wall time plus the extra_info it attaches, not a
+microsecond distribution.
+
+``--repro-scale`` (default 0.25) scales operation counts; network sizes
+— the x-axis of every figure — are never scaled. ``--repro-scale 1.0``
+reproduces the paper's full 1000-ops-per-object setting.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-scale",
+        type=float,
+        default=0.25,
+        help="operation-count scale for figure benchmarks (1.0 = paper scale)",
+    )
+
+
+@pytest.fixture(scope="session")
+def scale(request) -> float:
+    value = request.config.getoption("--repro-scale")
+    if not (0.0 < value <= 1.0):
+        raise pytest.UsageError("--repro-scale must be in (0, 1]")
+    return value
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

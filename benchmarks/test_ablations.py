@@ -1,0 +1,159 @@
+"""Ablation benchmarks for MOT's design choices (DESIGN.md §4).
+
+Each ablation switches off one mechanism and measures what the paper
+says it buys:
+
+- **special parents (SDL)** bound query cost under detection-path
+  fragmentation (§3's Fig. 2 pathology);
+- **parent sets** (§3.1) lower the meeting level at a constant-factor
+  traversal cost;
+- **σ (special-parent gap)** trades SDL bookkeeping load for query
+  locality;
+- **de Bruijn routing** is what makes hashed detection lists reachable
+  with constant neighborhood tables — charging it is Corollary 5.2's
+  O(log n) factor;
+- **load balancing itself** trades that factor for the O(log D) load.
+"""
+
+from __future__ import annotations
+
+import random
+
+from benchmarks.conftest import run_once
+from repro.core.mot import MOTConfig, MOTTracker
+from repro.core.mot_balanced import BalancedMOTTracker
+from repro.experiments.runner import execute_one_by_one
+from repro.graphs.generators import grid_network
+from repro.hierarchy.structure import build_hierarchy
+from repro.sim.workload import make_workload
+
+NETSIDE = 16
+
+
+def _workload(net, seed=31):
+    return make_workload(net, num_objects=15, moves_per_object=200,
+                         num_queries=300, seed=seed)
+
+
+def test_ablation_special_parents(benchmark):
+    """SDLs only matter under fragmentation, which only exists in
+    parent-set mode (see tests/core/test_fragmentation.py): there,
+    disabling them can only worsen queries while maintenance is
+    untouched. In single-chain mode the ablation is a provable no-op."""
+
+    def experiment():
+        net = grid_network(NETSIDE, NETSIDE)
+        wl = _workload(net)
+        out = {}
+        for label, cfg in (
+            ("with_sdl", MOTConfig(use_parent_sets=True, use_special_parents=True,
+                                   special_parent_gap=1)),
+            ("without_sdl", MOTConfig(use_parent_sets=True, use_special_parents=False)),
+        ):
+            ledger = execute_one_by_one(MOTTracker.build(net, cfg, seed=1), wl)
+            out[label] = (ledger.query_cost_ratio, ledger.max_query_ratio,
+                          ledger.maintenance_cost_ratio)
+        # the single-chain no-op control
+        chain_on = execute_one_by_one(
+            MOTTracker.build(net, MOTConfig(use_special_parents=True), seed=1), wl
+        )
+        chain_off = execute_one_by_one(
+            MOTTracker.build(net, MOTConfig(use_special_parents=False), seed=1), wl
+        )
+        out["chain_control_delta"] = (
+            abs(chain_on.query_cost - chain_off.query_cost), 0.0, 0.0
+        )
+        return out
+
+    out = run_once(benchmark, experiment)
+    benchmark.extra_info.update({k: [round(x, 2) for x in v] for k, v in out.items()})
+    assert out["with_sdl"][0] <= out["without_sdl"][0] + 0.25
+    assert out["with_sdl"][2] == out["without_sdl"][2]  # maintenance untouched
+    assert out["chain_control_delta"][0] == 0.0  # chain mode: provable no-op
+
+
+def test_ablation_parent_sets(benchmark):
+    """Full parent-set traversal (§3.1) costs a constant factor over the
+    default-parent chain on maintenance — bounded, not asymptotic."""
+
+    def experiment():
+        net = grid_network(NETSIDE, NETSIDE)
+        wl = _workload(net)
+        out = {}
+        for label, use_ps in (("chain", False), ("parent_sets", True)):
+            cfg = MOTConfig(use_parent_sets=use_ps)
+            ledger = execute_one_by_one(MOTTracker.build(net, cfg, seed=1), wl)
+            out[label] = ledger.maintenance_cost_ratio
+        return out
+
+    out = run_once(benchmark, experiment)
+    benchmark.extra_info.update({k: round(v, 2) for k, v in out.items()})
+    assert out["parent_sets"] <= 6.0 * out["chain"]  # constant-factor, §3.1
+
+
+def test_ablation_sigma_sweep(benchmark):
+    """Query ratio vs SDL load across σ ∈ {1, 2, 3}, in parent-set mode
+    (where SDLs are live — see test_ablation_special_parents): larger
+    gaps store the shadow higher (more load) without hurting
+    correctness."""
+
+    def experiment():
+        net = grid_network(NETSIDE, NETSIDE)
+        wl = _workload(net)
+        out = {}
+        for gap in (1, 2, 3):
+            cfg = MOTConfig(use_parent_sets=True, special_parent_gap=gap)
+            tr = MOTTracker.build(net, cfg, seed=1)
+            ledger = execute_one_by_one(tr, wl)
+            out[gap] = (ledger.query_cost_ratio, max(tr.load_per_node().values()))
+        return out
+
+    out = run_once(benchmark, experiment)
+    benchmark.extra_info.update({f"sigma={g}": [round(q, 2), l] for g, (q, l) in out.items()})
+    for q, _ in out.values():
+        # all gaps keep the O(1) query behaviour (parent-set traversal
+        # carries higher constants than the chain mode's ~3)
+        assert q <= 12.0
+
+
+def test_ablation_debruijn_routing_cost(benchmark):
+    """Corollary 5.2: charging de Bruijn routing costs a bounded factor
+    (≈ O(log n)) over not charging it."""
+
+    def experiment():
+        net = grid_network(NETSIDE, NETSIDE)
+        wl = _workload(net)
+        out = {}
+        for label, count in (("charged", True), ("free", False)):
+            tr = BalancedMOTTracker(build_hierarchy(net, seed=1), count_routing_cost=count)
+            ledger = execute_one_by_one(tr, wl)
+            out[label] = ledger.maintenance_cost_ratio
+        return out
+
+    out = run_once(benchmark, experiment)
+    import math
+
+    benchmark.extra_info.update({k: round(v, 2) for k, v in out.items()})
+    n = NETSIDE * NETSIDE
+    assert out["charged"] <= 4 * math.log2(n) * out["free"]
+
+
+def test_ablation_load_balancing_tradeoff(benchmark):
+    """§5's bargain stated end-to-end: balanced MOT pays more cost but
+    carries far less peak load than plain MOT."""
+
+    def experiment():
+        net = grid_network(NETSIDE, NETSIDE)
+        wl = _workload(net)
+        plain = MOTTracker(build_hierarchy(net, seed=1))
+        balanced = BalancedMOTTracker(build_hierarchy(net, seed=1))
+        out = {}
+        for label, tr in (("plain", plain), ("balanced", balanced)):
+            ledger = execute_one_by_one(tr, wl)
+            out[label] = (ledger.maintenance_cost_ratio, max(tr.load_per_node().values()))
+        return out
+
+    out = run_once(benchmark, experiment)
+    benchmark.extra_info.update({k: [round(r, 2), l] for k, (r, l) in out.items()})
+    assert out["balanced"][1] < out["plain"][1]  # load drops...
+    assert out["balanced"][0] >= out["plain"][0]  # ...cost rises (the trade)

@@ -1,0 +1,48 @@
+"""Benchmark: the §4.1 analysis executed over real runs at several sizes.
+
+Measures the empirical Lemma 4.2 constant (the proof uses ``2^(3ρ+7)``;
+real executions need far less) and checks that measured cost ratios sit
+inside the Theorem 4.4 envelope built from the measured constants, on
+every grid size.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.analysis.amortized import analyze_maintenance
+from repro.core.mot import MOTConfig, MOTTracker
+from repro.graphs.generators import grid_network
+from repro.sim.workload import make_workload
+
+
+def test_section4_analysis_on_real_runs(benchmark):
+    def experiment():
+        out = {}
+        for side in (8, 16, 24):
+            net = grid_network(side, side)
+            wl = make_workload(net, num_objects=10, moves_per_object=150, seed=7)
+            tracker = MOTTracker.build(
+                net, MOTConfig(use_parent_sets=True), seed=1
+            )
+            results = []
+            for o, s in wl.starts.items():
+                tracker.publish(o, s)
+            for m in wl.moves:
+                results.append(tracker.move(m.obj, m.new))
+            out[net.n] = analyze_maintenance(results, levels=tracker.hs.h)
+        return out
+
+    analyses = run_once(benchmark, experiment)
+    for n, a in analyses.items():
+        benchmark.extra_info[f"n={n}"] = {
+            "lemma42_constant": round(a.lemma42_constant, 2),
+            "cost_ratio": round(a.cost_ratio, 2),
+            "theorem44_envelope": round(a.theorem44_envelope, 2),
+            "lemma43_holds": a.lemma43_holds,
+        }
+        # the proof's constant is 2^(3rho+7) >= 2^13; reality needs far less
+        assert a.lemma42_constant <= 2.0**9
+        # the measured execution sits inside its own Theorem 4.4 envelope
+        assert a.cost_ratio <= a.theorem44_envelope
+        # with parent sets, Lemma 4.3's optimal-cost floor holds
+        assert a.lemma43_holds

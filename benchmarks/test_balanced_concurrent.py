@@ -1,0 +1,43 @@
+"""Benchmark: Corollary 5.2 measured in the concurrent simulator.
+
+Runs the same concurrent workload through plain and §5-balanced MOT and
+measures the de Bruijn routing factor under message-level concurrency.
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import run_once
+from repro.experiments.runner import execute_concurrent
+from repro.graphs.generators import grid_network
+from repro.hierarchy.structure import build_hierarchy
+from repro.sim.concurrent_balanced import ConcurrentBalancedMOT
+from repro.sim.concurrent_mot import ConcurrentMOT
+from repro.sim.workload import make_workload
+
+
+def test_corollary52_under_concurrency(benchmark):
+    def experiment():
+        net = grid_network(12, 12)
+        wl = make_workload(net, num_objects=10, moves_per_object=80,
+                           num_queries=60, seed=37)
+        out = {}
+        for label, cls in (("plain", ConcurrentMOT), ("balanced", ConcurrentBalancedMOT)):
+            tracker = cls(build_hierarchy(net, seed=1))
+            ledger = execute_concurrent(tracker, wl)
+            out[label] = (
+                ledger.maintenance_cost_ratio,
+                ledger.query_cost_ratio,
+                tracker.fallback_queries,
+            )
+        return out, net.n
+
+    out, n = run_once(benchmark, experiment)
+    for label, (m, q, fb) in out.items():
+        benchmark.extra_info[label] = {"maintenance": round(m, 2), "query": round(q, 2)}
+        assert fb == 0
+    # routing adds cost, bounded by the O(log n) factor of Corollary 5.2
+    assert out["balanced"][0] >= out["plain"][0]
+    assert out["balanced"][0] <= 4 * math.log2(n) * out["plain"][0]
+    assert out["balanced"][1] <= 4 * math.log2(n) * out["plain"][1]

@@ -1,0 +1,58 @@
+"""Benchmark for §7: amortized O(1) adaptability under node churn."""
+
+from __future__ import annotations
+
+import random
+
+from benchmarks.conftest import run_once
+from repro.core.dynamics import DynamicCluster
+from repro.debruijn.embedding import ClusterEmbedding
+from repro.graphs.generators import grid_network
+
+
+def test_amortized_adaptability_under_churn(benchmark):
+    """1000 joins/leaves on a cluster: amortized updated-nodes per event
+    stays a small constant even though dimension changes touch everyone."""
+
+    def experiment():
+        net = grid_network(16, 16)
+        rnd = random.Random(3)
+        members = net.k_neighborhood(120, 3.0)
+        cluster = DynamicCluster(net, members, leader=120)
+        outside = [v for v in net.nodes if v not in members]
+        rnd.shuffle(outside)
+        for _ in range(1000):
+            if outside and (cluster.size <= 4 or rnd.random() < 0.5):
+                cluster.join(outside.pop())
+            else:
+                victims = [v for v in cluster.members if v != cluster.leader]
+                gone = rnd.choice(victims)
+                cluster.leave(gone)
+                outside.append(gone)
+        return cluster
+
+    cluster = run_once(benchmark, experiment)
+    amort = cluster.amortized_updates()
+    handovers = sum(1 for e in cluster.history if e.leader_changed)
+    benchmark.extra_info["events"] = len(cluster.history)
+    benchmark.extra_info["amortized_updates"] = round(amort, 2)
+    benchmark.extra_info["leader_handovers"] = handovers
+    assert amort <= 10.0  # O(1), constant independent of event count
+
+
+def test_growth_sequence_amortized_constant(benchmark):
+    """Pure growth from 1 to n members: total updates ~ 2n (geometric
+    series of dimension doublings), i.e. O(1) amortized."""
+
+    def experiment():
+        net = grid_network(16, 16)
+        emb = ClusterEmbedding(net, [0])
+        total = 0
+        for v in list(net.nodes)[1:]:
+            total += emb.join(v)
+        return total, emb.size
+
+    total, size = run_once(benchmark, experiment)
+    benchmark.extra_info["total_updates"] = total
+    benchmark.extra_info["final_size"] = size
+    assert total <= 8 * size

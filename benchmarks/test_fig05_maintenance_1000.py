@@ -1,0 +1,27 @@
+"""Benchmark regenerating paper Fig. 5: maintenance cost ratio (one-by-one, 1000 objects).
+
+Runs the full network-size sweep (10 to 1024 sensors) at the configured
+``--repro-scale`` and asserts the paper's qualitative shape. The
+regenerated per-algorithm series are attached to the benchmark report
+as ``extra_info``.
+"""
+
+from benchmarks._shapes import (
+    assert_mot_beats_stun,
+    assert_mot_matches_zdat,
+    assert_mot_ratio_bounded,
+    attach_series,
+)
+from benchmarks.conftest import run_once
+from repro.experiments.figures import fig5
+
+
+def test_fig5_maintenance_one_by_one(benchmark, scale):
+    figure = run_once(benchmark, fig5, scale=scale)
+    res = figure.cost_result
+    print()
+    print(figure)
+    attach_series(benchmark, res, "maintenance")
+    assert_mot_beats_stun(res, 'maintenance')
+    assert_mot_matches_zdat(res, 'maintenance')
+    assert_mot_ratio_bounded(res, 'maintenance', 60.0)

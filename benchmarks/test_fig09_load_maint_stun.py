@@ -1,0 +1,28 @@
+"""Benchmark regenerating paper Fig. 9: load per node, MOT vs STUN (after 10 maintenance ops per object).
+
+Runs at the paper's full scale (1024-node grid, 100 objects) — the load
+snapshot is cheap — and asserts the paper's headline: the tree baseline
+has several nodes with load > 10 (the paper reports 7),
+while balanced MOT keeps (almost) every sensor at or below the
+threshold.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import fig9
+from repro.metrics.load import LoadStats
+
+
+def test_fig9_load_vs_stun(benchmark):
+    figure = run_once(benchmark, fig9, scale=1.0)
+    print()
+    print(figure)
+    mot = LoadStats.from_loads(figure.loads["MOT-balanced"])
+    rival = LoadStats.from_loads(figure.loads["STUN"])
+    benchmark.extra_info["MOT max/mean/>10"] = [mot.max_load, round(mot.mean_load, 2), mot.above_threshold]
+    benchmark.extra_info["STUN max/mean/>10"] = [rival.max_load, round(rival.mean_load, 2), rival.above_threshold]
+    # the tree concentrates O(m) entries near its root; MOT spreads them
+    assert rival.max_load >= 50, "tree root should hold most of the 100 objects"
+    assert mot.max_load <= 20
+    assert rival.above_threshold >= 2
+    assert mot.above_threshold <= 3
+    assert mot.above_threshold < rival.above_threshold

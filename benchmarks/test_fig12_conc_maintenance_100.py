@@ -1,0 +1,26 @@
+"""Benchmark regenerating paper Fig. 12: maintenance cost ratio (concurrent, 100 objects).
+
+Runs the full network-size sweep (10 to 1024 sensors) at the configured
+``--repro-scale`` and asserts the paper's qualitative shape. The
+regenerated per-algorithm series are attached to the benchmark report
+as ``extra_info``.
+"""
+
+from benchmarks._shapes import (
+    assert_mot_beats_stun,
+    assert_mot_matches_zdat,
+    assert_mot_ratio_bounded,
+    attach_series,
+)
+from benchmarks.conftest import run_once
+from repro.experiments.figures import fig12
+
+
+def test_fig12_maintenance_concurrent(benchmark, scale):
+    figure = run_once(benchmark, fig12, scale=scale)
+    res = figure.cost_result
+    print()
+    print(figure)
+    attach_series(benchmark, res, "maintenance")
+    assert_mot_beats_stun(res, 'maintenance')
+    assert_mot_ratio_bounded(res, 'maintenance', 80.0)

@@ -1,0 +1,93 @@
+"""Benchmarks for the §6 general-network extension.
+
+MOT over the sparse-partition hierarchy on non-doubling topologies
+(Erdős–Rényi, random trees): maintenance and query cost ratios must
+stay polylogarithmic — far below the trivial O(D) spanning-tree
+blowup — and the overlay's membership overhead must stay O(log n).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from benchmarks.conftest import run_once
+from repro.core.mot import MOTTracker
+from repro.graphs.generators import erdos_renyi_network, random_tree_network
+from repro.hierarchy.general import build_general_hierarchy
+from repro.sim.workload import make_workload
+
+
+def _run_general(net, seed):
+    hs = build_general_hierarchy(net, seed=seed)
+    tracker = MOTTracker(hs)
+    wl = make_workload(net, num_objects=8, moves_per_object=80,
+                       num_queries=120, seed=seed)
+    for o, s in wl.starts.items():
+        tracker.publish(o, s)
+    pos = dict(wl.starts)
+    for m in wl.moves:
+        tracker.move(m.obj, m.new)
+        pos[m.obj] = m.new
+    for q in wl.queries:
+        res = tracker.query(q.obj, q.source)
+        assert res.proxy == pos[q.obj]
+    return hs, tracker.ledger
+
+
+def test_general_hierarchy_on_erdos_renyi(benchmark):
+    def experiment():
+        net = erdos_renyi_network(80, seed=2)
+        return _run_general(net, seed=2) + (net,)
+
+    hs, ledger, net = run_once(benchmark, experiment)
+    logn = math.log2(net.n)
+    benchmark.extra_info["maintenance_ratio"] = round(ledger.maintenance_cost_ratio, 2)
+    benchmark.extra_info["query_ratio"] = round(ledger.query_cost_ratio, 2)
+    benchmark.extra_info["max_membership"] = hs.max_cluster_membership()
+    # §6 polylog bounds (loose envelopes)
+    assert ledger.maintenance_cost_ratio <= 4 * logn**2
+    assert ledger.query_cost_ratio <= logn**2
+    assert hs.max_cluster_membership() <= 4 * logn + 4
+
+
+def test_general_hierarchy_on_random_tree(benchmark):
+    def experiment():
+        net = random_tree_network(80, seed=4)
+        return _run_general(net, seed=4) + (net,)
+
+    hs, ledger, net = run_once(benchmark, experiment)
+    logn = math.log2(net.n)
+    benchmark.extra_info["maintenance_ratio"] = round(ledger.maintenance_cost_ratio, 2)
+    benchmark.extra_info["query_ratio"] = round(ledger.query_cost_ratio, 2)
+    assert ledger.maintenance_cost_ratio <= 4 * logn**2
+    assert ledger.query_cost_ratio <= logn**2
+
+
+def test_general_vs_doubling_overhead(benchmark):
+    """On a grid (doubling), the §6 construction still works but pays its
+    log-factor overheads relative to the §2.2 construction."""
+    from repro.graphs.generators import grid_network
+    from repro.hierarchy.structure import build_hierarchy
+
+    def experiment():
+        net = grid_network(10, 10)
+        wl = make_workload(net, num_objects=8, moves_per_object=80, seed=6)
+
+        def run(hs):
+            tr = MOTTracker(hs)
+            for o, s in wl.starts.items():
+                tr.publish(o, s)
+            for m in wl.moves:
+                tr.move(m.obj, m.new)
+            return tr.ledger.maintenance_cost_ratio
+
+        doubling = run(build_hierarchy(net, seed=1))
+        general = run(build_general_hierarchy(net, seed=1))
+        return doubling, general
+
+    doubling, general = run_once(benchmark, experiment)
+    benchmark.extra_info["doubling_ratio"] = round(doubling, 2)
+    benchmark.extra_info["general_ratio"] = round(general, 2)
+    # the general overlay may cost more, but only by a polylog factor
+    assert general <= 12 * doubling

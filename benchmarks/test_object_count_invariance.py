@@ -1,0 +1,39 @@
+"""Benchmark: cost ratios are insensitive to the object count.
+
+The paper plots 100-object and 1000-object versions of every cost
+figure and the curves barely differ — objects are tracked independently
+(§4.1: "changes in HS due to operations of one object do not interfere
+with the changes made by any other object"). This bench measures the
+MOT ratio at several object counts on a fixed grid and asserts the
+invariance the 100-vs-1000 figure pairs demonstrate.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.runner import execute_one_by_one, make_tracker
+from repro.graphs.generators import grid_network
+from repro.sim.workload import make_workload
+
+OBJECT_COUNTS = (10, 50, 200)
+
+
+def test_cost_ratio_object_count_invariant(benchmark):
+    def experiment():
+        net = grid_network(16, 16)
+        out = {}
+        for m in OBJECT_COUNTS:
+            wl = make_workload(net, num_objects=m, moves_per_object=100,
+                               num_queries=150, seed=29)
+            ledger = execute_one_by_one(make_tracker("MOT", net, wl.traffic, seed=1), wl)
+            out[m] = (ledger.maintenance_cost_ratio, ledger.query_cost_ratio)
+        return out
+
+    out = run_once(benchmark, experiment)
+    benchmark.extra_info.update(
+        {f"m={m}": [round(a, 2), round(b, 2)] for m, (a, b) in out.items()}
+    )
+    maint = [v[0] for v in out.values()]
+    query = [v[1] for v in out.values()]
+    assert max(maint) <= 1.3 * min(maint)
+    assert max(query) <= 1.5 * min(query)

@@ -1,0 +1,49 @@
+"""Benchmark: asynchronous vs §4.1.2 period-synchronized execution.
+
+The paper's analysis model aligns level crossings to periods Φ(i) and
+argues the alignment "increases the upper bound cost by only a constant
+factor". This bench runs the same concurrent workload both ways and
+measures that factor (cost) plus the latency price (completion time).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.runner import execute_concurrent
+from repro.graphs.generators import grid_network
+from repro.hierarchy.structure import build_hierarchy
+from repro.sim.concurrent_mot import ConcurrentMOT
+from repro.sim.workload import make_workload
+
+
+def test_period_alignment_constant_cost_factor(benchmark):
+    def experiment():
+        net = grid_network(12, 12)
+        wl = make_workload(net, num_objects=10, moves_per_object=80,
+                           num_queries=60, seed=19)
+        out = {}
+        for label, periods in (("async", False), ("periods", True)):
+            tracker = ConcurrentMOT(build_hierarchy(net, seed=1), periods=periods)
+            ledger = execute_concurrent(tracker, wl)
+            out[label] = (
+                ledger.maintenance_cost_ratio,
+                ledger.query_cost_ratio,
+                tracker.engine.now,
+                tracker.fallback_queries,
+            )
+        return out
+
+    out = run_once(benchmark, experiment)
+    for label, (m, q, t, fb) in out.items():
+        benchmark.extra_info[label] = {
+            "maintenance_ratio": round(m, 2),
+            "query_ratio": round(q, 2),
+            "completion_time": round(t, 1),
+            "fallbacks": fb,
+        }
+        assert fb == 0
+    # §4.1.2: period alignment costs only a constant factor
+    assert out["periods"][0] <= 3.0 * out["async"][0]
+    assert out["periods"][1] <= 4.0 * out["async"][1] + 1.0
+    # ...but buys determinism at a latency price
+    assert out["periods"][2] >= out["async"][2]

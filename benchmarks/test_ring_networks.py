@@ -1,0 +1,94 @@
+"""Benchmark: the §1.3 ring argument, measured.
+
+"Due to the use of spanning trees, cost ratios for maintenance and
+query operations can be as large as O(D) in those approaches, e.g. in
+ring networks." A spanning tree of a ring must cut one edge; an object
+oscillating across the cut pays the long way around on every move.
+
+Two regimes make the point precisely:
+
+- **matched traffic** — the trees are built from the exact workload
+  profile; a traffic-conscious tree then cuts a cold edge and does
+  fine (DAT can even be optimal). This is the baselines' best case and
+  we report it for fairness.
+- **mismatched traffic** — the workload shifts after construction (the
+  reality MOT's traffic-obliviousness targets): objects start
+  oscillating across the tree's cut edge. The tree ratio grows ~Θ(D)
+  with the ring size while MOT, oblivious either way, stays
+  logarithmic.
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import run_once
+from repro.baselines.dat import build_dat_tree
+from repro.baselines.tree import TreeTracker
+from repro.core.mot import MOTTracker
+from repro.experiments.runner import execute_one_by_one, make_tracker
+from repro.graphs.generators import ring_network
+from repro.sim.workload import MoveOp, Workload, make_workload
+
+RING_SIZES = (16, 32, 64, 128)
+
+
+def _cut_edge(net, tree):
+    """The ring edge absent from the spanning tree."""
+    for u, v in net.graph.edges():
+        if tree.parent[u] != v and tree.parent[v] != u:
+            return u, v
+    raise AssertionError("a spanning tree of a ring must cut one edge")
+
+
+def _oscillation_workload(net, u, v, moves=200):
+    ops = [
+        MoveOp(obj="osc", old=(u if i % 2 == 0 else v),
+               new=(v if i % 2 == 0 else u), seq=i + 1)
+        for i in range(moves)
+    ]
+    return Workload(net=net, starts={"osc": u}, moves=ops, queries=[])
+
+
+def test_rings_matched_vs_mismatched_traffic(benchmark):
+    def experiment():
+        out = {}
+        for n in RING_SIZES:
+            net = ring_network(n)
+            build_wl = make_workload(net, num_objects=6, moves_per_object=150, seed=2)
+            # matched regime: trees built from the running workload
+            matched = {}
+            for alg in ("MOT", "STUN", "DAT"):
+                ledger = execute_one_by_one(
+                    make_tracker(alg, net, build_wl.traffic, seed=1), build_wl
+                )
+                matched[alg] = ledger.maintenance_cost_ratio
+            # mismatched regime: traffic shifts onto DAT's cut edge
+            tree = build_dat_tree(net, build_wl.traffic)
+            u, v = _cut_edge(net, tree)
+            osc = _oscillation_workload(net, u, v)
+            mism = {
+                "DAT": execute_one_by_one(TreeTracker(tree), osc).maintenance_cost_ratio,
+                "MOT": execute_one_by_one(
+                    MOTTracker.build(net, seed=1), osc
+                ).maintenance_cost_ratio,
+            }
+            out[n] = {"matched": matched, "mismatched": mism}
+        return out
+
+    out = run_once(benchmark, experiment)
+    for n, row in out.items():
+        benchmark.extra_info[f"ring{n}"] = {
+            k: {a: round(x, 2) for a, x in v.items()} for k, v in row.items()
+        }
+
+    for n in RING_SIZES:
+        # mismatched: the tree pays ~the ring circumference per unit move
+        assert out[n]["mismatched"]["DAT"] >= (n - 1) * 0.9
+        # MOT, oblivious, keeps the same logarithmic behaviour in both
+        assert out[n]["mismatched"]["MOT"] <= 6.0 * math.log2(n)
+        assert out[n]["matched"]["MOT"] <= 6.0 * math.log2(n)
+    # growth law: the tree's mismatched ratio scales ~linearly with n
+    first = out[RING_SIZES[0]]["mismatched"]["DAT"]
+    last = out[RING_SIZES[-1]]["mismatched"]["DAT"]
+    assert last / first >= 0.5 * (RING_SIZES[-1] / RING_SIZES[0])

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Collect the measured series for EXPERIMENTS.md.
+
+Runs every figure (cost figures at the requested scale, load figures at
+full scale) plus the theory/ablation measurements, and dumps everything
+to JSON for the documentation tables.
+
+Usage: python scripts/collect_results.py [--scale 0.5] [--out results.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--scale", type=float, default=0.5)
+    parser.add_argument("--conc-scale", type=float, default=0.25)
+    parser.add_argument("--out", default="results.json")
+    args = parser.parse_args()
+
+    from repro.experiments.figures import run_figure
+    from repro.metrics.load import LoadStats
+
+    out: dict = {"scale": args.scale, "conc_scale": args.conc_scale}
+    t0 = time.time()
+
+    for name in ("fig4", "fig5", "fig6", "fig7", "fig12", "fig13", "fig14", "fig15"):
+        scale = args.conc_scale if int(name[3:]) >= 12 else args.scale
+        t = time.time()
+        result = run_figure(name, scale=scale)
+        res = result.cost_result
+        metric = "maintenance" if "maintenance" in result.description else "query"
+        out[name] = {
+            "description": result.description,
+            "scale": scale,
+            "sizes": res.sizes,
+            "series": {
+                alg: [round(v, 2) for v in res.series(metric, alg)]
+                for alg in res.experiment.algorithms
+            },
+        }
+        print(f"{name}: {time.time() - t:.0f}s", file=sys.stderr, flush=True)
+
+    for name in ("fig8", "fig9", "fig10", "fig11"):
+        t = time.time()
+        result = run_figure(name, scale=1.0)
+        stats = {
+            alg: LoadStats.from_loads(loads)
+            for alg, loads in result.loads.items()
+        }
+        out[name] = {
+            "description": result.description,
+            "stats": {
+                alg: {
+                    "max": s.max_load,
+                    "mean": round(s.mean_load, 2),
+                    "above_10": s.above_threshold,
+                }
+                for alg, s in stats.items()
+            },
+        }
+        print(f"{name}: {time.time() - t:.0f}s", file=sys.stderr, flush=True)
+
+    print(f"total {time.time() - t0:.0f}s", file=sys.stderr)
+    with open(args.out, "w") as fh:
+        json.dump(out, fh, indent=1)
+    print(f"wrote {args.out}", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""repro — reproduction of *Near-Optimal Location Tracking Using Sensor Networks*.
+
+This package implements the MOT (Mobile Object Tracking using Sensors)
+algorithm of Sharma, Krishnan, Busch and Brandt (IJNC 2015) together with
+every substrate it depends on: the weighted sensor-network model, the
+MIS-based hierarchical overlay ``HS``, the de Bruijn load-balancing layer,
+the traffic-conscious baselines (STUN, DAT, Z-DAT, Z-DAT with shortcuts),
+a discrete-event simulator for concurrent executions, and an experiment
+harness that regenerates every figure of the paper's evaluation section.
+
+Quickstart::
+
+    from repro import grid_network, build_hierarchy, MOTTracker
+
+    net = grid_network(8, 8)
+    hs = build_hierarchy(net, seed=1)
+    tracker = MOTTracker(hs)
+    tracker.publish("tiger", proxy=net.node_at(0))
+    tracker.move("tiger", new_proxy=net.node_at(9))
+    result = tracker.query("tiger", source=net.node_at(63))
+    assert result.proxy == net.node_at(9)
+"""
+
+from repro.graphs.network import SensorNetwork
+from repro.graphs.generators import (
+    grid_network,
+    ring_network,
+    line_network,
+    star_network,
+    random_geometric_network,
+    erdos_renyi_network,
+    random_tree_network,
+    paper_grid_sizes,
+)
+from repro.hierarchy.structure import Hierarchy, build_hierarchy
+from repro.hierarchy.general import build_general_hierarchy
+from repro.core.mot import MOTTracker, MOTConfig
+from repro.core.mot_balanced import BalancedMOTTracker
+from repro.core.fault_tolerant import FaultTolerantMOT
+from repro.core.operations import QueryResult, MoveResult, PublishResult
+from repro.baselines.stun import STUNTracker
+from repro.baselines.dat import DATTracker
+from repro.baselines.zdat import ZDATTracker
+from repro.baselines.optimal import optimal_move_cost, optimal_query_cost
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SensorNetwork",
+    "grid_network",
+    "ring_network",
+    "line_network",
+    "star_network",
+    "random_geometric_network",
+    "erdos_renyi_network",
+    "random_tree_network",
+    "paper_grid_sizes",
+    "Hierarchy",
+    "build_hierarchy",
+    "build_general_hierarchy",
+    "MOTTracker",
+    "MOTConfig",
+    "BalancedMOTTracker",
+    "FaultTolerantMOT",
+    "QueryResult",
+    "MoveResult",
+    "PublishResult",
+    "STUNTracker",
+    "DATTracker",
+    "ZDATTracker",
+    "optimal_move_cost",
+    "optimal_query_cost",
+    "__version__",
+]

@@ -1,0 +1,16 @@
+"""Executable versions of the paper's §4 cost analysis.
+
+:mod:`repro.analysis.amortized` turns the quantities the proofs argue
+about — per-level operation counts ``s_{k,j}``, peak levels, the Lemma
+4.2 upper bound and Lemma 4.3 lower bound — into measurements over real
+executions, so the theory can be checked against the implementation
+(and the implementation against the theory).
+"""
+
+from repro.analysis.amortized import (
+    LevelProfile,
+    MaintenanceAnalysis,
+    analyze_maintenance,
+)
+
+__all__ = ["LevelProfile", "MaintenanceAnalysis", "analyze_maintenance"]

@@ -1,0 +1,38 @@
+"""Traffic-conscious baseline trackers the paper compares against (§1.3, §8).
+
+All three baselines maintain detection lists on a *message-pruning
+tree* — a rooted spanning hierarchy of the sensors — rather than MOT's
+MIS overlay. They differ only in how the tree is constructed (and all
+of them require a priori traffic knowledge, which
+:class:`repro.baselines.traffic.TrafficProfile` supplies):
+
+- :mod:`repro.baselines.stun` — STUN's Drain-And-Balance tree
+  (Kung & Vlah [18]),
+- :mod:`repro.baselines.dat` — deviation-avoidance tree (Lin et al. [21]),
+- :mod:`repro.baselines.zdat` — zone-based DAT and its shortcut variant
+  (Lin et al. [21], Liu et al. [23]),
+- :mod:`repro.baselines.tree` — the shared tracker executing
+  publish/move/query on any such tree,
+- :mod:`repro.baselines.optimal` — the optimal-cost reference of §1.1.
+"""
+
+from repro.baselines.tree import TrackingTree, TreeTracker
+from repro.baselines.traffic import TrafficProfile
+from repro.baselines.stun import STUNTracker, build_dab_tree
+from repro.baselines.dat import DATTracker, build_dat_tree
+from repro.baselines.zdat import ZDATTracker, build_zdat_tree
+from repro.baselines.optimal import optimal_move_cost, optimal_query_cost
+
+__all__ = [
+    "TrackingTree",
+    "TreeTracker",
+    "TrafficProfile",
+    "STUNTracker",
+    "build_dab_tree",
+    "DATTracker",
+    "build_dat_tree",
+    "ZDATTracker",
+    "build_zdat_tree",
+    "optimal_move_cost",
+    "optimal_query_cost",
+]

@@ -1,0 +1,101 @@
+"""DAT — Deviation-Avoidance Tree (Lin et al. [21]).
+
+DAT builds a spanning tree over the sensors that (a) connects the
+highest-detection-rate adjacencies first — so frequent object moves
+stay cheap — and (b) keeps tree paths close to graph shortest paths
+toward the sink ("deviation avoidance"). Our construction follows the
+paper's §1.3 summary of [21]: edges are processed in decreasing rate
+order (ties broken by shorter graph edges, then indices) under a
+Kruskal acceptance rule, yielding the maximum-rate spanning tree, which
+is then rooted at the sink. The sink defaults to the network medoid —
+the node a real deployment would pick for its collection point.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import numpy as np
+
+from repro.baselines.traffic import TrafficProfile
+from repro.baselines.tree import TrackingTree, TreeTracker
+from repro.graphs.network import SensorNetwork
+
+Node = Hashable
+
+__all__ = ["build_dat_tree", "DATTracker", "network_medoid"]
+
+
+def network_medoid(net: SensorNetwork) -> Node:
+    """The sensor minimizing total distance to all others (ties by index)."""
+    totals = net.distance_matrix.sum(axis=1)
+    best = int(np.argmin(totals))
+    ties = np.nonzero(totals == totals[best])[0]
+    if ties.size > 1:
+        best = int(ties.min())
+    return net.node_at(best)
+
+
+def build_dat_tree(
+    net: SensorNetwork,
+    traffic: TrafficProfile,
+    sink: Node | None = None,
+) -> TrackingTree:
+    """Maximum-detection-rate spanning tree rooted at the sink."""
+    if sink is None:
+        sink = network_medoid(net)
+    if sink not in net:
+        raise KeyError(f"{sink!r} is not a sensor of this network")
+
+    # Kruskal over decreasing rate; ties prefer short physical edges so
+    # tree paths deviate less from shortest paths (the "DA" in DAT).
+    ranked = sorted(
+        ((rate, net.edge_weight(u, v), u, v) for rate, u, v in traffic.edges_by_rate(net)),
+        key=lambda t: (-t[0], t[1], net.index_of(t[2]), net.index_of(t[3])),
+    )
+    parent_uf = {v: v for v in net.nodes}
+
+    def find(x):
+        root = x
+        while parent_uf[root] != root:
+            root = parent_uf[root]
+        while parent_uf[x] != root:
+            parent_uf[x], x = root, parent_uf[x]
+        return root
+
+    import networkx as nx
+
+    t = nx.Graph()
+    t.add_nodes_from(net.nodes)
+    for _, _, u, v in ranked:
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent_uf[rv] = ru
+            t.add_edge(u, v)
+            if t.number_of_edges() == net.n - 1:
+                break
+
+    # root the spanning tree at the sink
+    parent: dict[Node, Node | None] = {sink: None}
+    stack = [sink]
+    seen = {sink}
+    while stack:
+        cur = stack.pop()
+        for nxt in t.neighbors(cur):
+            if nxt not in seen:
+                seen.add(nxt)
+                parent[nxt] = cur
+                stack.append(nxt)
+    return TrackingTree(net, parent)
+
+
+class DATTracker(TreeTracker):
+    """DAT: :class:`~repro.baselines.tree.TreeTracker` on a DAT tree."""
+
+    def __init__(
+        self,
+        net: SensorNetwork,
+        traffic: TrafficProfile,
+        sink: Node | None = None,
+    ) -> None:
+        super().__init__(build_dat_tree(net, traffic, sink))

@@ -1,0 +1,35 @@
+"""Optimal-cost reference (paper §1.1).
+
+The optimal communication cost of a maintenance operation is the graph
+distance between the old and new proxy — any algorithm must at least
+carry the location change across that distance. The optimal query cost
+is the distance from the requesting sensor to the proxy. Cost ratios
+everywhere in this package divide summed algorithm costs by these sums.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.graphs.network import SensorNetwork
+
+Node = Hashable
+
+__all__ = ["optimal_move_cost", "optimal_query_cost", "optimal_total_maintenance"]
+
+
+def optimal_move_cost(net: SensorNetwork, old_proxy: Node, new_proxy: Node) -> float:
+    """``dist_G(old proxy, new proxy)``."""
+    return net.distance(old_proxy, new_proxy)
+
+
+def optimal_query_cost(net: SensorNetwork, source: Node, proxy: Node) -> float:
+    """``dist_G(source, proxy)``."""
+    return net.distance(source, proxy)
+
+
+def optimal_total_maintenance(
+    net: SensorNetwork, moves: Iterable[tuple[Node, Node]]
+) -> float:
+    """Sum of optimal costs over (old proxy, new proxy) pairs."""
+    return sum(net.distance(u, v) for u, v in moves)

@@ -1,0 +1,95 @@
+"""Traffic (detection-rate) profiles for traffic-conscious baselines.
+
+STUN, DAT and Z-DAT all build their trees from *detection rates*: how
+often objects cross each sensor adjacency (§1.3). MOT never sees this
+information — that is the paper's headline "traffic-oblivious"
+property. To make the comparison as favourable as possible to the
+baselines, the experiment harness counts the **exact** edge crossings of
+the generated workload and hands them to the tree builders before any
+operation runs (see DESIGN.md "Substitutions").
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable
+
+from repro.graphs.network import SensorNetwork
+
+Node = Hashable
+Edge = frozenset
+
+__all__ = ["TrafficProfile"]
+
+
+@dataclass
+class TrafficProfile:
+    """Per-edge detection rates (object crossings between adjacent sensors)."""
+
+    counts: Counter = field(default_factory=Counter)
+
+    @staticmethod
+    def _key(u: Node, v: Node) -> frozenset:
+        return frozenset((u, v))
+
+    def record_crossing(self, u: Node, v: Node, weight: float = 1.0) -> None:
+        """Count one (or ``weight``) object movement across edge (u, v)."""
+        if u == v:
+            return
+        self.counts[self._key(u, v)] += weight
+
+    def rate(self, u: Node, v: Node) -> float:
+        """Detection rate of edge (u, v); 0 when never crossed."""
+        return float(self.counts.get(self._key(u, v), 0.0))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_moves(
+        cls,
+        net: SensorNetwork,
+        moves: Iterable[tuple[Node, Node]],
+    ) -> "TrafficProfile":
+        """Build a profile from (old proxy, new proxy) pairs.
+
+        Non-adjacent pairs are expanded along a shortest path, crediting
+        every edge crossed — the physical trajectory a real object would
+        have taken between the proxies.
+        """
+        profile = cls()
+        for u, v in moves:
+            if u == v:
+                continue
+            if net.graph.has_edge(u, v):
+                profile.record_crossing(u, v)
+            else:
+                path = net.shortest_path(u, v)
+                for a, b in zip(path, path[1:]):
+                    profile.record_crossing(a, b)
+        return profile
+
+    @classmethod
+    def uniform(cls, net: SensorNetwork, rate: float = 1.0) -> "TrafficProfile":
+        """Equal rate on every edge — the no-knowledge degenerate profile."""
+        profile = cls()
+        for u, v in net.graph.edges():
+            profile.record_crossing(u, v, rate)
+        return profile
+
+    # ------------------------------------------------------------------
+    def edges_by_rate(self, net: SensorNetwork) -> list[tuple[float, Node, Node]]:
+        """Network edges as (rate, u, v), sorted by decreasing rate.
+
+        Ties (and never-crossed edges) are ordered deterministically by
+        node indices, so tree constructions are reproducible.
+        """
+        out: list[tuple[float, Node, Node]] = []
+        for u, v in net.graph.edges():
+            a, b = sorted((u, v), key=net.index_of)
+            out.append((self.rate(a, b), a, b))
+        out.sort(key=lambda t: (-t[0], net.index_of(t[1]), net.index_of(t[2])))
+        return out
+
+    def distinct_rates(self) -> list[float]:
+        """Distinct positive rates, decreasing (DAB's threshold schedule)."""
+        return sorted({float(c) for c in self.counts.values() if c > 0}, reverse=True)

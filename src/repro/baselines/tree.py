@@ -1,0 +1,266 @@
+"""Message-pruning tree tracking (shared by STUN, DAT and Z-DAT; §1.3).
+
+All the paper's baselines keep, at every tree node, the detection list
+of objects currently proxied in its subtree. Operations then mirror
+MOT's but walk the *tree*:
+
+- **publish** — climb proxy → root, adding the object everywhere;
+- **move** — climb from the new proxy to the lowest ancestor already
+  holding the object (the tree LCA of old and new proxy), then delete
+  down to the old proxy;
+- **query** — climb from the source to its lowest ancestor holding the
+  object, then descend to the proxy. With ``query_shortcuts=True``
+  (Z-DAT with shortcuts / Liu et al. [23]) the descent is replaced by a
+  direct shortest-path jump from the hit ancestor to the proxy.
+
+Tree edges are *logical*: a parent-child hop costs the shortest-path
+distance between the two sensors in ``G``. This is why spanning-tree
+trackers can pay Θ(D) cost ratios on e.g. rings (§1.3) — the tree path
+between adjacent sensors can be long — and why none of them balance
+load: the root's detection list holds all ``m`` objects.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping
+
+from repro.core.costs import CostLedger
+from repro.core.operations import MoveResult, PublishResult, QueryResult
+from repro.graphs.network import SensorNetwork
+
+Node = Hashable
+ObjectId = Hashable
+
+__all__ = ["TrackingTree", "TreeTracker"]
+
+
+class TrackingTree:
+    """A rooted spanning hierarchy over all sensors of a network.
+
+    ``parent`` maps every sensor to its tree parent (root maps to
+    ``None``). The constructor validates that exactly one root exists
+    and the structure is a connected, acyclic hierarchy covering all
+    sensors.
+    """
+
+    def __init__(self, net: SensorNetwork, parent: Mapping[Node, Node | None]) -> None:
+        self.net = net
+        if set(parent) != set(net.nodes):
+            raise ValueError("parent map must cover exactly the network's sensors")
+        roots = [v for v, p in parent.items() if p is None]
+        if len(roots) != 1:
+            raise ValueError(f"tree must have exactly one root, got {len(roots)}")
+        self.root: Node = roots[0]
+        self.parent: dict[Node, Node | None] = dict(parent)
+
+        # depth computation doubles as a cycle/connectivity check
+        self.depth: dict[Node, int] = {self.root: 0}
+        for v in net.nodes:
+            chain = []
+            cur = v
+            while cur not in self.depth:
+                chain.append(cur)
+                cur = self.parent[cur]
+                if cur is None or len(chain) > net.n:
+                    raise ValueError("parent map contains a cycle or orphan")
+            base = self.depth[cur]
+            for i, u in enumerate(reversed(chain), start=1):
+                self.depth[u] = base + i
+
+        self.children: dict[Node, list[Node]] = {v: [] for v in net.nodes}
+        for v, p in self.parent.items():
+            if p is not None:
+                self.children[p].append(v)
+        for kids in self.children.values():
+            kids.sort(key=net.index_of)
+
+        self._edge_cost: dict[Node, float] = {
+            v: (net.distance(v, p) if p is not None else 0.0)
+            for v, p in self.parent.items()
+        }
+
+    # ------------------------------------------------------------------
+    def edge_cost(self, child: Node) -> float:
+        """Graph distance from ``child`` to its tree parent (0 at the root)."""
+        return self._edge_cost[child]
+
+    def path_to_root(self, v: Node) -> list[Node]:
+        """Nodes from ``v`` (inclusive) up to the root (inclusive)."""
+        out = [v]
+        while self.parent[out[-1]] is not None:
+            out.append(self.parent[out[-1]])
+        return out
+
+    def lca(self, a: Node, b: Node) -> Node:
+        """Lowest common ancestor."""
+        da, db = self.depth[a], self.depth[b]
+        while da > db:
+            a = self.parent[a]
+            da -= 1
+        while db > da:
+            b = self.parent[b]
+            db -= 1
+        while a != b:
+            a, b = self.parent[a], self.parent[b]
+        return a
+
+    def path_cost(self, descendant: Node, ancestor: Node) -> float:
+        """Total edge cost walking up from ``descendant`` to ``ancestor``."""
+        cost = 0.0
+        cur = descendant
+        while cur != ancestor:
+            cost += self._edge_cost[cur]
+            nxt = self.parent[cur]
+            if nxt is None:
+                raise ValueError(f"{ancestor!r} is not an ancestor of {descendant!r}")
+            cur = nxt
+        return cost
+
+    def max_depth(self) -> int:
+        """Depth of the deepest sensor in the hierarchy."""
+        return max(self.depth.values())
+
+    def total_edge_cost(self) -> float:
+        """Sum of all logical tree-edge lengths."""
+        return sum(self._edge_cost.values())
+
+
+class TreeTracker:
+    """Publish/move/query on a :class:`TrackingTree` with cost accounting.
+
+    ``query_shortcuts`` enables the Liu-et-al.-style shortcut descent
+    used by the paper's "Z-DAT + shortcuts" curves.
+    """
+
+    def __init__(self, tree: TrackingTree, query_shortcuts: bool = False) -> None:
+        self.tree = tree
+        self.net: SensorNetwork = tree.net
+        self.query_shortcuts = query_shortcuts
+        self.ledger = CostLedger()
+        self._dl: dict[Node, set[ObjectId]] = {v: set() for v in tree.net.nodes}
+        self._proxy: dict[ObjectId, Node] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def objects(self) -> tuple[ObjectId, ...]:
+        """All published objects."""
+        return tuple(self._proxy)
+
+    def proxy_of(self, obj: ObjectId) -> Node:
+        """Current proxy sensor of ``obj``."""
+        try:
+            return self._proxy[obj]
+        except KeyError:
+            raise KeyError(f"object {obj!r} was never published") from None
+
+    def detection_list(self, node: Node) -> frozenset[ObjectId]:
+        """Objects currently recorded in ``node``'s subtree."""
+        return frozenset(self._dl[node])
+
+    # ------------------------------------------------------------------
+    def publish(self, obj: ObjectId, proxy: Node) -> PublishResult:
+        """Register ``obj`` at ``proxy``: climb to the root adding it."""
+        if obj in self._proxy:
+            raise ValueError(f"object {obj!r} is already published")
+        cost = 0.0
+        levels = 0
+        for v in self.tree.path_to_root(proxy):
+            self._dl[v].add(obj)
+            if v != self.tree.root:
+                cost += self.tree.edge_cost(v)
+            levels += 1
+        self._proxy[obj] = proxy
+        self.ledger.record_publish(cost)
+        return PublishResult(
+            obj=obj, proxy=proxy, cost=cost,
+            levels_climbed=levels - 1, messages=levels - 1,
+        )
+
+    def move(self, obj: ObjectId, new_proxy: Node) -> MoveResult:
+        """Maintenance: climb new proxy → LCA, delete LCA → old proxy."""
+        old_proxy = self.proxy_of(obj)
+        optimal = self.net.distance(old_proxy, new_proxy)
+        if new_proxy == old_proxy:
+            self.ledger.record_maintenance(0.0, 0.0)
+            return MoveResult(
+                obj=obj, old_proxy=old_proxy, new_proxy=new_proxy,
+                cost=0.0, up_cost=0.0, down_cost=0.0, peak_level=0, optimal_cost=0.0,
+            )
+        meet = self.tree.lca(old_proxy, new_proxy)
+        up_cost = 0.0
+        msgs = 0
+        cur = new_proxy
+        while cur != meet:
+            self._dl[cur].add(obj)
+            up_cost += self.tree.edge_cost(cur)
+            cur = self.tree.parent[cur]
+            msgs += 1
+        down_cost = 0.0
+        cur = old_proxy
+        while cur != meet:
+            self._dl[cur].discard(obj)
+            down_cost += self.tree.edge_cost(cur)
+            cur = self.tree.parent[cur]
+            msgs += 1
+        self._proxy[obj] = new_proxy
+        cost = up_cost + down_cost
+        self.ledger.record_maintenance(cost, optimal, messages=msgs)
+        return MoveResult(
+            obj=obj,
+            old_proxy=old_proxy,
+            new_proxy=new_proxy,
+            cost=cost,
+            up_cost=up_cost,
+            down_cost=down_cost,
+            peak_level=self.tree.depth[new_proxy] - self.tree.depth[meet],
+            optimal_cost=optimal,
+            messages=msgs,
+        )
+
+    def query(self, obj: ObjectId, source: Node) -> QueryResult:
+        """Climb from ``source`` to the first ancestor holding ``obj``, descend."""
+        proxy = self.proxy_of(obj)
+        optimal = self.net.distance(source, proxy)
+        if source == proxy:
+            self.ledger.record_query(0.0, 0.0)
+            return QueryResult(
+                obj=obj, source=source, proxy=proxy, cost=0.0,
+                found_level=0, via_sdl=False, optimal_cost=0.0,
+            )
+        cost = 0.0
+        msgs = 0
+        cur = source
+        while obj not in self._dl[cur]:
+            cost += self.tree.edge_cost(cur)
+            nxt = self.tree.parent[cur]
+            assert nxt is not None, "root holds every published object"
+            cur = nxt
+            msgs += 1
+        hit = cur
+        if self.query_shortcuts:
+            # shortcut descent: the hit ancestor knows the proxy directly
+            cost += self.net.distance(hit, proxy)
+            msgs += 1
+        else:
+            cost += self.tree.path_cost(proxy, hit)
+            msgs += self.tree.depth[proxy] - self.tree.depth[hit] if self.tree.depth[proxy] >= self.tree.depth[hit] else 0
+        self.ledger.record_query(cost, optimal, messages=msgs)
+        return QueryResult(
+            obj=obj,
+            source=source,
+            proxy=proxy,
+            cost=cost,
+            found_level=self.tree.depth[hit],
+            via_sdl=False,
+            optimal_cost=optimal,
+            messages=msgs,
+        )
+
+    # ------------------------------------------------------------------
+    def load_per_node(self) -> dict[Node, int]:
+        """Objects + bookkeeping per sensor: its DL size plus proxied objects.
+
+        The proxy's own DL entry *is* its "object present" record, so a
+        node proxying k objects with no other subtree objects reports k.
+        """
+        return {v: len(self._dl[v]) for v in self.net.nodes}

@@ -1,0 +1,179 @@
+"""Z-DAT — Zone-based Deviation-Avoidance Tree (Lin et al. [21]).
+
+Z-DAT divides the sensing region into rectangular zones and recursively
+combines the zones into a tree (§1.3): a quadtree over sensor positions
+splits the region until each leaf zone holds at most ``zone_capacity``
+sensors; inside a leaf zone a DAT-style maximum-rate subtree (rooted at
+the zone head, the sensor closest to the zone center) connects the
+zone's sensors; zone heads then attach to their parent zone's head up
+to the top zone head, the tree root.
+
+The *shortcuts* variant (the paper's "Z-DAT + shortcuts", after Liu et
+al. [23]) additionally lets the first ancestor that knows the queried
+object answer with the proxy's identity directly, so the query descent
+is a shortest-path jump rather than a tree walk — implemented by the
+generic tracker's ``query_shortcuts`` switch.
+
+Requires positions on the network (all generators supply them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from repro.baselines.traffic import TrafficProfile
+from repro.baselines.tree import TrackingTree, TreeTracker
+from repro.graphs.network import SensorNetwork
+
+Node = Hashable
+
+__all__ = ["build_zdat_tree", "ZDATTracker"]
+
+
+@dataclass(frozen=True)
+class _Zone:
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return ((self.x0 + self.x1) / 2.0, (self.y0 + self.y1) / 2.0)
+
+    def quadrants(self) -> tuple["_Zone", ...]:
+        cx, cy = self.center
+        return (
+            _Zone(self.x0, self.y0, cx, cy),
+            _Zone(cx, self.y0, self.x1, cy),
+            _Zone(self.x0, cy, cx, self.y1),
+            _Zone(cx, cy, self.x1, self.y1),
+        )
+
+
+def _zone_head(net: SensorNetwork, members: Sequence[Node], zone: _Zone) -> Node:
+    """Sensor closest (in Euclidean position) to the zone center."""
+    cx, cy = zone.center
+    return min(
+        members,
+        key=lambda v: (
+            (net.position(v)[0] - cx) ** 2 + (net.position(v)[1] - cy) ** 2,
+            net.index_of(v),
+        ),
+    )
+
+
+def _intra_zone_subtree(
+    net: SensorNetwork,
+    traffic: TrafficProfile,
+    members: Sequence[Node],
+    head: Node,
+    parent: dict[Node, Node | None],
+) -> None:
+    """Max-rate spanning forest of the zone's induced subgraph, rooted at
+    the head; sensors unreachable inside the zone attach to the head
+    directly (their logical edge is routed through ``G``)."""
+    member_set = set(members)
+    # rate-ranked adjacencies fully inside the zone
+    edges = [
+        (traffic.rate(u, v), net.edge_weight(u, v), u, v)
+        for u, v in net.graph.edges()
+        if u in member_set and v in member_set
+    ]
+    edges.sort(key=lambda t: (-t[0], t[1], net.index_of(t[2]), net.index_of(t[3])))
+    uf = {v: v for v in members}
+
+    def find(x):
+        root = x
+        while uf[root] != root:
+            root = uf[root]
+        while uf[x] != root:
+            uf[x], x = root, uf[x]
+        return root
+
+    import networkx as nx
+
+    t = nx.Graph()
+    t.add_nodes_from(members)
+    for _, _, u, v in edges:
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            uf[rv] = ru
+            t.add_edge(u, v)
+
+    # orient the head's component toward the head; stragglers attach to it
+    seen = {head}
+    stack = [head]
+    while stack:
+        cur = stack.pop()
+        for nxt in t.neighbors(cur):
+            if nxt not in seen:
+                seen.add(nxt)
+                parent[nxt] = cur
+                stack.append(nxt)
+    for v in members:
+        if v not in seen:
+            parent[v] = head
+            seen.add(v)
+
+
+def build_zdat_tree(
+    net: SensorNetwork,
+    traffic: TrafficProfile,
+    zone_capacity: int = 4,
+) -> TrackingTree:
+    """Recursive zone division + per-zone DAT subtrees + head hierarchy."""
+    if not net.has_positions:
+        raise ValueError("Z-DAT needs sensor positions (zone division)")
+    if zone_capacity < 1:
+        raise ValueError("zone_capacity must be positive")
+
+    xs = [net.position(v)[0] for v in net.nodes]
+    ys = [net.position(v)[1] for v in net.nodes]
+    top = _Zone(min(xs), min(ys), max(xs) + 1e-9, max(ys) + 1e-9)
+
+    parent: dict[Node, Node | None] = {}
+
+    def divide(zone: _Zone, members: list[Node], depth: int) -> Node:
+        """Build the subtree for ``zone``; returns the zone head."""
+        head = _zone_head(net, members, zone)
+        if len(members) <= zone_capacity or depth > 32:
+            _intra_zone_subtree(net, traffic, members, head, parent)
+            return head
+        child_heads: list[Node] = []
+        for quad in zone.quadrants():
+            quad_members = [
+                v
+                for v in members
+                if quad.x0 <= net.position(v)[0] < quad.x1
+                and quad.y0 <= net.position(v)[1] < quad.y1
+            ]
+            if quad_members:
+                child_heads.append(divide(quad, quad_members, depth + 1))
+        # the head of this zone is the child head nearest the zone center
+        head = _zone_head(net, child_heads, zone)
+        for ch in child_heads:
+            if ch != head:
+                parent[ch] = head
+        return head
+
+    root = divide(top, list(net.nodes), 0)
+    parent[root] = None
+    return TrackingTree(net, parent)
+
+
+class ZDATTracker(TreeTracker):
+    """Z-DAT (optionally with shortcuts) on a zone tree."""
+
+    def __init__(
+        self,
+        net: SensorNetwork,
+        traffic: TrafficProfile,
+        zone_capacity: int = 4,
+        shortcuts: bool = False,
+    ) -> None:
+        super().__init__(
+            build_zdat_tree(net, traffic, zone_capacity),
+            query_shortcuts=shortcuts,
+        )

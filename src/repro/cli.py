@@ -1,0 +1,130 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``figure NAME [--scale S] [--csv PATH]`` — regenerate one paper
+  figure (fig4 … fig15), print its table, optionally export CSV;
+- ``list`` — list the available figures with their descriptions;
+- ``compare [--side N] [--objects M] …`` — the quick §8-style
+  head-to-head on one grid workload (same engine as
+  ``examples/baseline_comparison.py``);
+- ``demo`` — a 30-second guided tour (the quickstart on one object).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main"]
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.experiments.export import cost_sweep_to_csv, loads_to_csv, write_csv
+    from repro.experiments.figures import run_figure
+
+    scale = 1.0 if args.full else args.scale
+    result = run_figure(args.name, scale=scale)
+    print(result)
+    if args.csv:
+        if result.cost_result is not None:
+            metric = "maintenance" if "maintenance" in result.description else "query"
+            content = cost_sweep_to_csv(result.cost_result, metric)
+        else:
+            content = loads_to_csv(result.loads)
+        path = write_csv(content, args.csv)
+        print(f"\nwrote {path}")
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import FIGURES
+
+    for name in sorted(FIGURES, key=lambda s: int(s[3:])):
+        doc = (FIGURES[name].__doc__ or "").strip().split("\n")[0]
+        print(f"{name:>6}  {doc}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import execute_one_by_one, make_tracker
+    from repro.graphs.generators import grid_network
+    from repro.metrics.load import LoadStats
+    from repro.sim.workload import make_workload
+
+    net = grid_network(args.side, args.side)
+    wl = make_workload(net, num_objects=args.objects, moves_per_object=args.moves,
+                       num_queries=args.queries, seed=args.seed)
+    print(f"grid {args.side}x{args.side} ({net.n} sensors), "
+          f"{args.objects} objects x {args.moves} moves, {args.queries} queries\n")
+    header = (f"{'algorithm':>16} | {'maint ratio':>11} | {'query ratio':>11} | "
+              f"{'max load':>8} | {'load>10':>7}")
+    print(header)
+    print("-" * len(header))
+    for name in ("MOT", "MOT-balanced", "STUN", "DAT", "Z-DAT", "Z-DAT+shortcuts"):
+        tracker = make_tracker(name, net, wl.traffic, seed=args.seed)
+        ledger = execute_one_by_one(tracker, wl)
+        stats = LoadStats.from_loads(tracker.load_per_node())
+        print(f"{name:>16} | {ledger.maintenance_cost_ratio:>11.2f} | "
+              f"{ledger.query_cost_ratio:>11.2f} | {stats.max_load:>8} | "
+              f"{stats.above_threshold:>7}")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    import random
+
+    from repro import MOTTracker, build_hierarchy, grid_network
+
+    net = grid_network(8, 8)
+    tracker = MOTTracker(build_hierarchy(net, seed=1))
+    tracker.publish("tiger", proxy=0)
+    rnd = random.Random(0)
+    cur = 0
+    for _ in range(10):
+        cur = rnd.choice(net.neighbors(cur))
+        tracker.move("tiger", cur)
+    res = tracker.query("tiger", source=63)
+    print(f"tracked 'tiger' over 10 moves on an 8x8 grid")
+    print(f"query from the far corner found it at sensor {res.proxy} "
+          f"(cost {res.cost:.0f}, optimal {res.optimal_cost:.0f})")
+    print(f"maintenance cost ratio: {tracker.ledger.maintenance_cost_ratio:.2f}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: parse ``argv`` and dispatch to a subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Near-Optimal Location Tracking Using "
+                    "Sensor Networks' (MOT, IJNC 2015)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fig = sub.add_parser("figure", help="regenerate one paper figure")
+    p_fig.add_argument("name", help="fig4 … fig15")
+    p_fig.add_argument("--scale", type=float, default=0.25)
+    p_fig.add_argument("--full", action="store_true", help="paper-scale op counts")
+    p_fig.add_argument("--csv", help="also export the series to this CSV path")
+    p_fig.set_defaults(fn=_cmd_figure)
+
+    p_list = sub.add_parser("list", help="list the available figures")
+    p_list.set_defaults(fn=_cmd_list)
+
+    p_cmp = sub.add_parser("compare", help="MOT vs baselines on one workload")
+    p_cmp.add_argument("--side", type=int, default=16)
+    p_cmp.add_argument("--objects", type=int, default=25)
+    p_cmp.add_argument("--moves", type=int, default=300)
+    p_cmp.add_argument("--queries", type=int, default=300)
+    p_cmp.add_argument("--seed", type=int, default=1)
+    p_cmp.set_defaults(fn=_cmd_compare)
+
+    p_demo = sub.add_parser("demo", help="30-second guided tour")
+    p_demo.set_defaults(fn=_cmd_demo)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""The paper's primary contribution: the MOT tracking algorithm.
+
+- :mod:`repro.core.operations` — operation result records.
+- :mod:`repro.core.costs` — communication-cost accounting.
+- :mod:`repro.core.mot` — Algorithm 1 (publish / maintenance / query)
+  on any :class:`~repro.hierarchy.structure.BaseHierarchy`.
+- :mod:`repro.core.mot_balanced` — the §5 load-balanced variant
+  (per-internal-node clusters, hashed detection lists, de Bruijn
+  routing).
+- :mod:`repro.core.dynamics` — §7 cluster-level join/leave adaptability.
+- :mod:`repro.core.fault_tolerant` — §7 tracker-level churn handling.
+"""
+
+from repro.core.mot import MOTTracker, MOTConfig
+from repro.core.mot_balanced import BalancedMOTTracker
+from repro.core.fault_tolerant import FaultTolerantMOT
+from repro.core.operations import PublishResult, MoveResult, QueryResult
+from repro.core.costs import CostLedger
+
+__all__ = [
+    "MOTTracker",
+    "MOTConfig",
+    "BalancedMOTTracker",
+    "FaultTolerantMOT",
+    "PublishResult",
+    "MoveResult",
+    "QueryResult",
+    "CostLedger",
+]

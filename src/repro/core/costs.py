@@ -1,0 +1,97 @@
+"""Communication-cost accounting (paper §1.1).
+
+The paper measures every operation by the total distance its messages
+travel in ``G``. :class:`CostLedger` accumulates those distances per
+operation category together with the matching optimal costs, and
+reports the aggregate cost ratios
+
+    ``C(E) / C*(E)  =  Σ_j C(E_j) / Σ_j C*(E_j)``
+
+exactly as §4.1 defines them (costs summed across objects, then
+divided).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CostLedger"]
+
+
+@dataclass
+class CostLedger:
+    """Aggregate communication and optimal costs per operation type."""
+
+    publish_cost: float = 0.0
+    maintenance_cost: float = 0.0
+    maintenance_optimal: float = 0.0
+    maintenance_ops: int = 0
+    maintenance_messages: int = 0
+    query_cost: float = 0.0
+    query_optimal: float = 0.0
+    query_ops: int = 0
+    query_messages: int = 0
+    _maint_ratios: list[float] = field(default_factory=list, repr=False)
+    _query_ratios: list[float] = field(default_factory=list, repr=False)
+
+    # ------------------------------------------------------------------
+    def record_publish(self, cost: float) -> None:
+        """Accumulate one publish operation's communication cost."""
+        self.publish_cost += cost
+
+    def record_maintenance(self, cost: float, optimal: float, messages: int = 0) -> None:
+        """Accumulate one maintenance operation (cost, optimum, hop count)."""
+        self.maintenance_cost += cost
+        self.maintenance_optimal += optimal
+        self.maintenance_ops += 1
+        self.maintenance_messages += messages
+        if optimal > 0:
+            self._maint_ratios.append(cost / optimal)
+
+    def record_query(self, cost: float, optimal: float, messages: int = 0) -> None:
+        """Accumulate one query operation (cost, optimum, hop count)."""
+        self.query_cost += cost
+        self.query_optimal += optimal
+        self.query_ops += 1
+        self.query_messages += messages
+        if optimal > 0:
+            self._query_ratios.append(cost / optimal)
+
+    # ------------------------------------------------------------------
+    @property
+    def maintenance_cost_ratio(self) -> float:
+        """Aggregate maintenance ratio ``C(E)/C*(E)`` (§4.1). 1.0 when empty."""
+        if self.maintenance_optimal <= 0:
+            return 1.0
+        return self.maintenance_cost / self.maintenance_optimal
+
+    @property
+    def query_cost_ratio(self) -> float:
+        """Aggregate query ratio. 1.0 when no nonzero-optimal query was recorded."""
+        if self.query_optimal <= 0:
+            return 1.0
+        return self.query_cost / self.query_optimal
+
+    @property
+    def max_maintenance_ratio(self) -> float:
+        """Worst single-operation maintenance ratio seen."""
+        return max(self._maint_ratios, default=1.0)
+
+    @property
+    def max_query_ratio(self) -> float:
+        """Worst single-query ratio seen."""
+        return max(self._query_ratios, default=1.0)
+
+    def merge(self, other: "CostLedger") -> None:
+        """Fold another ledger into this one (used by repetition averaging)."""
+        self.publish_cost += other.publish_cost
+        self.maintenance_cost += other.maintenance_cost
+        self.maintenance_optimal += other.maintenance_optimal
+        self.maintenance_ops += other.maintenance_ops
+        self.query_cost += other.query_cost
+        self.query_optimal += other.query_optimal
+        self.query_ops += other.query_ops
+        self.maintenance_messages += other.maintenance_messages
+        self.query_messages += other.query_messages
+        self._maint_ratios.extend(other._maint_ratios)
+        self._query_ratios.extend(other._query_ratios)

@@ -1,0 +1,268 @@
+"""Fault-tolerant MOT: node departures and arrivals (paper §7).
+
+The paper's recipe, implemented at the tracker level:
+
+- a departing sensor **announces** its departure (the paper's standing
+  assumption) — objects it proxies are handed to the closest live
+  neighbor through ordinary (costed) maintenance operations;
+- every ``HS`` role the sensor hosts (leaderships at levels ≥ 1) is
+  transferred to the closest live sensor of that role's cluster, and
+  the role's detection/special-detection lists move with it. Detection
+  paths are *logically* unchanged — only the hosting sensor differs —
+  exactly the paper's "the leadership information should be transferred
+  to some other node of that cluster";
+- arrivals simply become eligible hosts/proxies again;
+- per §7's threshold rule, when relocation pushes a role's host too far
+  from the role's nominal center (``rebuild_radius_factor × 2^level``),
+  the tracker flags :attr:`needs_rebuild`; :meth:`rebuild` reconstructs
+  the hierarchy over the live sensors and replays the object state.
+
+Adaptability is measured as the paper defines it: the number of nodes
+whose state changes per membership event (see
+:class:`DepartureReport`); the churn message costs are tracked
+separately from operation costs in :attr:`churn_cost`.
+
+Physical-layer caveat (see DESIGN.md): the radio graph itself stays
+static — a departed sensor no longer hosts, proxies, or originates
+anything, but routing distances still use the original deployment
+geometry. Modelling coverage holes is outside the paper's scope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.core.mot import MOTConfig, MOTTracker
+from repro.hierarchy.structure import BaseHierarchy, HNode, build_hierarchy
+
+Node = Hashable
+ObjectId = Hashable
+
+__all__ = ["DepartureReport", "ArrivalReport", "FaultTolerantMOT"]
+
+
+@dataclass(frozen=True)
+class DepartureReport:
+    """What one departure touched."""
+
+    node: Node
+    roles_transferred: int
+    entries_transferred: int
+    objects_rehomed: tuple[ObjectId, ...]
+    updated_nodes: int
+    transfer_cost: float
+    triggered_rebuild_flag: bool
+
+
+@dataclass(frozen=True)
+class ArrivalReport:
+    """What one arrival touched."""
+
+    node: Node
+    updated_nodes: int
+
+
+class FaultTolerantMOT(MOTTracker):
+    """MOT with §7 churn handling.
+
+    Extra parameters:
+
+    - ``rebuild_radius_factor`` — a role relocated beyond
+      ``factor × 2^level`` of its nominal center flags
+      :attr:`needs_rebuild` (the paper's "after the threshold, the
+      hierarchy can be rebuilt from scratch").
+    """
+
+    def __init__(
+        self,
+        hierarchy: BaseHierarchy,
+        config: MOTConfig | None = None,
+        rebuild_radius_factor: float = 4.0,
+    ) -> None:
+        super().__init__(hierarchy, config)
+        if rebuild_radius_factor <= 0:
+            raise ValueError("rebuild_radius_factor must be positive")
+        self.rebuild_radius_factor = rebuild_radius_factor
+        self._departed: set[Node] = set()
+        self._role_host: dict[HNode, Node] = {}
+        self._hosted_by: dict[Node, set[HNode]] = {}
+        self.churn_cost: float = 0.0
+        self.departure_reports: list[DepartureReport] = []
+        self.needs_rebuild: bool = False
+        self.rebuilds: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def departed(self) -> frozenset[Node]:
+        """Sensors that announced their departure."""
+        return frozenset(self._departed)
+
+    @property
+    def live_sensors(self) -> list[Node]:
+        """Sensors still participating."""
+        return [v for v in self.net.nodes if v not in self._departed]
+
+    def _phys(self, hnode: HNode) -> Node:
+        return self._role_host.get(hnode, hnode.node)
+
+    # ------------------------------------------------------------------
+    # guarded operations: departed sensors take no part
+    # ------------------------------------------------------------------
+    def _check_live(self, node: Node, what: str) -> None:
+        if node in self._departed:
+            raise ValueError(f"sensor {node!r} has departed and cannot {what}")
+
+    def publish(self, obj, proxy):
+        """Publish, refusing departed proxies."""
+        self._check_live(proxy, "proxy an object")
+        return super().publish(obj, proxy)
+
+    def move(self, obj, new_proxy):
+        """Maintenance, refusing departed proxies."""
+        self._check_live(new_proxy, "proxy an object")
+        return super().move(obj, new_proxy)
+
+    def query(self, obj, source):
+        """Query, refusing departed sources."""
+        self._check_live(source, "issue a query")
+        return super().query(obj, source)
+
+    # ------------------------------------------------------------------
+    # churn
+    # ------------------------------------------------------------------
+    def _closest_live(self, anchor: Node, exclude: Node) -> Node:
+        candidates = [
+            v for v in self.net.nodes if v not in self._departed and v != exclude
+        ]
+        if not candidates:
+            raise RuntimeError("no live sensors remain")
+        return self.net.closest(anchor, candidates)
+
+    def _roles_hosted_at(self, node: Node) -> list[HNode]:
+        roles = set(self._hosted_by.get(node, set()))
+        # roles never relocated: every level >= 1 the sensor natively leads
+        levels = getattr(self.hs, "levels", None)
+        if levels is not None:
+            for ell in range(1, self.hs.h + 1):
+                hn = HNode(ell, node)
+                if node in self.hs.level_nodes(ell) and hn not in self._role_host:
+                    roles.add(hn)
+        else:  # general hierarchy: scan leader roles lazily
+            for hn in list(self._dl) + list(self._sdl):
+                if self._phys(hn) == node:
+                    roles.add(hn)
+        return sorted(roles)
+
+    def handle_departure(self, node: Node) -> DepartureReport:
+        """Process an announced departure (paper §7).
+
+        Returns the adaptability accounting; raises if the sensor
+        already departed or is the last live sensor.
+        """
+        self._check_live(node, "depart twice")
+        if len(self._departed) >= self.net.n - 1:
+            raise RuntimeError("cannot remove the last live sensor")
+
+        # 1. objects proxied here move to the closest live sensor —
+        #    ordinary maintenance operations, costed in the ledger
+        rehomed: list[ObjectId] = []
+        for obj in [o for o, p in self._proxy.items() if p == node]:
+            target = self._closest_live(node, exclude=node)
+            self.move(obj, target)
+            rehomed.append(obj)
+
+        self._departed.add(node)
+
+        # 2. hand every hosted HS role to the closest live cluster member
+        roles = self._roles_hosted_at(node)
+        entries = 0
+        cost = 0.0
+        flagged = False
+        for hn in roles:
+            new_host = self._closest_live(self._phys(hn), exclude=node)
+            old_host = self._phys(hn)
+            self._role_host[hn] = new_host
+            self._hosted_by.setdefault(new_host, set()).add(hn)
+            self._hosted_by.get(node, set()).discard(hn)
+            moved = len(self._dl.get(hn, ())) + sum(
+                len(s) for s in self._sdl.get(hn, {}).values()
+            )
+            entries += moved
+            cost += self.net.distance(old_host, new_host) * max(1, moved)
+            # §7 threshold: relocated too far from the role's center?
+            drift = self.net.distance(hn.node, new_host)
+            if drift > self.rebuild_radius_factor * (2.0**hn.level):
+                flagged = True
+        if flagged:
+            self.needs_rebuild = True
+        self.churn_cost += cost
+
+        report = DepartureReport(
+            node=node,
+            roles_transferred=len(roles),
+            entries_transferred=entries,
+            objects_rehomed=tuple(rehomed),
+            updated_nodes=1 + len(roles) + len(rehomed),
+            transfer_cost=cost,
+            triggered_rebuild_flag=flagged,
+        )
+        self.departure_reports.append(report)
+        return report
+
+    def handle_arrival(self, node: Node) -> ArrivalReport:
+        """A sensor (re)joins: it becomes eligible again.
+
+        Roles stay where relocation put them (the paper's lazily-optimal
+        choice — reclaiming is an optimization, not a correctness need).
+        """
+        if node not in self.net:
+            raise KeyError(f"{node!r} is not a sensor of this network")
+        if node not in self._departed:
+            raise ValueError(f"sensor {node!r} is already live")
+        self._departed.discard(node)
+        return ArrivalReport(node=node, updated_nodes=1)
+
+    # ------------------------------------------------------------------
+    def rebuild(self, seed: int = 0) -> None:
+        """Reconstruct ``HS`` over the live sensors and replay the state.
+
+        The §7 from-scratch rebuild: objects keep their proxies; all
+        detection lists are re-published on the fresh hierarchy. The
+        publish costs are charged to :attr:`churn_cost` (rebuilds are
+        churn overhead, not operation cost).
+        """
+        import networkx as nx
+
+        live = self.live_sensors
+        sub = self.net.graph.subgraph(live).copy()
+        if not nx.is_connected(sub):
+            raise RuntimeError("live sensors are disconnected; cannot rebuild")
+        from repro.graphs.network import SensorNetwork
+
+        positions = (
+            {v: self.net.position(v) for v in live} if self.net.has_positions else None
+        )
+        new_net = SensorNetwork(sub, positions=positions, normalize=False)
+        new_hs = build_hierarchy(
+            new_net,
+            seed=seed,
+            parent_set_radius_factor=self.config.parent_set_radius_factor,
+            special_parent_gap=self.config.special_parent_gap,
+            use_parent_sets=self.config.use_parent_sets,
+        )
+        saved = dict(self._proxy)
+        # churn bookkeeping survives the reconstruction
+        ledger = self.ledger
+        churn_cost = self.churn_cost
+        reports = self.departure_reports
+        rebuilds = self.rebuilds
+        self.__init__(new_hs, self.config, self.rebuild_radius_factor)
+        self.ledger = ledger
+        self.departure_reports = reports
+        pre_publish = self.ledger.publish_cost
+        for obj, proxy in saved.items():
+            super().publish(obj, proxy)
+        self.churn_cost = churn_cost + (self.ledger.publish_cost - pre_publish)
+        self.rebuilds = rebuilds + 1
+        self.needs_rebuild = False

@@ -1,0 +1,87 @@
+"""Operation result records shared by every tracker in this package.
+
+All trackers (MOT, balanced MOT, STUN, DAT, Z-DAT, and the concurrent
+simulators) report per-operation outcomes with these records so the
+metrics and experiment layers treat them uniformly. Costs are
+communication costs — total graph distance traversed by the operation's
+messages (paper §1.1) — and each record carries the operation's optimal
+cost so cost ratios can be aggregated exactly as the paper defines them
+(sum of algorithm costs over sum of optimal costs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+Node = Hashable
+ObjectId = Hashable
+
+__all__ = ["PublishResult", "MoveResult", "QueryResult"]
+
+
+@dataclass(frozen=True)
+class PublishResult:
+    """Outcome of a one-time publish operation (Algorithm 1, lines 1–5).
+
+    ``messages`` counts the hops (role visits) the operation's messages
+    made; ``cost`` is their total distance. §1.1 treats the two as
+    proportional — both are reported so the proportionality is checkable.
+    """
+
+    obj: ObjectId
+    proxy: Node
+    cost: float
+    levels_climbed: int
+    messages: int = 0
+
+
+@dataclass(frozen=True)
+class MoveResult:
+    """Outcome of a maintenance operation (Algorithm 1, lines 6–18).
+
+    ``peak_level`` is the level where the insert found the object
+    already recorded and turned into a delete (§4.1's "peak level").
+    ``optimal_cost`` is ``dist_G(old proxy, new proxy)`` — the minimum
+    any algorithm must pay for this move.
+    """
+
+    obj: ObjectId
+    old_proxy: Node
+    new_proxy: Node
+    cost: float
+    up_cost: float
+    down_cost: float
+    peak_level: int
+    optimal_cost: float
+    messages: int = 0
+
+    @property
+    def cost_ratio(self) -> float:
+        """Per-operation ratio; undefined (1.0) for zero-distance moves."""
+        return self.cost / self.optimal_cost if self.optimal_cost > 0 else 1.0
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Outcome of a query operation (Algorithm 1, lines 19–24).
+
+    ``found_level`` is the level of the first internal node whose DL or
+    SDL contained the object; ``via_sdl`` records whether the hit came
+    through a special detection list. ``optimal_cost`` is
+    ``dist_G(source, proxy)``.
+    """
+
+    obj: ObjectId
+    source: Node
+    proxy: Node
+    cost: float
+    found_level: int
+    via_sdl: bool
+    optimal_cost: float
+    messages: int = 0
+
+    @property
+    def cost_ratio(self) -> float:
+        """Per-operation ratio; 1.0 for zero-distance operations."""
+        return self.cost / self.optimal_cost if self.optimal_cost > 0 else 1.0

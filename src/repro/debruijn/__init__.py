@@ -1,0 +1,15 @@
+"""de Bruijn graphs and their cluster embeddings (paper §5, §7, ref [28]).
+
+MOT's load-balancing layer distributes each internal node's detection
+list over the nodes of its cluster, then routes lookups inside the
+cluster along an embedded de Bruijn graph: constant-size neighborhood
+tables, ``O(log |X|)`` hops, unique shortest paths.
+"""
+
+from repro.debruijn.graph import (
+    DeBruijnGraph,
+    debruijn_shortest_path,
+)
+from repro.debruijn.embedding import ClusterEmbedding
+
+__all__ = ["DeBruijnGraph", "debruijn_shortest_path", "ClusterEmbedding"]

@@ -1,0 +1,147 @@
+"""Embedding a de Bruijn graph into a sensor cluster (paper §5, §7).
+
+A cluster ``X`` (the ``2^i``-neighborhood of an internal ``HS`` node)
+gets a ``d = ⌈log2 |X|⌉``-dimensional de Bruijn overlay:
+
+- cluster members are numbered ``0 … |X|−1`` (ID order, the paper's
+  "identifiers from [0 … |X|−1]");
+- virtual vertex ``ℓ < |X|`` is hosted by member ``ℓ``; virtual vertex
+  ``ℓ ≥ |X|`` is hosted by the member whose label equals ``ℓ`` with the
+  most significant bit cleared (§7's emulation rule);
+- a message from member ``a`` to member ``b`` follows the canonical
+  de Bruijn shortest path between their labels, each virtual hop paying
+  the graph distance between the hosting sensors.
+
+:class:`ClusterEmbedding` also implements the §7 dynamics: joins and
+leaves relabel ``O(1)`` members except when the population crosses a
+power of two, where the dimension changes and the whole cluster updates
+— amortized ``O(1)`` over any join/leave sequence, which
+``tests/debruijn/test_dynamics.py`` verifies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Sequence
+
+from repro.debruijn.graph import debruijn_shortest_path
+from repro.graphs.network import SensorNetwork
+
+Node = Hashable
+
+__all__ = ["ClusterEmbedding"]
+
+
+class ClusterEmbedding:
+    """de Bruijn overlay on one cluster of sensors."""
+
+    def __init__(self, net: SensorNetwork, members: Sequence[Node]) -> None:
+        if not members:
+            raise ValueError("cluster must be non-empty")
+        if len(set(members)) != len(members):
+            raise ValueError("cluster members must be distinct")
+        self.net = net
+        self._members: list[Node] = sorted(members, key=net.index_of)
+        self._label: dict[Node, int] = {v: i for i, v in enumerate(self._members)}
+
+    # ------------------------------------------------------------------
+    @property
+    def members(self) -> tuple[Node, ...]:
+        """Cluster members in label order."""
+        return tuple(self._members)
+
+    @property
+    def size(self) -> int:
+        """Cluster population ``|X|``."""
+        return len(self._members)
+
+    @property
+    def dimension(self) -> int:
+        """``d = ⌈log2 |X|⌉`` (0 for singleton clusters)."""
+        return max(0, math.ceil(math.log2(self.size))) if self.size > 1 else 0
+
+    def label_of(self, node: Node) -> int:
+        """The member's own (primary) de Bruijn label."""
+        try:
+            return self._label[node]
+        except KeyError:
+            raise KeyError(f"{node!r} is not in this cluster") from None
+
+    def host(self, label: int) -> Node:
+        """Sensor hosting virtual vertex ``label`` (§7 emulation rule)."""
+        size_v = 1 << self.dimension
+        if not (0 <= label < size_v):
+            raise ValueError(f"virtual label {label} out of range [0, {size_v})")
+        if label < self.size:
+            return self._members[label]
+        return self._members[label & ~(1 << (self.dimension - 1))]
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def route(self, src: Node, dst: Node) -> tuple[list[Node], float]:
+        """Hosts visited and total graph distance from ``src`` to ``dst``.
+
+        Follows the canonical de Bruijn shortest path between the
+        members' primary labels; consecutive virtual vertices hosted by
+        the same sensor cost nothing extra.
+        """
+        a, b = self.label_of(src), self.label_of(dst)
+        labels = debruijn_shortest_path(a, b, self.dimension)
+        hosts = [self.host(l) for l in labels]
+        cost = 0.0
+        for x, y in zip(hosts, hosts[1:]):
+            if x != y:
+                cost += self.net.distance(x, y)
+        return hosts, cost
+
+    def route_cost(self, src: Node, dst: Node) -> float:
+        """Total graph distance of :meth:`route`."""
+        return self.route(src, dst)[1]
+
+    # ------------------------------------------------------------------
+    # §7 dynamics — join/leave with update counting
+    # ------------------------------------------------------------------
+    def join(self, node: Node) -> int:
+        """Add ``node`` with the next label; returns #members updated.
+
+        Constant when the new population is not a power of two (only the
+        newcomer and the hosts of the de Bruijn edges incident on its
+        label change tables); otherwise the dimension grows and every
+        member re-derives its emulated labels.
+        """
+        if node in self._label:
+            raise ValueError(f"{node!r} is already a member")
+        if node not in self.net:
+            raise KeyError(f"{node!r} is not a sensor of this network")
+        old_dim = self.dimension
+        self._members.append(node)
+        self._label[node] = len(self._members) - 1
+        if self.dimension != old_dim:
+            return self.size  # dimension change: everyone updates
+        # newcomer + constant-degree neighborhood of its label
+        return 1 + 4
+
+    def leave(self, node: Node) -> int:
+        """Remove ``node``; returns #members whose state was updated.
+
+        Implements the §7 rule: the departing label is backfilled by the
+        highest-label member (so labels stay ``0 … |X|−1``), then a
+        dimension decrease — when the population drops past a power of
+        two — updates everyone; otherwise the update is constant.
+        """
+        label = self.label_of(node)
+        old_dim = self.dimension
+        last = len(self._members) - 1
+        mover: Node | None = None
+        if label != last:
+            mover = self._members[last]
+            self._members[label] = mover
+            self._label[mover] = label
+        self._members.pop()
+        del self._label[node]
+        if not self._members:
+            raise ValueError("cluster cannot become empty")
+        if self.dimension != old_dim:
+            return self.size  # dimension change: everyone updates
+        return (2 if mover is not None else 1) + 4

@@ -1,0 +1,85 @@
+"""Binary de Bruijn graph topology (paper §5, Leighton [19]).
+
+The d-dimensional binary de Bruijn graph has ``2^d`` vertices labelled
+by d-bit strings; vertex ``u_1 u_2 … u_d`` has directed edges to
+``u_2 … u_d 0`` and ``u_2 … u_d 1``. Diameter is ``d``; in/out degree is
+2; between every ordered pair there is a canonical shortest path found
+by overlapping the source's suffix with the target's prefix. All of
+this is exactly what §5 relies on: constant neighborhood tables and
+``O(log |X|)``-hop intra-cluster routing.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DeBruijnGraph", "debruijn_shortest_path"]
+
+
+def debruijn_shortest_path(src: int, dst: int, dimension: int) -> list[int]:
+    """Canonical shortest path from ``src`` to ``dst`` in the d-dim graph.
+
+    Returns the vertex-label sequence including both endpoints. The
+    path length is the smallest ``t`` with the low ``d−t`` bits of
+    ``src`` equal to the high ``d−t`` bits of ``dst`` (overlap
+    maximisation); each step shifts in one bit of ``dst``.
+
+    Raises :class:`ValueError` on out-of-range labels.
+    """
+    if dimension < 0:
+        raise ValueError("dimension must be non-negative")
+    size = 1 << dimension
+    if not (0 <= src < size and 0 <= dst < size):
+        raise ValueError(f"labels must be in [0, {size})")
+    if dimension == 0:
+        return [0]
+    mask = size - 1
+    for t in range(dimension + 1):
+        keep = dimension - t
+        if (src & ((1 << keep) - 1)) == (dst >> t):
+            path = [src]
+            cur = src
+            for i in range(t):
+                bit = (dst >> (t - 1 - i)) & 1
+                cur = ((cur << 1) & mask) | bit
+                path.append(cur)
+            return path
+    raise AssertionError("unreachable: t = dimension always matches")
+
+
+class DeBruijnGraph:
+    """The d-dimensional binary de Bruijn digraph."""
+
+    def __init__(self, dimension: int) -> None:
+        if dimension < 0:
+            raise ValueError("dimension must be non-negative")
+        self.dimension = dimension
+        self.size = 1 << dimension
+
+    def successors(self, label: int) -> tuple[int, ...]:
+        """Out-neighbors ``u_2…u_d 0`` and ``u_2…u_d 1`` (≤ 2 of them)."""
+        self._check(label)
+        if self.dimension == 0:
+            return ()
+        mask = self.size - 1
+        base = (label << 1) & mask
+        return tuple(x for x in (base, base | 1) if x != label)
+
+    def predecessors(self, label: int) -> tuple[int, ...]:
+        """In-neighbors ``0 u_1…u_(d-1)`` and ``1 u_1…u_(d-1)``."""
+        self._check(label)
+        if self.dimension == 0:
+            return ()
+        half = self.size >> 1
+        base = label >> 1
+        return tuple(x for x in (base, base | half) if x != label)
+
+    def shortest_path(self, src: int, dst: int) -> list[int]:
+        """Canonical shortest path (see :func:`debruijn_shortest_path`)."""
+        return debruijn_shortest_path(src, dst, self.dimension)
+
+    def distance(self, src: int, dst: int) -> int:
+        """Hop count of the canonical shortest path (≤ dimension)."""
+        return len(self.shortest_path(src, dst)) - 1
+
+    def _check(self, label: int) -> None:
+        if not (0 <= label < self.size):
+            raise ValueError(f"label {label} out of range [0, {self.size})")

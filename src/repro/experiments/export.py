@@ -1,0 +1,66 @@
+"""CSV export of experiment results.
+
+Turns :class:`~repro.experiments.runner.CostSweepResult` and the
+Figs. 8–11 load mappings into CSV so the regenerated figures can be
+re-plotted with any external tool (the repository itself stays
+plotting-library-free).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Hashable, Mapping
+
+from repro.experiments.runner import CostSweepResult
+
+Node = Hashable
+
+__all__ = ["cost_sweep_to_csv", "loads_to_csv", "write_csv"]
+
+
+def cost_sweep_to_csv(result: CostSweepResult, metric: str) -> str:
+    """One row per network size; per-algorithm mean and std columns."""
+    if metric not in ("maintenance", "query"):
+        raise ValueError("metric must be 'maintenance' or 'query'")
+    table = result.maintenance if metric == "maintenance" else result.query
+    algs = list(table)
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    header = ["nodes"]
+    for a in algs:
+        header += [f"{a}_mean", f"{a}_std"]
+    writer.writerow(header)
+    for i, n in enumerate(result.sizes):
+        row: list = [n]
+        for a in algs:
+            stats = table[a][i]
+            row += [f"{stats.mean:.6g}", f"{stats.std:.6g}"]
+        writer.writerow(row)
+    return buf.getvalue()
+
+
+def loads_to_csv(loads: Mapping[str, Mapping[Node, int]]) -> str:
+    """One row per sensor; per-algorithm load columns (Figs. 8–11 data)."""
+    if not loads:
+        raise ValueError("no load series to export")
+    algs = list(loads)
+    nodes = sorted(loads[algs[0]])
+    for a in algs[1:]:
+        if sorted(loads[a]) != nodes:
+            raise ValueError("load series cover different sensors")
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(["node"] + algs)
+    for v in nodes:
+        writer.writerow([v] + [loads[a][v] for a in algs])
+    return buf.getvalue()
+
+
+def write_csv(content: str, path: str | Path) -> Path:
+    """Write exported CSV to ``path`` (parent directories created)."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(content)
+    return p

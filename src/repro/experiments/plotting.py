@@ -1,0 +1,105 @@
+"""Dependency-free ASCII rendering of the regenerated figures.
+
+The repository deliberately avoids plotting libraries; these renderers
+draw the cost-ratio curves (Figs. 4–7/12–15) and load histograms
+(Figs. 8–11) as terminal charts so `python -m repro figure …` output is
+visually comparable with the paper's plots.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.experiments.runner import CostSweepResult
+
+__all__ = ["ascii_series_chart", "ascii_histogram", "render_cost_figure"]
+
+_MARKS = "*o+x#@%&"
+
+
+def ascii_series_chart(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+) -> str:
+    """Plot one or more y-series over shared x values.
+
+    X positions are spread by rank (the paper's log-ish size axis);
+    the y axis is linear from 0 to the max value. Each series gets a
+    marker character; collisions show the later series' marker.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    npts = len(x)
+    if npts < 2:
+        raise ValueError("need at least two x positions")
+    for name, ys in series.items():
+        if len(ys) != npts:
+            raise ValueError(f"series {name!r} length != x length")
+
+    ymax = max(max(ys) for ys in series.values())
+    ymax = ymax if ymax > 0 else 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, ys) in enumerate(series.items()):
+        mark = _MARKS[si % len(_MARKS)]
+        for i, v in enumerate(ys):
+            col = round(i * (width - 1) / (npts - 1))
+            row = height - 1 - round((v / ymax) * (height - 1))
+            grid[row][col] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(grid):
+        yval = ymax * (height - 1 - r) / (height - 1)
+        lines.append(f"{yval:7.1f} |{''.join(row)}")
+    lines.append(" " * 8 + "+" + "-" * width)
+    # x tick labels: first, middle, last
+    ticks = [0, npts // 2, npts - 1]
+    label_row = [" "] * (width + 24)  # margin so the last label fits whole
+    for t in ticks:
+        col = 9 + round(t * (width - 1) / (npts - 1))
+        text = f"{x[t]:g}"
+        for k, ch in enumerate(text):
+            if col + k < len(label_row):
+                label_row[col + k] = ch
+    lines.append("".join(label_row).rstrip())
+    legend = "   ".join(
+        f"{_MARKS[i % len(_MARKS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(f"        legend: {legend}")
+    return "\n".join(lines)
+
+
+def ascii_histogram(
+    buckets: Mapping[str, int],
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Horizontal bar chart of labelled counts (the Figs. 8–11 shapes)."""
+    if not buckets:
+        raise ValueError("need at least one bucket")
+    peak = max(buckets.values()) or 1
+    label_w = max(len(k) for k in buckets)
+    lines = [title] if title else []
+    for label, count in buckets.items():
+        bar = "#" * round(count / peak * width)
+        lines.append(f"{label:>{label_w}} |{bar} {count}")
+    return "\n".join(lines)
+
+
+def render_cost_figure(result: CostSweepResult, metric: str, **kwargs) -> str:
+    """ASCII chart of a cost sweep (one curve per algorithm)."""
+    if metric not in ("maintenance", "query"):
+        raise ValueError("metric must be 'maintenance' or 'query'")
+    series = {
+        alg: result.series(metric, alg) for alg in result.experiment.algorithms
+    }
+    return ascii_series_chart(
+        result.sizes,
+        series,
+        title=f"{metric} cost ratio vs network size",
+        **kwargs,
+    )

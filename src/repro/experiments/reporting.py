@@ -1,0 +1,40 @@
+"""Plain-text tables of the series the paper plots."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.metrics.load import LoadStats
+
+__all__ = ["format_cost_table", "format_load_table"]
+
+
+def format_cost_table(result, metric: str) -> str:
+    """Cost-ratio series per algorithm over network sizes.
+
+    ``metric`` is ``"maintenance"`` or ``"query"``; rows are network
+    sizes (the x-axis of Figs. 4–7 / 12–15), columns the algorithms.
+    """
+    if metric not in ("maintenance", "query"):
+        raise ValueError("metric must be 'maintenance' or 'query'")
+    table = result.maintenance if metric == "maintenance" else result.query
+    algs = list(table)
+    header = f"{'nodes':>7} | " + " | ".join(f"{a:>16}" for a in algs)
+    sep = "-" * len(header)
+    lines = [header, sep]
+    for i, n in enumerate(result.sizes):
+        cells = " | ".join(f"{table[a][i].mean:13.2f} ±{table[a][i].std:4.2f}" for a in algs)
+        lines.append(f"{n:>7} | {cells}")
+    return "\n".join(lines)
+
+
+def format_load_table(stats: Mapping[str, LoadStats]) -> str:
+    """Headline load numbers per algorithm (the Figs. 8–11 call-outs)."""
+    header = f"{'algorithm':>16} | {'max load':>8} | {'mean':>7} | {'nodes>thr':>9} | {'total':>7}"
+    lines = [header, "-" * len(header)]
+    for alg, s in stats.items():
+        lines.append(
+            f"{alg:>16} | {s.max_load:>8} | {s.mean_load:>7.2f} | "
+            f"{s.above_threshold:>9} | {s.total:>7}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,224 @@
+"""Algorithm factories and execution drivers for the §8 experiments."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.baselines.dat import DATTracker
+from repro.baselines.stun import STUNTracker, build_dab_tree
+from repro.baselines.traffic import TrafficProfile
+from repro.baselines.zdat import ZDATTracker, build_zdat_tree
+from repro.core.costs import CostLedger
+from repro.core.mot import MOTConfig, MOTTracker
+from repro.core.mot_balanced import BalancedMOTTracker
+from repro.experiments.config import CostExperiment, LoadExperiment
+from repro.graphs.generators import grid_network
+from repro.graphs.network import SensorNetwork
+from repro.hierarchy.structure import build_hierarchy
+from repro.metrics.ratios import RatioStats, summarize_ratios
+from repro.sim.concurrent import ConcurrentTracker
+from repro.sim.concurrent_balanced import ConcurrentBalancedMOT
+from repro.sim.concurrent_mot import ConcurrentMOT
+from repro.sim.concurrent_tree import ConcurrentTreeTracker
+from repro.sim.workload import Workload, make_workload
+
+Node = Hashable
+
+__all__ = [
+    "make_tracker",
+    "make_concurrent_tracker",
+    "execute_one_by_one",
+    "execute_concurrent",
+    "run_cost_sweep",
+    "run_load_experiment",
+    "CostSweepResult",
+]
+
+#: algorithms available to the sweep drivers
+ALGORITHMS = ("MOT", "MOT-balanced", "STUN", "DAT", "Z-DAT", "Z-DAT+shortcuts")
+
+
+def make_tracker(
+    name: str,
+    net: SensorNetwork,
+    traffic: TrafficProfile,
+    seed: int = 0,
+    mot_config: MOTConfig | None = None,
+):
+    """One-by-one tracker factory for the §8 algorithm names.
+
+    MOT variants never look at ``traffic`` (they are traffic-oblivious);
+    the baselines receive the workload's exact profile.
+    """
+    if name == "MOT":
+        return MOTTracker.build(net, mot_config, seed=seed)
+    if name == "MOT-balanced":
+        cfg = mot_config or MOTConfig()
+        hs = build_hierarchy(
+            net,
+            seed=seed,
+            parent_set_radius_factor=cfg.parent_set_radius_factor,
+            special_parent_gap=cfg.special_parent_gap,
+            use_parent_sets=cfg.use_parent_sets,
+        )
+        return BalancedMOTTracker(hs, cfg)
+    if name == "STUN":
+        return STUNTracker(net, traffic)
+    if name == "DAT":
+        return DATTracker(net, traffic)
+    if name == "Z-DAT":
+        return ZDATTracker(net, traffic)
+    if name == "Z-DAT+shortcuts":
+        return ZDATTracker(net, traffic, shortcuts=True)
+    raise ValueError(f"unknown algorithm {name!r}; choose from {ALGORITHMS}")
+
+
+def make_concurrent_tracker(
+    name: str,
+    net: SensorNetwork,
+    traffic: TrafficProfile,
+    seed: int = 0,
+) -> ConcurrentTracker:
+    """Concurrent tracker factory (Figs. 12–15 curves)."""
+    if name == "MOT":
+        return ConcurrentMOT(build_hierarchy(net, seed=seed))
+    if name == "MOT-balanced":
+        return ConcurrentBalancedMOT(build_hierarchy(net, seed=seed))
+    if name == "STUN":
+        return ConcurrentTreeTracker(build_dab_tree(net, traffic))
+    if name == "Z-DAT":
+        return ConcurrentTreeTracker(build_zdat_tree(net, traffic))
+    if name == "Z-DAT+shortcuts":
+        return ConcurrentTreeTracker(build_zdat_tree(net, traffic), query_shortcuts=True)
+    raise ValueError(f"unknown concurrent algorithm {name!r}")
+
+
+# ----------------------------------------------------------------------
+# execution drivers
+# ----------------------------------------------------------------------
+def execute_one_by_one(tracker, workload: Workload) -> CostLedger:
+    """Publish, apply all moves in order, then run all queries."""
+    for obj, start in workload.starts.items():
+        tracker.publish(obj, start)
+    for m in workload.moves:
+        tracker.move(m.obj, m.new)
+    for q in workload.queries:
+        tracker.query(q.obj, q.source)
+    return tracker.ledger
+
+
+def execute_concurrent(
+    tracker: ConcurrentTracker,
+    workload: Workload,
+    batch: int = 10,
+    queries_per_batch: int = 2,
+    shuffle_seed: int = 7,
+) -> CostLedger:
+    """The paper's concurrent schedule (§8).
+
+    Objects are processed in random order; each object's moves run in
+    batches of ``batch`` simultaneously-outstanding operations ("we fix
+    the maximum number of concurrent operations for an object at any
+    time to 10"), and queries are injected while maintenance is in
+    flight so query/maintenance overlap is exercised (Figs. 14/15).
+    """
+    for obj, start in workload.starts.items():
+        tracker.publish(obj, start)
+    per_obj: dict[str, list] = {o: [] for o in workload.starts}
+    for m in workload.moves:
+        per_obj[m.obj].append(m)
+    objs = list(per_obj)
+    random.Random(shuffle_seed).shuffle(objs)
+    qiter = iter(workload.queries)
+    for obj in objs:
+        moves = per_obj[obj]
+        for i in range(0, len(moves), batch):
+            t0 = tracker.engine.now
+            for k, m in enumerate(moves[i : i + batch]):
+                tracker.submit_move(t0 + 0.01 * k, m.obj, m.new)
+            for _ in range(queries_per_batch):
+                q = next(qiter, None)
+                if q is not None:
+                    tracker.submit_query(t0 + 0.05, q.obj, q.source)
+            tracker.run()
+    # any queries beyond the batch budget run against the quiesced state
+    for q in qiter:
+        tracker.submit_query(tracker.engine.now, q.obj, q.source)
+    tracker.run()
+    return tracker.ledger
+
+
+# ----------------------------------------------------------------------
+# sweeps
+# ----------------------------------------------------------------------
+@dataclass
+class CostSweepResult:
+    """Per-algorithm maintenance/query ratio series over network sizes."""
+
+    experiment: CostExperiment
+    sizes: list[int] = field(default_factory=list)
+    maintenance: dict[str, list[RatioStats]] = field(default_factory=dict)
+    query: dict[str, list[RatioStats]] = field(default_factory=dict)
+
+    def series(self, metric: str, algorithm: str) -> list[float]:
+        """Mean cost-ratio curve of one algorithm over the size sweep."""
+        table = self.maintenance if metric == "maintenance" else self.query
+        return [s.mean for s in table[algorithm]]
+
+
+def run_cost_sweep(exp: CostExperiment) -> CostSweepResult:
+    """Run the Figs. 4–7 / 12–15 sweep for ``exp``."""
+    result = CostSweepResult(experiment=exp)
+    result.maintenance = {a: [] for a in exp.algorithms}
+    result.query = {a: [] for a in exp.algorithms}
+    for rows, cols in exp.grid_sizes:
+        net = grid_network(rows, cols)
+        result.sizes.append(net.n)
+        maint: dict[str, list[float]] = {a: [] for a in exp.algorithms}
+        query: dict[str, list[float]] = {a: [] for a in exp.algorithms}
+        for rep in range(exp.reps):
+            wl = make_workload(
+                net,
+                num_objects=exp.num_objects,
+                moves_per_object=exp.moves_per_object,
+                num_queries=exp.num_queries,
+                seed=exp.seed + 1000 * rep,
+                mobility=exp.mobility,
+            )
+            for alg in exp.algorithms:
+                if exp.mode == "one_by_one":
+                    tracker = make_tracker(alg, net, wl.traffic, seed=exp.seed + rep)
+                    ledger = execute_one_by_one(tracker, wl)
+                else:
+                    tracker = make_concurrent_tracker(alg, net, wl.traffic, seed=exp.seed + rep)
+                    ledger = execute_concurrent(tracker, wl, batch=exp.concurrent_batch)
+                maint[alg].append(ledger.maintenance_cost_ratio)
+                query[alg].append(ledger.query_cost_ratio)
+        for alg in exp.algorithms:
+            result.maintenance[alg].append(summarize_ratios(maint[alg]))
+            result.query[alg].append(summarize_ratios(query[alg]))
+    return result
+
+
+def run_load_experiment(exp: LoadExperiment) -> dict[str, dict[Node, int]]:
+    """Per-node loads for the Figs. 8–11 comparisons."""
+    net = grid_network(exp.grid_side, exp.grid_side)
+    wl = make_workload(
+        net,
+        num_objects=exp.num_objects,
+        moves_per_object=exp.moves_per_object,
+        num_queries=0,
+        seed=exp.seed,
+    )
+    out: dict[str, dict[Node, int]] = {}
+    for alg in exp.algorithms:
+        tracker = make_tracker(alg, net, wl.traffic, seed=exp.seed)
+        for obj, start in wl.starts.items():
+            tracker.publish(obj, start)
+        if exp.after_moves:
+            for m in wl.moves:
+                tracker.move(m.obj, m.new)
+        out[alg] = tracker.load_per_node()
+    return out

@@ -1,0 +1,87 @@
+"""Doubling-dimension estimation (paper §2.2, footnote 1).
+
+A metric has doubling dimension ρ if every ball of radius δ can be
+covered by at most ``2^ρ`` balls of radius δ/2. Grids and unit-disk
+deployments have small constant ρ (≈ 2 in the plane); rings have ρ = 1;
+stars and expanders do not.
+
+The estimator below greedily covers sampled balls with half-radius balls
+and reports ``log2`` of the worst cover size seen. Greedy covering is a
+standard constant-factor over-approximation, which is what MOT's
+configuration needs (ρ only feeds additive constants).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.graphs.network import SensorNetwork
+
+__all__ = ["estimate_doubling_dimension", "greedy_half_radius_cover"]
+
+
+def greedy_half_radius_cover(
+    net: SensorNetwork, center_index: int, radius: float
+) -> int:
+    """Number of radius/2 balls a greedy cover uses for ``B(center, radius)``.
+
+    Centers are chosen farthest-point-first from inside the ball, which
+    gives a cover at most a constant factor larger than optimal.
+    """
+    d = net.distance_matrix
+    ball = np.nonzero(d[center_index] <= radius)[0]
+    if ball.size == 0:
+        return 0
+    uncovered = set(ball.tolist())
+    count = 0
+    # farthest-point-first: always pick the uncovered point farthest from
+    # the already chosen centers (first pick: the original center itself).
+    chosen: list[int] = []
+    while uncovered:
+        if not chosen:
+            pick = center_index if center_index in uncovered else next(iter(uncovered))
+        else:
+            rows = d[np.asarray(chosen)][:, np.asarray(sorted(uncovered))]
+            mins = rows.min(axis=0)
+            pick = sorted(uncovered)[int(np.argmax(mins))]
+        chosen.append(pick)
+        count += 1
+        newly = np.nonzero(d[pick] <= radius / 2.0)[0]
+        uncovered.difference_update(newly.tolist())
+    return count
+
+
+def estimate_doubling_dimension(
+    net: SensorNetwork,
+    samples: int = 16,
+    radii: int = 4,
+    seed: int = 0,
+) -> float:
+    """Estimate the doubling dimension ρ of the network metric.
+
+    Samples ``samples`` ball centers and ``radii`` radii spread
+    geometrically between the minimum edge weight and the diameter, and
+    returns ``max log2(cover size)`` over all sampled balls.
+
+    The estimate over-approximates ρ by at most a small constant factor
+    (greedy covering); it is intended to configure MOT's
+    ``special_parent_gap`` and to sanity-check that a topology is
+    constant-doubling, not to be metrically exact.
+    """
+    if net.n == 1:
+        return 0.0
+    rng = np.random.default_rng(seed)
+    centers = rng.choice(net.n, size=min(samples, net.n), replace=False)
+    diam = net.diameter
+    if diam <= 0:
+        return 0.0
+    rs = [diam / (2.0**k) for k in range(radii)]
+    worst = 1
+    for c in centers:
+        for r in rs:
+            if r < 1.0:
+                continue
+            worst = max(worst, greedy_half_radius_cover(net, int(c), r))
+    return math.log2(worst) if worst > 0 else 0.0

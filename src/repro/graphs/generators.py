@@ -1,0 +1,197 @@
+"""Topology generators for the paper's evaluation and beyond.
+
+The paper's experiments (§8) run on square/rectangular **grid networks**
+from 10 to 1024 nodes. Grids with unit edge weights are constant-doubling
+(doubling dimension ≈ 2), the model under which MOT's strongest bounds
+hold. We also provide:
+
+- **ring networks** — the paper's §1.3 example where spanning-tree-based
+  baselines degrade to Θ(D) cost ratios,
+- **random geometric (unit-disk) networks** — the standard sensor
+  deployment model, also constant-doubling,
+- **Erdős–Rényi** and **random tree** networks — "general graphs" for the
+  §6 extensions,
+- **line** and **star** networks — degenerate shapes used in tests.
+
+Every generator returns a :class:`~repro.graphs.network.SensorNetwork`
+with geographic positions attached (needed by Z-DAT's zone division).
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import numpy as np
+
+from repro.graphs.network import SensorNetwork
+
+__all__ = [
+    "grid_network",
+    "ring_network",
+    "line_network",
+    "star_network",
+    "random_geometric_network",
+    "erdos_renyi_network",
+    "random_tree_network",
+    "paper_grid_sizes",
+]
+
+
+def grid_network(rows: int, cols: int, diagonal: bool = False) -> SensorNetwork:
+    """A ``rows × cols`` grid of sensors with unit-length edges.
+
+    Node ids are integers ``r * cols + c`` laid out row-major; positions
+    are the lattice coordinates ``(c, r)``. With ``diagonal=True`` the
+    eight-neighborhood is used and diagonal edges get weight ``sqrt(2)``.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    g = nx.Graph()
+    positions: dict[int, tuple[float, float]] = {}
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            g.add_node(node)
+            positions[node] = (float(c), float(r))
+            if c + 1 < cols:
+                g.add_edge(node, node + 1, weight=1.0)
+            if r + 1 < rows:
+                g.add_edge(node, node + cols, weight=1.0)
+            if diagonal:
+                if r + 1 < rows and c + 1 < cols:
+                    g.add_edge(node, node + cols + 1, weight=math.sqrt(2.0))
+                if r + 1 < rows and c - 1 >= 0:
+                    g.add_edge(node, node + cols - 1, weight=math.sqrt(2.0))
+    return SensorNetwork(g, positions=positions, normalize=False)
+
+
+def ring_network(n: int) -> SensorNetwork:
+    """A cycle of ``n`` sensors with unit edges (§1.3's hard case for trees)."""
+    if n < 3:
+        raise ValueError("ring needs at least 3 nodes")
+    g = nx.cycle_graph(n)
+    for _, _, d in g.edges(data=True):
+        d["weight"] = 1.0
+    positions = {
+        i: (math.cos(2 * math.pi * i / n), math.sin(2 * math.pi * i / n))
+        for i in range(n)
+    }
+    return SensorNetwork(g, positions=positions, normalize=False)
+
+
+def line_network(n: int) -> SensorNetwork:
+    """A path of ``n`` sensors with unit edges."""
+    if n < 1:
+        raise ValueError("line needs at least 1 node")
+    g = nx.path_graph(n)
+    for _, _, d in g.edges(data=True):
+        d["weight"] = 1.0
+    positions = {i: (float(i), 0.0) for i in range(n)}
+    return SensorNetwork(g, positions=positions, normalize=False)
+
+
+def star_network(n: int) -> SensorNetwork:
+    """A star: node 0 is the hub, nodes ``1..n-1`` are leaves (unit edges)."""
+    if n < 2:
+        raise ValueError("star needs at least 2 nodes")
+    g = nx.star_graph(n - 1)
+    for _, _, d in g.edges(data=True):
+        d["weight"] = 1.0
+    positions = {0: (0.0, 0.0)}
+    for i in range(1, n):
+        a = 2 * math.pi * i / (n - 1)
+        positions[i] = (math.cos(a), math.sin(a))
+    return SensorNetwork(g, positions=positions, normalize=False)
+
+
+def random_geometric_network(
+    n: int,
+    radius: float | None = None,
+    seed: int = 0,
+    side: float = 1.0,
+) -> SensorNetwork:
+    """A connected unit-disk sensor deployment.
+
+    ``n`` sensors are placed uniformly at random in a ``side × side``
+    square; sensors within ``radius`` are adjacent, edge weight =
+    Euclidean distance. If ``radius`` is None a radius slightly above
+    the connectivity threshold ``sqrt(log n / (pi n))`` is chosen.
+    The generator retries with a 10% larger radius (up to 20 times)
+    until the graph is connected, so the result is always a valid
+    :class:`SensorNetwork`.
+    """
+    if n < 2:
+        raise ValueError("need at least 2 sensors")
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, 2)) * side
+    if radius is None:
+        radius = side * math.sqrt(2.0 * math.log(max(n, 3)) / (math.pi * n))
+    for _ in range(20):
+        g = nx.Graph()
+        g.add_nodes_from(range(n))
+        # vectorized pairwise distances
+        diff = pts[:, None, :] - pts[None, :, :]
+        dmat = np.sqrt((diff**2).sum(axis=2))
+        ii, jj = np.nonzero((dmat <= radius) & (dmat > 0))
+        for i, j in zip(ii.tolist(), jj.tolist()):
+            if i < j:
+                g.add_edge(i, j, weight=float(dmat[i, j]))
+        if g.number_of_edges() > 0 and nx.is_connected(g):
+            positions = {i: (float(pts[i, 0]), float(pts[i, 1])) for i in range(n)}
+            return SensorNetwork(g, positions=positions, normalize=True)
+        radius *= 1.1
+    raise RuntimeError("could not generate a connected geometric network")
+
+
+def erdos_renyi_network(n: int, p: float | None = None, seed: int = 0) -> SensorNetwork:
+    """A connected Erdős–Rényi graph with random weights in ``[1, 4]``.
+
+    Used as the "general network" model of §6. ``p`` defaults to
+    ``2 ln n / n`` (above the connectivity threshold); the generator
+    reseeds until connected.
+    """
+    if n < 2:
+        raise ValueError("need at least 2 nodes")
+    if p is None:
+        p = min(1.0, 2.0 * math.log(max(n, 3)) / n)
+    for attempt in range(50):
+        g = nx.gnp_random_graph(n, p, seed=seed + attempt)
+        if g.number_of_edges() > 0 and nx.is_connected(g):
+            rng = np.random.default_rng(seed + attempt)
+            for _, _, d in g.edges(data=True):
+                d["weight"] = float(1.0 + 3.0 * rng.random())
+            positions = _spring_positions(g, seed)
+            return SensorNetwork(g, positions=positions, normalize=True)
+        p = min(1.0, p * 1.2)
+    raise RuntimeError("could not generate a connected Erdős–Rényi graph")
+
+
+def random_tree_network(n: int, seed: int = 0) -> SensorNetwork:
+    """A uniformly random labelled tree with random weights in ``[1, 4]``."""
+    if n < 1:
+        raise ValueError("need at least 1 node")
+    if n == 1:
+        g = nx.Graph()
+        g.add_node(0)
+        return SensorNetwork(g, positions={0: (0.0, 0.0)}, normalize=False)
+    g = nx.random_labeled_tree(n, seed=seed)
+    rng = np.random.default_rng(seed)
+    for _, _, d in g.edges(data=True):
+        d["weight"] = float(1.0 + 3.0 * rng.random())
+    positions = _spring_positions(g, seed)
+    return SensorNetwork(g, positions=positions, normalize=True)
+
+
+def _spring_positions(g: nx.Graph, seed: int) -> dict[int, tuple[float, float]]:
+    pos = nx.spring_layout(g, seed=seed)
+    return {v: (float(x), float(y)) for v, (x, y) in pos.items()}
+
+
+def paper_grid_sizes() -> list[tuple[int, int]]:
+    """Grid dimensions spanning the paper's "10 to 1024 nodes" sweep (§8).
+
+    Returns (rows, cols) pairs whose products are approximately
+    10, 25, 64, 144, 256, 484, 1024.
+    """
+    return [(2, 5), (5, 5), (8, 8), (12, 12), (16, 16), (22, 22), (32, 32)]

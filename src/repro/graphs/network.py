@@ -1,0 +1,285 @@
+"""Weighted sensor-network model (paper §2.1).
+
+A :class:`SensorNetwork` wraps a connected, weighted, undirected
+:class:`networkx.Graph` and exposes the primitives every tracking
+algorithm in this package relies on:
+
+- shortest-path distances ``dist_G(u, v)`` (cached all-pairs matrix
+  computed with :func:`scipy.sparse.csgraph.dijkstra`),
+- the network diameter ``D``,
+- ``k``-neighborhoods (all nodes within distance ``k``),
+- deterministic integer indexing of nodes (node identifiers are sorted
+  once; positional access is by :meth:`SensorNetwork.node_at`).
+
+Edge weights are *distances* between adjacent sensors, not detection
+rates (the paper is explicit about this distinction). Following §2.1 the
+weights are normalized so the shortest edge has length 1; all cost-ratio
+bounds are then independent of the deployment's physical scale.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Sequence
+
+import networkx as nx
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import dijkstra
+
+Node = Hashable
+
+__all__ = ["SensorNetwork", "Node"]
+
+
+class SensorNetwork:
+    """A static sensor network ``G = (V, E, w)``.
+
+    Parameters
+    ----------
+    graph:
+        Connected undirected graph. Edge attribute ``weight`` holds the
+        inter-sensor distance; missing weights default to 1.0.
+    positions:
+        Optional mapping node -> (x, y) used by geometric constructions
+        (Z-DAT zones) and plotting. Generators in
+        :mod:`repro.graphs.generators` always provide positions.
+    normalize:
+        If true (default), rescale all weights so the minimum edge
+        weight is exactly 1 (paper §2.1).
+    distance_mode:
+        ``"full"`` precomputes the all-pairs matrix (O(n²) memory,
+        fastest repeated queries); ``"lazy"`` computes single-source
+        rows on demand and caches them (scales to tens of thousands of
+        sensors); ``"auto"`` (default) picks ``full`` up to
+        :data:`LAZY_THRESHOLD` nodes. Components that genuinely need
+        the whole matrix (doubling-dimension estimation, sparse covers)
+        require ``full`` mode and say so.
+
+    Raises
+    ------
+    ValueError
+        If the graph is empty, disconnected, or has a non-positive
+        edge weight.
+    """
+
+    #: "auto" switches from the precomputed matrix to lazy rows here
+    LAZY_THRESHOLD = 2048
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        positions: dict[Node, tuple[float, float]] | None = None,
+        normalize: bool = True,
+        distance_mode: str = "auto",
+    ) -> None:
+        if distance_mode not in ("auto", "full", "lazy"):
+            raise ValueError(f"unknown distance_mode {distance_mode!r}")
+        if graph.number_of_nodes() == 0:
+            raise ValueError("sensor network must have at least one node")
+        if not nx.is_connected(graph):
+            raise ValueError("sensor network must be connected (paper §2.1)")
+
+        self._graph = graph.copy()
+        for u, v, data in self._graph.edges(data=True):
+            w = float(data.get("weight", 1.0))
+            if w <= 0:
+                raise ValueError(f"edge ({u!r}, {v!r}) has non-positive weight {w}")
+            data["weight"] = w
+
+        if normalize and self._graph.number_of_edges() > 0:
+            min_w = min(d["weight"] for _, _, d in self._graph.edges(data=True))
+            if min_w != 1.0:
+                for _, _, d in self._graph.edges(data=True):
+                    d["weight"] = d["weight"] / min_w
+
+        # Deterministic node ordering: sort by (type name, repr) so mixed
+        # id types (rare) still order stably, plain ints/strs sort naturally.
+        try:
+            self._nodes: list[Node] = sorted(self._graph.nodes())
+        except TypeError:
+            self._nodes = sorted(self._graph.nodes(), key=repr)
+        self._index: dict[Node, int] = {v: i for i, v in enumerate(self._nodes)}
+
+        self._positions = dict(positions) if positions else None
+        if distance_mode == "auto":
+            distance_mode = "full" if len(self._nodes) <= self.LAZY_THRESHOLD else "lazy"
+        self._distance_mode = distance_mode
+        self._dist: np.ndarray | None = None
+        self._rows: dict[int, np.ndarray] = {}
+        self._adj_csr: csr_matrix | None = None
+        self._diameter: float | None = None
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> nx.Graph:
+        """The underlying (normalized) networkx graph."""
+        return self._graph
+
+    @property
+    def n(self) -> int:
+        """Number of sensor nodes ``n = |V|``."""
+        return len(self._nodes)
+
+    @property
+    def nodes(self) -> Sequence[Node]:
+        """All node identifiers in deterministic (sorted) order."""
+        return tuple(self._nodes)
+
+    def node_at(self, index: int) -> Node:
+        """Node identifier at deterministic position ``index``."""
+        return self._nodes[index]
+
+    def index_of(self, node: Node) -> int:
+        """Deterministic integer index of ``node`` (inverse of :meth:`node_at`)."""
+        try:
+            return self._index[node]
+        except KeyError:
+            raise KeyError(f"{node!r} is not a node of this network") from None
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._index
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes)
+
+    def neighbors(self, node: Node) -> list[Node]:
+        """Adjacent sensors of ``node`` (an object can move directly between them)."""
+        return sorted(self._graph.neighbors(node), key=self.index_of)
+
+    def degree(self, node: Node) -> int:
+        """Number of adjacent sensors."""
+        return self._graph.degree(node)
+
+    def edge_weight(self, u: Node, v: Node) -> float:
+        """Weight (distance) of edge ``(u, v)``."""
+        return float(self._graph[u][v]["weight"])
+
+    def position(self, node: Node) -> tuple[float, float]:
+        """Geographic position of ``node``.
+
+        Raises :class:`KeyError` when the network carries no positions.
+        """
+        if self._positions is None:
+            raise KeyError("this network has no position information")
+        return self._positions[node]
+
+    @property
+    def has_positions(self) -> bool:
+        """Whether geographic positions are available for all nodes."""
+        return self._positions is not None
+
+    # ------------------------------------------------------------------
+    # distances
+    # ------------------------------------------------------------------
+    @property
+    def distance_mode(self) -> str:
+        """``"full"`` (precomputed matrix) or ``"lazy"`` (rows on demand)."""
+        return self._distance_mode
+
+    def _adjacency(self) -> csr_matrix:
+        if self._adj_csr is None:
+            n = self.n
+            rows: list[int] = []
+            cols: list[int] = []
+            vals: list[float] = []
+            for u, v, data in self._graph.edges(data=True):
+                i, j = self._index[u], self._index[v]
+                rows.extend((i, j))
+                cols.extend((j, i))
+                vals.extend((data["weight"], data["weight"]))
+            self._adj_csr = csr_matrix((vals, (rows, cols)), shape=(n, n))
+        return self._adj_csr
+
+    def _ensure_distances(self) -> np.ndarray:
+        if self._dist is None:
+            self._dist = dijkstra(self._adjacency(), directed=False)
+        return self._dist
+
+    @property
+    def distance_matrix(self) -> np.ndarray:
+        """All-pairs shortest-path distance matrix, indexed like :meth:`node_at`.
+
+        Computed lazily once; O(n^2) memory. Unavailable in lazy
+        distance mode — callers that need the whole matrix (doubling
+        estimation, sparse covers) must construct the network with
+        ``distance_mode="full"``.
+        """
+        if self._distance_mode == "lazy":
+            raise RuntimeError(
+                "distance_matrix is unavailable in lazy distance mode; "
+                'construct the SensorNetwork with distance_mode="full"'
+            )
+        return self._ensure_distances()
+
+    def distance(self, u: Node, v: Node) -> float:
+        """Shortest-path distance ``dist_G(u, v)``."""
+        return float(self.distances_from(u)[self._index[v]])
+
+    def distances_from(self, u: Node) -> np.ndarray:
+        """Vector of shortest-path distances from ``u`` to every node (by index).
+
+        In lazy mode, rows are computed by single-source Dijkstra on
+        first use and cached, so memory grows with the set of sources
+        actually touched rather than n².
+        """
+        i = self._index[u]
+        if self._distance_mode == "full" or self._dist is not None:
+            return self._ensure_distances()[i]
+        row = self._rows.get(i)
+        if row is None:
+            row = dijkstra(self._adjacency(), directed=False, indices=i)
+            self._rows[i] = row
+        return row
+
+    @property
+    def diameter(self) -> float:
+        """Maximum shortest-path distance over all node pairs (``D``, §2.1).
+
+        In lazy mode the exact diameter would need all-pairs work, so a
+        standard double-sweep (2-approximation, exact on trees and very
+        tight on grids/disks) is used instead.
+        """
+        if self._diameter is None:
+            if self._distance_mode == "full":
+                self._diameter = float(self._ensure_distances().max())
+            else:
+                row0 = self.distances_from(self._nodes[0])
+                far = self._nodes[int(np.argmax(row0))]
+                self._diameter = float(self.distances_from(far).max())
+        return self._diameter
+
+    def shortest_path(self, u: Node, v: Node) -> list[Node]:
+        """One shortest path from ``u`` to ``v`` as a list of nodes."""
+        return nx.shortest_path(self._graph, u, v, weight="weight")
+
+    def k_neighborhood(self, node: Node, k: float) -> list[Node]:
+        """All nodes within distance ``k`` of ``node``, including ``node`` (§2.1)."""
+        dists = self.distances_from(node)
+        hits = np.nonzero(dists <= k)[0]
+        return [self._nodes[i] for i in hits]
+
+    def closest(self, node: Node, candidates: Iterable[Node]) -> Node:
+        """Candidate closest to ``node``; ties broken by node index (paper:
+        "breaking ties arbitrarily" — we pick deterministically)."""
+        dists = self.distances_from(node)
+        best: Node | None = None
+        best_key: tuple[float, int] | None = None
+        for c in candidates:
+            key = (float(dists[self._index[c]]), self._index[c])
+            if best_key is None or key < best_key:
+                best, best_key = c, key
+        if best is None:
+            raise ValueError("candidates must be non-empty")
+        return best
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SensorNetwork(n={self.n}, m={self._graph.number_of_edges()}, "
+            f"positions={self._positions is not None})"
+        )

@@ -1,0 +1,27 @@
+"""Hierarchical overlay structures (paper §2.2 and §6).
+
+- :mod:`repro.hierarchy.mis` — Luby's randomized maximal independent set.
+- :mod:`repro.hierarchy.levels` — the sequence of connectivity graphs
+  ``I_0 .. I_h`` whose node sets are iterated MISes.
+- :mod:`repro.hierarchy.structure` — the overlay ``HS``: default parents,
+  parent sets, special parents and detection paths for constant-doubling
+  networks.
+- :mod:`repro.hierarchy.sparse_cover` — Awerbuch–Peleg sparse covers.
+- :mod:`repro.hierarchy.general` — the ``(O(log n), O(log n))``-partition
+  hierarchy for general networks.
+"""
+
+from repro.hierarchy.mis import luby_mis
+from repro.hierarchy.levels import build_levels
+from repro.hierarchy.structure import Hierarchy, build_hierarchy
+from repro.hierarchy.sparse_cover import sparse_cover
+from repro.hierarchy.general import build_general_hierarchy
+
+__all__ = [
+    "luby_mis",
+    "build_levels",
+    "Hierarchy",
+    "build_hierarchy",
+    "sparse_cover",
+    "build_general_hierarchy",
+]

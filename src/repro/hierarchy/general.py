@@ -1,0 +1,137 @@
+"""The general-network overlay hierarchy (paper §6).
+
+Built from per-level Awerbuch–Peleg sparse covers at scales
+``2^0, 2^1, ...``: the level-ℓ "parents" of a sensor ``x`` are the
+leaders of every level-ℓ cluster that contains ``x``, visited by
+detection messages in increasing cluster-label order (the general-graph
+analogue of the ID order on parent sets). The top level is the first
+scale whose cover is a single cluster; its leader is the root.
+
+This class exposes the same interface as the constant-doubling
+:class:`~repro.hierarchy.structure.Hierarchy` (via
+:class:`~repro.hierarchy.structure.BaseHierarchy`), so
+:class:`repro.core.mot.MOTTracker` runs on general networks unchanged —
+only the cost guarantees weaken to the §6 polylog bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.graphs.network import SensorNetwork
+from repro.hierarchy.sparse_cover import Cluster, sparse_cover
+from repro.hierarchy.structure import BaseHierarchy, HNode
+
+Node = Hashable
+
+__all__ = ["GeneralHierarchy", "build_general_hierarchy"]
+
+
+class GeneralHierarchy(BaseHierarchy):
+    """Sparse-partition hierarchy for general networks (§6)."""
+
+    def __init__(
+        self,
+        net: SensorNetwork,
+        covers: list[list[Cluster]],
+        special_parent_gap: int = 2,
+    ) -> None:
+        if special_parent_gap < 1:
+            raise ValueError("special_parent_gap must be >= 1")
+        if len(covers[-1]) != 1:
+            raise ValueError("top level must be a single cluster")
+        self.net = net
+        self.covers = covers
+        self.special_parent_gap = special_parent_gap
+        self._dpath_cache = {}
+
+        # membership index: node -> per level -> ordered leader tuple
+        self._leaders: list[dict[Node, tuple[Node, ...]]] = []
+        for cover in covers:
+            table: dict[Node, list[tuple[int, Node]]] = {v: [] for v in net.nodes}
+            for cluster in cover:
+                for v in cluster.members:
+                    table[v].append((cluster.label, cluster.leader))
+            level_map: dict[Node, tuple[Node, ...]] = {}
+            for v, pairs in table.items():
+                pairs.sort()  # cluster-label order (§6 visit order)
+                # deduplicate leaders while preserving label order
+                seen: set[Node] = set()
+                ordered: list[Node] = []
+                for _, leader in pairs:
+                    if leader not in seen:
+                        seen.add(leader)
+                        ordered.append(leader)
+                level_map[v] = tuple(ordered)
+            self._leaders.append(level_map)
+
+    @property
+    def h(self) -> int:
+        """Top (root) level index."""
+        return len(self.covers)  # level 0 is the sensors themselves
+
+    @property
+    def root(self) -> HNode:
+        """The single top-level leader role."""
+        return HNode(self.h, self.covers[-1][0].leader)
+
+    def parent_set_of(self, x: Node, level: int) -> tuple[Node, ...]:
+        """Leaders of the level-``level`` clusters containing ``x``.
+
+        Level 0 is ``(x,)`` (each sensor is its own bottom cluster);
+        level ℓ ≥ 1 reads the scale-``2^(ℓ-1)`` cover, so nodes at
+        distance ≤ ``2^(ℓ-1)`` share a cluster — and hence a leader — at
+        level ℓ (Lemma 6.1's meeting property).
+        """
+        if level == 0:
+            return (x,)
+        return self._leaders[level - 1][x]
+
+    def max_cluster_membership(self) -> int:
+        """Maximum number of clusters any node belongs to at any level.
+
+        The §6 construction promises ``O(log n)``; tests check this.
+        """
+        worst = 0
+        for cover in self.covers:
+            counts: dict[Node, int] = {}
+            for cluster in cover:
+                for v in cluster.members:
+                    counts[v] = counts.get(v, 0) + 1
+            worst = max(worst, max(counts.values()))
+        return worst
+
+    def load_roles(self) -> dict[Node, int]:
+        """Number of leader roles each physical sensor plays across levels."""
+        roles: dict[Node, int] = {v: 1 for v in self.net.nodes}  # level-0 self role
+        for cover in self.covers:
+            for cluster in cover:
+                roles[cluster.leader] += 1
+        return roles
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        sizes = [len(c) for c in self.covers]
+        return f"GeneralHierarchy(h={self.h}, cover_sizes={sizes})"
+
+
+def build_general_hierarchy(
+    net: SensorNetwork,
+    seed: int = 0,
+    special_parent_gap: int = 2,
+) -> GeneralHierarchy:
+    """Build the §6 hierarchy: one sparse cover per scale ``2^ℓ``.
+
+    Stops at the first scale whose cover is a single cluster (always
+    reached once ``2^ℓ ≥ D``); that cluster's leader is the root.
+    """
+    covers: list[list[Cluster]] = []
+    ell = 0
+    while True:
+        cover = sparse_cover(net, radius=float(2**ell), seed=seed + ell)
+        covers.append(cover)
+        if len(cover) == 1:
+            break
+        ell += 1
+        if ell > 64:  # pragma: no cover - defensive
+            raise RuntimeError("general hierarchy failed to converge")
+    return GeneralHierarchy(net, covers, special_parent_gap=special_parent_gap)

@@ -1,0 +1,6 @@
+"""Metrics: cost-ratio aggregation and load-distribution statistics (§8)."""
+
+from repro.metrics.ratios import RatioStats, summarize_ratios
+from repro.metrics.load import LoadStats
+
+__all__ = ["RatioStats", "summarize_ratios", "LoadStats"]

@@ -1,0 +1,44 @@
+"""Cost-ratio aggregation across experiment repetitions.
+
+The paper plots 5-run averages of the aggregate cost ratio
+``C(E)/C*(E)`` per network size. :class:`RatioStats` carries the
+average plus dispersion so benches can report error bars and tests can
+assert stability.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["RatioStats", "summarize_ratios"]
+
+
+@dataclass(frozen=True)
+class RatioStats:
+    """Mean/min/max/std of a cost ratio over repetitions."""
+
+    mean: float
+    std: float
+    min: float
+    max: float
+    reps: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.2f} ± {self.std:.2f} (n={self.reps})"
+
+
+def summarize_ratios(values: Sequence[float] | Iterable[float]) -> RatioStats:
+    """Summary statistics of per-repetition ratios.
+
+    Raises :class:`ValueError` on an empty input — a silent default
+    would mask a misconfigured experiment.
+    """
+    vals = list(values)
+    if not vals:
+        raise ValueError("cannot summarize an empty ratio list")
+    n = len(vals)
+    mean = sum(vals) / n
+    var = sum((v - mean) ** 2 for v in vals) / n
+    return RatioStats(mean=mean, std=math.sqrt(var), min=min(vals), max=max(vals), reps=n)

@@ -1,0 +1,34 @@
+"""Discrete-event simulation substrate for concurrent executions (§4.1.2, §8).
+
+- :mod:`repro.sim.engine` — the event loop (unit-speed messages: a hop
+  of graph distance ``d`` takes ``d`` time units).
+- :mod:`repro.sim.mobility` — object mobility models (adjacent random
+  walk, waypoint) and trajectory generation.
+- :mod:`repro.sim.workload` — operation schedules and traffic profiles.
+- :mod:`repro.sim.concurrent` — the message-level tracking protocol
+  (sequence-numbered inserts/deletes, tombstone forwarding, queries
+  that wait for delete messages at stale proxies).
+- :mod:`repro.sim.concurrent_mot` / :mod:`repro.sim.concurrent_tree` —
+  adapters running MOT's hierarchy and the baselines' trees through
+  that protocol.
+"""
+
+from repro.sim.engine import Engine
+from repro.sim.mobility import random_walk_trajectories, waypoint_trajectories
+from repro.sim.workload import Workload, make_workload
+from repro.sim.concurrent import ConcurrentTracker
+from repro.sim.concurrent_mot import ConcurrentMOT
+from repro.sim.concurrent_balanced import ConcurrentBalancedMOT
+from repro.sim.concurrent_tree import ConcurrentTreeTracker
+
+__all__ = [
+    "Engine",
+    "random_walk_trajectories",
+    "waypoint_trajectories",
+    "Workload",
+    "make_workload",
+    "ConcurrentTracker",
+    "ConcurrentMOT",
+    "ConcurrentBalancedMOT",
+    "ConcurrentTreeTracker",
+]

@@ -1,0 +1,79 @@
+"""Concurrent load-balanced MOT (§5 under concurrency).
+
+The concurrent analogue of
+:class:`~repro.core.mot_balanced.BalancedMOTTracker`: every DL touch a
+message makes at an internal role additionally pays the de Bruijn route
+from the role's sensor to the hashed cluster member holding the entry —
+Corollary 5.2's ``O(log n)`` cost factor, now measured in the
+message-level simulator. The protocol itself is unchanged; only the
+per-station probe cost differs.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.debruijn.embedding import ClusterEmbedding
+from repro.hierarchy.structure import BaseHierarchy, HNode
+from repro.sim.concurrent_mot import ConcurrentMOT
+from repro.sim.engine import Engine
+from repro.sim.periods import PeriodSchedule
+
+Node = Hashable
+ObjectId = Hashable
+
+__all__ = ["ConcurrentBalancedMOT"]
+
+class ConcurrentBalancedMOT(ConcurrentMOT):
+    """Concurrent executor of MOT with §5 cluster-hashed storage costs."""
+
+    def __init__(
+        self,
+        hierarchy: BaseHierarchy,
+        engine: Engine | None = None,
+        use_special_parents: bool = True,
+        periods: PeriodSchedule | bool | None = None,
+    ) -> None:
+        super().__init__(
+            hierarchy,
+            engine=engine,
+            use_special_parents=use_special_parents,
+            periods=periods,
+        )
+        self._embeddings: dict[HNode, ClusterEmbedding] = {}
+        self._obj_key: dict[ObjectId, int] = {}
+        self._next_key = 1  # paper: key(o_i) ∈ [1 … m]
+        self.probe_cost = self._balanced_probe
+
+    # ------------------------------------------------------------------
+    def cluster_embedding(self, hnode: HNode) -> ClusterEmbedding:
+        """The de Bruijn overlay of ``hnode``'s cluster (cached)."""
+        emb = self._embeddings.get(hnode)
+        if emb is None:
+            members = self.net.k_neighborhood(hnode.node, float(2**hnode.level))
+            emb = ClusterEmbedding(self.net, members)
+            self._embeddings[hnode] = emb
+        return emb
+
+    def object_key(self, obj: ObjectId) -> int:
+        """The object's integer hash key (assigned at publish)."""
+        try:
+            return self._obj_key[obj]
+        except KeyError:
+            raise KeyError(f"object {obj!r} was never published") from None
+
+    def publish(self, obj: ObjectId, proxy: Node) -> None:
+        """Publish; assigns the object's integer hash key (paper §5)."""
+        if obj not in self._obj_key:
+            self._obj_key[obj] = self._next_key
+            self._next_key += 1
+        super().publish(obj, proxy)
+
+    def _balanced_probe(self, station: HNode, obj: ObjectId) -> float:
+        if station.level == 0:
+            return 0.0
+        emb = self.cluster_embedding(station)
+        host = emb.members[self.object_key(obj) % emb.size]
+        if host == station.node:
+            return 0.0
+        return emb.route_cost(station.node, host)

@@ -1,0 +1,44 @@
+"""Concurrent execution of the tree baselines (STUN / DAT / Z-DAT; §8).
+
+Runs the generic :class:`~repro.sim.concurrent.ConcurrentTracker`
+protocol over a :class:`~repro.baselines.tree.TrackingTree`: the climb
+path of a sensor is its tree root path (the sensor itself is its own
+bottom station), and ``query_shortcuts`` selects the "Z-DAT with
+shortcuts" behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.baselines.tree import TrackingTree
+from repro.sim.concurrent import ConcurrentTracker
+from repro.sim.engine import Engine
+
+Node = Hashable
+
+__all__ = ["ConcurrentTreeTracker"]
+
+
+class ConcurrentTreeTracker(ConcurrentTracker):
+    """Concurrent executor over a message-pruning tree."""
+
+    def __init__(
+        self,
+        tree: TrackingTree,
+        query_shortcuts: bool = False,
+        engine: Engine | None = None,
+    ) -> None:
+        self.tree = tree
+
+        def climb_path(sensor: Node) -> list[Node]:
+            return tree.path_to_root(sensor)
+
+        super().__init__(
+            net=tree.net,
+            climb_path=climb_path,
+            physical=lambda station: station,
+            special_parent=None,
+            query_shortcuts=query_shortcuts,
+            engine=engine,
+        )

@@ -1,0 +1,65 @@
+"""A minimal discrete-event engine.
+
+The concurrent analysis of §4.1.2 assumes a synchronous network where
+"a time unit is of duration a message requires to reach a destination
+node that is unit distance far": message latency equals graph distance.
+The engine below is a plain priority-queue event loop; protocol code
+schedules each message hop with ``delay = dist_G(from, to)``.
+
+Events firing at equal times run in schedule order (a monotone
+sequence number breaks ties), so simulations are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+__all__ = ["Engine"]
+
+
+class Engine:
+    """Deterministic discrete-event loop."""
+
+    def __init__(self) -> None:
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self.now: float = 0.0
+        self.events_processed: int = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` ``delay`` time units from now (``delay ≥ 0``)."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        heapq.heappush(self._queue, (self.now + delay, self._seq, callback))
+        self._seq += 1
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute ``time`` (≥ now)."""
+        self.schedule(time - self.now, callback)
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled events not yet executed."""
+        return len(self._queue)
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Drain the queue (optionally stopping at time ``until``).
+
+        ``max_events`` is a runaway-protocol guard; exceeding it raises
+        :class:`RuntimeError` rather than looping forever.
+        """
+        processed = 0
+        while self._queue:
+            t, _, cb = self._queue[0]
+            if until is not None and t > until:
+                break
+            heapq.heappop(self._queue)
+            self.now = t
+            cb()
+            self.events_processed += 1
+            processed += 1
+            if max_events is not None and processed > max_events:
+                raise RuntimeError(f"exceeded {max_events} events; protocol livelock?")
+        if until is not None and self.now < until:
+            self.now = until

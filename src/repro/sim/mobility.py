@@ -1,0 +1,174 @@
+"""Object mobility models (paper §2.1, §8).
+
+The paper's model: objects move between *adjacent* sensors (edges of
+``G`` are exactly the adjacencies an object can cross directly), and
+the distance travelled per unit time is bounded. Two standard models
+generate the per-object proxy trajectories used by the workloads:
+
+- **random walk** — each move steps to a uniformly random neighbor
+  (the paper's "1000 maintenance operations per object in random
+  order" workload);
+- **waypoint** — the object draws a random destination sensor and walks
+  a shortest path to it, hop by hop, then draws a new destination.
+  Produces directional, locality-heavy traffic — the regime
+  traffic-conscious trees were designed for;
+- **hotspot** — waypoint movement biased toward a few attractor sensors
+  (water holes, road junctions, gateways): most legs end near a hotspot,
+  so detection rates concentrate on few adjacencies. The most favourable
+  regime for traffic-conscious baselines, used by the
+  workload-sensitivity ablation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable
+
+from repro.graphs.network import SensorNetwork
+
+Node = Hashable
+
+__all__ = [
+    "random_walk_trajectories",
+    "waypoint_trajectories",
+    "hotspot_trajectories",
+    "oscillation_trajectories",
+]
+
+
+def random_walk_trajectories(
+    net: SensorNetwork,
+    num_objects: int,
+    moves_per_object: int,
+    seed: int = 0,
+    object_prefix: str = "obj",
+) -> dict[str, list[Node]]:
+    """Per-object proxy trajectories under the adjacent random walk.
+
+    Returns ``{object id: [start, pos1, ..., pos_k]}`` with
+    ``k = moves_per_object`` — consecutive positions always adjacent in
+    ``G``. Starting sensors are uniform.
+    """
+    if num_objects < 1 or moves_per_object < 0:
+        raise ValueError("need >= 1 object and >= 0 moves")
+    rng = random.Random(seed)
+    out: dict[str, list[Node]] = {}
+    for i in range(num_objects):
+        cur = rng.choice(net.nodes)
+        path = [cur]
+        for _ in range(moves_per_object):
+            cur = rng.choice(net.neighbors(cur))
+            path.append(cur)
+        out[f"{object_prefix}{i}"] = path
+    return out
+
+
+def waypoint_trajectories(
+    net: SensorNetwork,
+    num_objects: int,
+    moves_per_object: int,
+    seed: int = 0,
+    object_prefix: str = "obj",
+) -> dict[str, list[Node]]:
+    """Per-object trajectories under the random-waypoint model.
+
+    Each object repeatedly draws a uniform destination and follows a
+    shortest path toward it one adjacency per move; exactly
+    ``moves_per_object`` moves are emitted per object.
+    """
+    if num_objects < 1 or moves_per_object < 0:
+        raise ValueError("need >= 1 object and >= 0 moves")
+    rng = random.Random(seed)
+    out: dict[str, list[Node]] = {}
+    for i in range(num_objects):
+        cur = rng.choice(net.nodes)
+        path = [cur]
+        leg: list[Node] = []
+        while len(path) - 1 < moves_per_object:
+            if not leg:
+                target = rng.choice(net.nodes)
+                if target == cur:
+                    continue
+                leg = net.shortest_path(cur, target)[1:]
+            cur = leg.pop(0)
+            path.append(cur)
+        out[f"{object_prefix}{i}"] = path
+    return out
+
+
+def hotspot_trajectories(
+    net: SensorNetwork,
+    num_objects: int,
+    moves_per_object: int,
+    seed: int = 0,
+    object_prefix: str = "obj",
+    num_hotspots: int = 3,
+    attraction: float = 0.8,
+) -> dict[str, list[Node]]:
+    """Per-object trajectories under hotspot-biased waypoint movement.
+
+    ``num_hotspots`` attractor sensors are drawn once; each leg targets
+    a sensor within distance 2 of a random hotspot with probability
+    ``attraction`` and a uniform sensor otherwise. Movement between
+    targets follows shortest paths one adjacency per move.
+    """
+    if num_objects < 1 or moves_per_object < 0:
+        raise ValueError("need >= 1 object and >= 0 moves")
+    if num_hotspots < 1:
+        raise ValueError("need >= 1 hotspot")
+    if not (0.0 <= attraction <= 1.0):
+        raise ValueError("attraction must be in [0, 1]")
+    rng = random.Random(seed)
+    hotspots = rng.sample(list(net.nodes), k=min(num_hotspots, net.n))
+    out: dict[str, list[Node]] = {}
+    for i in range(num_objects):
+        cur = rng.choice(net.nodes)
+        path = [cur]
+        leg: list[Node] = []
+        while len(path) - 1 < moves_per_object:
+            if not leg:
+                if rng.random() < attraction:
+                    around = net.k_neighborhood(rng.choice(hotspots), 2.0)
+                    target = rng.choice(around)
+                else:
+                    target = rng.choice(net.nodes)
+                if target == cur:
+                    continue
+                leg = net.shortest_path(cur, target)[1:]
+            cur = leg.pop(0)
+            path.append(cur)
+        out[f"{object_prefix}{i}"] = path
+    return out
+
+
+def oscillation_trajectories(
+    net: SensorNetwork,
+    num_objects: int,
+    moves_per_object: int,
+    seed: int = 0,
+    object_prefix: str = "obj",
+    edge: tuple[Node, Node] | None = None,
+) -> dict[str, list[Node]]:
+    """Adversarial trajectories: every object oscillates across one edge.
+
+    The §1.3 worst case for spanning-tree trackers — if the chosen edge
+    is the tree's cut edge, every move pays the detour. ``edge``
+    defaults to a random adjacency; all objects share it (a chokepoint:
+    a bridge, a mountain pass).
+    """
+    if num_objects < 1 or moves_per_object < 0:
+        raise ValueError("need >= 1 object and >= 0 moves")
+    rng = random.Random(seed)
+    if edge is None:
+        edge = tuple(sorted(rng.choice(list(net.graph.edges())), key=net.index_of))
+    u, v = edge
+    if not net.graph.has_edge(u, v):
+        raise ValueError(f"({u!r}, {v!r}) is not an adjacency of this network")
+    out: dict[str, list[Node]] = {}
+    for i in range(num_objects):
+        first, second = (u, v) if i % 2 == 0 else (v, u)
+        path = [first]
+        for k in range(moves_per_object):
+            path.append(second if k % 2 == 0 else first)
+        out[f"{object_prefix}{i}"] = path
+    return out

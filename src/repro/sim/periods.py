@@ -1,0 +1,76 @@
+"""Period-synchronized forwarding (paper §4.1.2).
+
+The paper's concurrent analysis divides time into per-level periods of
+duration ``Φ(i) ∝ 2^i`` (proportional to the level-``i`` detection-path
+length): a *round* is one root-level period, containing ``2^(h-k)``
+periods of level ``k``; an operation processed at level ``k`` during a
+period is forwarded to the adjacent level only when that period
+expires — "when an operation is processed and ready to be forwarded
+before the current period expires, the operation waits until the period
+expires". The paper notes this serialization "does not affect the lower
+bound analysis ... and increases the upper bound cost by only a
+constant factor"; it is the mechanism that rules out the insert/delete
+races §3.1 describes.
+
+:class:`PeriodSchedule` computes the aligned release times; the
+concurrent trackers accept one (``ConcurrentMOT(..., periods=...)``) and
+defer every maintenance hop to its boundary. Waiting is free — costs
+are message distances (§1.1) — so the schedule changes *latency*, while
+cost ratios change only by the constant factor the paper predicts;
+``benchmarks/test_periods.py`` measures both.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["PeriodSchedule"]
+
+
+@dataclass(frozen=True)
+class PeriodSchedule:
+    """The §4.1.2 period structure ``Φ(i) = base · 2^i``.
+
+    ``base`` plays the role of the ``2^(3ρ+6)`` proportionality constant
+    (the level-0 period length); it must be positive. ``top_level``
+    bounds the round length ``Φ(h)``.
+    """
+
+    base: float = 4.0
+    top_level: int = 16
+
+    def __post_init__(self) -> None:
+        if self.base <= 0:
+            raise ValueError("period base must be positive")
+        if self.top_level < 0:
+            raise ValueError("top_level must be non-negative")
+
+    def phi(self, level: int) -> float:
+        """Period duration ``Φ(level)`` (levels past the top use ``Φ(h)``)."""
+        if level < 0:
+            raise ValueError("level must be non-negative")
+        return self.base * (2.0 ** min(level, self.top_level))
+
+    def round_length(self) -> float:
+        """One root-level period — the paper's *round*."""
+        return self.phi(self.top_level)
+
+    def periods_per_round(self, level: int) -> int:
+        """``2^(h-k)`` periods of level ``k`` fit in a round."""
+        return int(round(self.round_length() / self.phi(level)))
+
+    def next_boundary(self, level: int, time: float) -> float:
+        """Earliest level-``level`` period boundary at or after ``time``.
+
+        Boundaries are the multiples of ``Φ(level)`` starting at 0 (the
+        paper starts all periods at time 0 and renews each immediately).
+        """
+        phi = self.phi(level)
+        k = math.ceil(time / phi - 1e-12)
+        return max(0.0, k * phi)
+
+    def defer(self, level: int, arrival: float) -> float:
+        """Release time for a message arriving at ``arrival``: the end of
+        the period it lands in (equal to the next boundary)."""
+        return self.next_boundary(level, arrival)

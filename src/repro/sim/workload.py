@@ -1,0 +1,127 @@
+"""Workloads: interleaved operation schedules (paper §8).
+
+A :class:`Workload` bundles everything one experiment repetition needs:
+
+- per-object start proxies,
+- the **move sequence** — per-object trajectories interleaved in random
+  order (per-object order preserved, as move ``i+1`` of an object can
+  only happen after move ``i``),
+- a **query set** drawn from uniformly random (source sensor, object)
+  pairs,
+- the exact :class:`~repro.baselines.traffic.TrafficProfile` of the
+  move sequence, handed to the traffic-conscious baselines (the best
+  possible traffic knowledge; see DESIGN.md "Substitutions").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Hashable, Literal
+
+from repro.baselines.traffic import TrafficProfile
+from repro.graphs.network import SensorNetwork
+from repro.sim.mobility import (
+    hotspot_trajectories,
+    oscillation_trajectories,
+    random_walk_trajectories,
+    waypoint_trajectories,
+)
+
+Node = Hashable
+
+__all__ = ["MoveOp", "QueryOp", "Workload", "make_workload"]
+
+
+@dataclass(frozen=True)
+class MoveOp:
+    """One maintenance operation: object ``obj`` moved ``old → new``.
+
+    ``seq`` is the per-object move index (1-based), which doubles as
+    the concurrency-control sequence number in concurrent executions.
+    """
+
+    obj: str
+    old: Node
+    new: Node
+    seq: int
+
+
+@dataclass(frozen=True)
+class QueryOp:
+    """One query: ``source`` asks for ``obj``."""
+
+    obj: str
+    source: Node
+
+
+@dataclass
+class Workload:
+    """A reproducible experiment workload."""
+
+    net: SensorNetwork
+    starts: dict[str, Node]
+    moves: list[MoveOp]
+    queries: list[QueryOp]
+    traffic: TrafficProfile = field(repr=False, default_factory=TrafficProfile)
+
+    @property
+    def objects(self) -> list[str]:
+        """All object identifiers of this workload."""
+        return list(self.starts)
+
+    def moves_of(self, obj: str) -> list[MoveOp]:
+        """The object's moves in its own (trajectory) order."""
+        return [m for m in self.moves if m.obj == obj]
+
+
+def make_workload(
+    net: SensorNetwork,
+    num_objects: int,
+    moves_per_object: int,
+    num_queries: int = 0,
+    seed: int = 0,
+    mobility: Literal["random_walk", "waypoint", "hotspot", "oscillation"] = "random_walk",
+) -> Workload:
+    """Generate the §8 workload shape.
+
+    Trajectories come from the chosen mobility model; the global move
+    order interleaves objects uniformly at random while preserving each
+    object's own order (shuffle of object tokens). Queries pair uniform
+    sources with uniform objects. The traffic profile counts the exact
+    adjacency crossings of the move sequence.
+    """
+    rng = random.Random(seed ^ 0x5EED)
+    if mobility == "random_walk":
+        trajectories = random_walk_trajectories(net, num_objects, moves_per_object, seed)
+    elif mobility == "waypoint":
+        trajectories = waypoint_trajectories(net, num_objects, moves_per_object, seed)
+    elif mobility == "hotspot":
+        trajectories = hotspot_trajectories(net, num_objects, moves_per_object, seed)
+    elif mobility == "oscillation":
+        trajectories = oscillation_trajectories(net, num_objects, moves_per_object, seed)
+    else:
+        raise ValueError(f"unknown mobility model {mobility!r}")
+
+    starts = {obj: path[0] for obj, path in trajectories.items()}
+
+    # interleave: shuffle a token list with moves_per_object copies of
+    # each object, then emit each object's next move at its tokens
+    tokens = [obj for obj in trajectories for _ in range(moves_per_object)]
+    rng.shuffle(tokens)
+    cursor = {obj: 0 for obj in trajectories}
+    moves: list[MoveOp] = []
+    for obj in tokens:
+        i = cursor[obj]
+        path = trajectories[obj]
+        moves.append(MoveOp(obj=obj, old=path[i], new=path[i + 1], seq=i + 1))
+        cursor[obj] = i + 1
+
+    objects = list(trajectories)
+    queries = [
+        QueryOp(obj=rng.choice(objects), source=rng.choice(net.nodes))
+        for _ in range(num_queries)
+    ]
+
+    traffic = TrafficProfile.from_moves(net, [(m.old, m.new) for m in moves])
+    return Workload(net=net, starts=starts, moves=moves, queries=queries, traffic=traffic)

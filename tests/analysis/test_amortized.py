@@ -1,0 +1,98 @@
+"""Tests for the executable §4.1 analysis."""
+
+import random
+
+import pytest
+
+from repro.analysis.amortized import LevelProfile, analyze_maintenance
+from repro.core.mot import MOTConfig, MOTTracker
+from repro.core.operations import MoveResult
+from repro.graphs.generators import grid_network
+from repro.sim.workload import make_workload
+
+
+def _mv(obj, peak, cost, optimal):
+    return MoveResult(obj=obj, old_proxy=0, new_proxy=1, cost=cost,
+                      up_cost=cost, down_cost=0.0, peak_level=peak,
+                      optimal_cost=optimal)
+
+
+class TestLevelProfile:
+    def test_reach_counts_cumulative(self):
+        p = LevelProfile(obj="o", operations=3, total_cost=10.0,
+                         total_optimal=4.0, peak_counts={1: 2, 3: 1})
+        assert p.reach_count(1) == 3  # all ops reach level 1
+        assert p.reach_count(2) == 1
+        assert p.reach_count(3) == 1
+        assert p.reach_count(4) == 0
+        assert p.max_peak == 3
+
+    def test_lemma42_shape(self):
+        p = LevelProfile(obj="o", operations=2, total_cost=0.0,
+                         total_optimal=0.0, peak_counts={2: 2})
+        # s_1 = 2, s_2 = 2 -> 2*2 + 2*4 = 12
+        assert p.lemma42_upper_bound(1.0) == pytest.approx(12.0)
+        assert p.lemma42_upper_bound(3.0) == pytest.approx(36.0)
+
+    def test_lemma43_floor(self):
+        p = LevelProfile(obj="o", operations=2, total_cost=0.0,
+                         total_optimal=0.0, peak_counts={1: 5, 4: 1})
+        # max(6*1, 1*2, 1*4, 1*8) = 8
+        assert p.lemma43_lower_bound() == pytest.approx(8.0)
+
+
+class TestAnalyze:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="no maintenance"):
+            analyze_maintenance([])
+
+    def test_all_noops_rejected(self):
+        with pytest.raises(ValueError, match="no-ops"):
+            analyze_maintenance([_mv("o", 0, 0.0, 0.0)])
+
+    def test_constant_covers_measured_cost(self):
+        res = [_mv("o", 1, 6.0, 1.0), _mv("o", 2, 10.0, 3.0)]
+        a = analyze_maintenance(res)
+        p = a.profiles[0]
+        assert p.total_cost <= a.lemma42_constant * p.lemma42_upper_bound(1.0) + 1e-9
+
+    def test_objects_partitioned(self):
+        res = [_mv("a", 1, 2.0, 1.0), _mv("b", 2, 8.0, 2.0)]
+        a = analyze_maintenance(res)
+        assert a.objects == 2
+        assert a.cost_ratio == pytest.approx(10.0 / 3.0)
+
+
+class TestOnRealExecutions:
+    @pytest.mark.parametrize("use_ps", [False, True])
+    def test_mot_execution_fits_theory(self, use_ps):
+        """A real MOT run sits inside the §4 envelopes: the fitted Lemma
+        4.2 constant is bounded, and with parent sets Lemma 4.3's
+        optimal-cost floor holds."""
+        net = grid_network(10, 10)
+        wl = make_workload(net, num_objects=8, moves_per_object=120, seed=3)
+        tracker = MOTTracker.build(net, MOTConfig(use_parent_sets=use_ps), seed=1)
+        results = []
+        for o, s in wl.starts.items():
+            tracker.publish(o, s)
+        for m in wl.moves:
+            results.append(tracker.move(m.obj, m.new))
+        analysis = analyze_maintenance(results, levels=tracker.hs.h)
+        # Lemma 4.2's constant is 2^(3rho+7) in the proof; measured
+        # executions need far less
+        assert analysis.lemma42_constant <= 2.0**9
+        # Theorem 4.4 shape: measured ratio within the O(h) envelope
+        assert analysis.cost_ratio <= analysis.theorem44_envelope
+        if use_ps:
+            # meeting property: peak k implies distance >= 2^(k-1)
+            assert analysis.lemma43_holds
+
+    def test_peaks_track_move_distance(self):
+        """Longer moves peak higher: peak level grows ~ log distance."""
+        net = grid_network(12, 12)
+        tracker = MOTTracker.build(net, MOTConfig(use_parent_sets=True), seed=1)
+        tracker.publish("o", 0)
+        short = tracker.move("o", 1)
+        tracker.move("o", 0)
+        long = tracker.move("o", 143)
+        assert long.peak_level >= short.peak_level

@@ -1,0 +1,83 @@
+"""Tests for DAT (Lin et al. [21])."""
+
+import random
+
+import pytest
+
+from repro.baselines.dat import DATTracker, build_dat_tree, network_medoid
+from repro.baselines.traffic import TrafficProfile
+from repro.graphs.generators import grid_network, line_network
+from repro.sim.workload import make_workload
+
+NET = grid_network(6, 6)
+
+
+class TestMedoid:
+    def test_grid_medoid_central(self):
+        m = network_medoid(NET)
+        # 6x6 grid: one of the four central cells
+        assert m in (14, 15, 20, 21)
+
+    def test_line_medoid_middle(self):
+        assert network_medoid(line_network(9)) == 4
+
+
+class TestConstruction:
+    def test_valid_tree_rooted_at_sink(self):
+        wl = make_workload(NET, 6, 50, seed=1)
+        tree = build_dat_tree(NET, wl.traffic, sink=0)
+        assert tree.root == 0
+        assert set(tree.parent) == set(NET.nodes)
+
+    def test_default_sink_is_medoid(self):
+        wl = make_workload(NET, 6, 50, seed=1)
+        tree = build_dat_tree(NET, wl.traffic)
+        assert tree.root == network_medoid(NET)
+
+    def test_unknown_sink_rejected(self):
+        with pytest.raises(KeyError):
+            build_dat_tree(NET, TrafficProfile(), sink=99)
+
+    def test_max_rate_edges_in_tree(self):
+        """The highest-rate adjacency is always a tree edge (Kruskal on
+        decreasing rates accepts it first)."""
+        traffic = TrafficProfile()
+        for _ in range(10):
+            traffic.record_crossing(7, 8)
+        tree = build_dat_tree(NET, traffic)
+        assert tree.parent[7] == 8 or tree.parent[8] == 7
+
+    def test_tree_edges_are_graph_edges(self):
+        """Kruskal over adjacencies: every parent link is a physical edge."""
+        wl = make_workload(NET, 6, 50, seed=2)
+        tree = build_dat_tree(NET, wl.traffic)
+        for v, p in tree.parent.items():
+            if p is not None:
+                assert NET.graph.has_edge(v, p)
+
+
+class TestTracking:
+    def test_end_to_end_consistency(self):
+        wl = make_workload(NET, 6, 60, seed=4)
+        tr = DATTracker(NET, wl.traffic)
+        pos = dict(wl.starts)
+        for o, s in wl.starts.items():
+            tr.publish(o, s)
+        for m in wl.moves:
+            tr.move(m.obj, m.new)
+            pos[m.obj] = m.new
+        rnd = random.Random(0)
+        for _ in range(40):
+            o = rnd.choice(list(pos))
+            assert tr.query(o, rnd.choice(NET.nodes)).proxy == pos[o]
+
+    def test_spanning_tree_keeps_costs_moderate_on_grids(self):
+        """DAT uses only physical edges, so grid maintenance ratios stay
+        below the star/stretch blowups of arbitrary logical trees."""
+        wl = make_workload(NET, 10, 100, seed=6)
+        tr = DATTracker(NET, wl.traffic)
+        for o, s in wl.starts.items():
+            tr.publish(o, s)
+        for m in wl.moves:
+            tr.move(m.obj, m.new)
+        assert tr.ledger.maintenance_cost_ratio < 20.0

@@ -1,0 +1,47 @@
+"""Tests for the optimal-cost reference (§1.1)."""
+
+import pytest
+
+from repro.baselines.optimal import (
+    optimal_move_cost,
+    optimal_query_cost,
+    optimal_total_maintenance,
+)
+from repro.graphs.generators import grid_network
+
+NET = grid_network(4, 4)
+
+
+def test_move_cost_is_distance():
+    assert optimal_move_cost(NET, 0, 15) == NET.distance(0, 15)
+
+
+def test_query_cost_is_distance():
+    assert optimal_query_cost(NET, 3, 12) == NET.distance(3, 12)
+
+
+def test_total_maintenance_sums():
+    moves = [(0, 1), (1, 5), (5, 5)]
+    assert optimal_total_maintenance(NET, moves) == pytest.approx(2.0)
+
+
+def test_every_tracker_pays_at_least_optimal():
+    """Cross-check: MOT and all baselines respect the lower bound."""
+    from repro.baselines.stun import STUNTracker
+    from repro.baselines.zdat import ZDATTracker
+    from repro.core.mot import MOTTracker
+    from repro.sim.workload import make_workload
+
+    wl = make_workload(NET, 4, 40, seed=3)
+    trackers = [
+        MOTTracker.build(NET, seed=1),
+        STUNTracker(NET, wl.traffic),
+        ZDATTracker(NET, wl.traffic),
+    ]
+    for tr in trackers:
+        for o, s in wl.starts.items():
+            tr.publish(o, s)
+        for m in wl.moves:
+            res = tr.move(m.obj, m.new)
+            assert res.cost >= res.optimal_cost - 1e-9
+        assert tr.ledger.maintenance_cost_ratio >= 1.0

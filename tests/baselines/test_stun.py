@@ -1,0 +1,92 @@
+"""Tests for STUN / Drain-And-Balance (Kung & Vlah [18])."""
+
+import random
+
+import pytest
+
+from repro.baselines.stun import STUNTracker, build_dab_tree
+from repro.baselines.traffic import TrafficProfile
+from repro.graphs.generators import grid_network, ring_network
+from repro.sim.workload import make_workload
+
+NET = grid_network(6, 6)
+
+
+def _profile(seed=0, moves=400):
+    wl = make_workload(NET, num_objects=8, moves_per_object=moves // 8, seed=seed)
+    return wl, wl.traffic
+
+
+class TestDABConstruction:
+    def test_builds_valid_tree(self):
+        _, traffic = _profile()
+        tree = build_dab_tree(NET, traffic)
+        assert tree.root in NET
+        assert set(tree.parent) == set(NET.nodes)
+
+    def test_zero_traffic_still_single_tree(self):
+        tree = build_dab_tree(NET, TrafficProfile())
+        assert sum(1 for p in tree.parent.values() if p is None) == 1
+
+    def test_deterministic(self):
+        _, traffic = _profile(seed=3)
+        a = build_dab_tree(NET, traffic)
+        b = build_dab_tree(NET, traffic)
+        assert a.parent == b.parent
+
+    def test_threshold_cap_respected(self):
+        _, traffic = _profile(seed=1)
+        # both extremes build valid trees
+        for cap in (1, 4, 32):
+            tree = build_dab_tree(NET, traffic, max_thresholds=cap)
+            assert set(tree.parent) == set(NET.nodes)
+
+    def test_high_rate_regions_merge_deep(self):
+        """Adjacencies crossed often should sit deeper than never-crossed
+        ones (the drain principle)."""
+        traffic = TrafficProfile()
+        for _ in range(50):
+            traffic.record_crossing(0, 1)
+        traffic.record_crossing(34, 35)
+        tree = build_dab_tree(NET, traffic)
+        # 0 and 1 are connected within the first (highest) threshold pass:
+        # their tree relationship is direct parent/child
+        assert tree.parent[0] == 1 or tree.parent[1] == 0
+
+
+class TestSTUNTracker:
+    def test_end_to_end_consistency(self):
+        wl, traffic = _profile(seed=5)
+        tr = STUNTracker(NET, traffic)
+        for o, s in wl.starts.items():
+            tr.publish(o, s)
+        pos = dict(wl.starts)
+        for m in wl.moves:
+            tr.move(m.obj, m.new)
+            pos[m.obj] = m.new
+        rnd = random.Random(1)
+        for _ in range(50):
+            o = rnd.choice(list(pos))
+            assert tr.query(o, rnd.choice(NET.nodes)).proxy == pos[o]
+
+    def test_no_load_balancing(self):
+        """§1.3: the DAB root stores all m objects."""
+        wl, traffic = _profile(seed=5)
+        tr = STUNTracker(NET, traffic)
+        for o, s in wl.starts.items():
+            tr.publish(o, s)
+        load = tr.load_per_node()
+        assert load[tr.tree.root] == len(wl.starts)
+
+    def test_ring_cost_degrades(self):
+        """§1.3: spanning-tree trackers pay Θ(D) ratios on rings —
+        moving across the tree's 'cut' edge costs the long way round."""
+        ring = ring_network(32)
+        wl = make_workload(ring, num_objects=4, moves_per_object=100, seed=2)
+        tr = STUNTracker(ring, wl.traffic)
+        for o, s in wl.starts.items():
+            tr.publish(o, s)
+        for m in wl.moves:
+            tr.move(m.obj, m.new)
+        # every move is distance 1; the tree detour makes the ratio large
+        assert tr.ledger.maintenance_cost_ratio > 3.0

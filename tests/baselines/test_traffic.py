@@ -1,0 +1,62 @@
+"""Tests for detection-rate traffic profiles (§1.3)."""
+
+import pytest
+
+from repro.baselines.traffic import TrafficProfile
+from repro.graphs.generators import grid_network
+
+NET = grid_network(4, 4)
+
+
+class TestRecording:
+    def test_rate_symmetric(self):
+        p = TrafficProfile()
+        p.record_crossing(0, 1)
+        assert p.rate(0, 1) == 1.0
+        assert p.rate(1, 0) == 1.0
+
+    def test_self_crossing_ignored(self):
+        p = TrafficProfile()
+        p.record_crossing(3, 3)
+        assert p.rate(3, 3) == 0.0
+
+    def test_unknown_edge_zero(self):
+        assert TrafficProfile().rate(0, 5) == 0.0
+
+    def test_weighted_crossings(self):
+        p = TrafficProfile()
+        p.record_crossing(0, 1, weight=2.5)
+        assert p.rate(0, 1) == 2.5
+
+
+class TestFromMoves:
+    def test_adjacent_moves_counted_once(self):
+        p = TrafficProfile.from_moves(NET, [(0, 1), (1, 0), (0, 1)])
+        assert p.rate(0, 1) == 3.0
+
+    def test_long_moves_expanded_along_path(self):
+        p = TrafficProfile.from_moves(NET, [(0, 2)])  # path 0-1-2
+        assert p.rate(0, 1) == 1.0
+        assert p.rate(1, 2) == 1.0
+
+    def test_stationary_moves_ignored(self):
+        p = TrafficProfile.from_moves(NET, [(5, 5)])
+        assert not p.counts
+
+
+class TestSchedules:
+    def test_edges_by_rate_sorted_desc(self):
+        p = TrafficProfile.from_moves(NET, [(0, 1), (0, 1), (1, 2)])
+        ranked = p.edges_by_rate(NET)
+        rates = [r for r, _, _ in ranked]
+        assert rates == sorted(rates, reverse=True)
+        assert len(ranked) == NET.graph.number_of_edges()
+
+    def test_distinct_rates(self):
+        p = TrafficProfile.from_moves(NET, [(0, 1), (0, 1), (1, 2)])
+        assert p.distinct_rates() == [2.0, 1.0]
+
+    def test_uniform_profile(self):
+        p = TrafficProfile.uniform(NET, rate=3.0)
+        for u, v in NET.graph.edges():
+            assert p.rate(u, v) == 3.0

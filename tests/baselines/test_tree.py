@@ -1,0 +1,135 @@
+"""Tests for the shared message-pruning tree tracker (§1.3)."""
+
+import random
+
+import pytest
+
+from repro.baselines.tree import TrackingTree, TreeTracker
+from repro.graphs.generators import grid_network, line_network
+
+NET = grid_network(4, 4)
+
+
+def _star_parent(root=0):
+    return {v: (None if v == root else root) for v in NET.nodes}
+
+
+def _chain_parent(net):
+    nodes = list(net.nodes)
+    parent = {nodes[0]: None}
+    for a, b in zip(nodes, nodes[1:]):
+        parent[b] = a
+    return parent
+
+
+class TestTrackingTree:
+    def test_star_tree_valid(self):
+        t = TrackingTree(NET, _star_parent())
+        assert t.root == 0
+        assert t.max_depth() == 1
+        assert len(t.children[0]) == NET.n - 1
+
+    def test_rejects_two_roots(self):
+        p = _star_parent()
+        p[5] = None
+        with pytest.raises(ValueError, match="exactly one root"):
+            TrackingTree(NET, p)
+
+    def test_rejects_cycle(self):
+        p = _star_parent()
+        p[1], p[2] = 2, 1
+        with pytest.raises(ValueError, match="cycle"):
+            TrackingTree(NET, p)
+
+    def test_rejects_partial_cover(self):
+        p = _star_parent()
+        del p[5]
+        with pytest.raises(ValueError, match="cover exactly"):
+            TrackingTree(NET, p)
+
+    def test_edge_cost_is_graph_distance(self):
+        t = TrackingTree(NET, _star_parent())
+        assert t.edge_cost(15) == NET.distance(15, 0)
+        assert t.edge_cost(0) == 0.0
+
+    def test_lca_on_chain(self):
+        net = line_network(6)
+        t = TrackingTree(net, _chain_parent(net))
+        assert t.lca(5, 3) == 3
+        assert t.lca(2, 4) == 2
+
+    def test_path_cost_and_to_root(self):
+        net = line_network(5)
+        t = TrackingTree(net, _chain_parent(net))
+        assert t.path_to_root(4) == [4, 3, 2, 1, 0]
+        assert t.path_cost(4, 1) == 3.0
+        with pytest.raises(ValueError, match="not an ancestor"):
+            t.path_cost(1, 4)
+
+
+class TestTreeTracker:
+    @pytest.fixture()
+    def tracker(self):
+        return TreeTracker(TrackingTree(NET, _star_parent()))
+
+    def test_publish_climbs_to_root(self, tracker):
+        res = tracker.publish("o", 15)
+        assert "o" in tracker.detection_list(0)
+        assert "o" in tracker.detection_list(15)
+        assert res.cost == NET.distance(15, 0)
+
+    def test_double_publish_rejected(self, tracker):
+        tracker.publish("o", 15)
+        with pytest.raises(ValueError):
+            tracker.publish("o", 14)
+
+    def test_move_via_lca(self, tracker):
+        tracker.publish("o", 15)
+        res = tracker.move("o", 14)
+        # star: LCA is the root, up 14->0, down 0->15
+        assert res.cost == pytest.approx(NET.distance(14, 0) + NET.distance(15, 0))
+        assert tracker.proxy_of("o") == 14
+        assert "o" not in tracker.detection_list(15)
+
+    def test_move_same_proxy_free(self, tracker):
+        tracker.publish("o", 3)
+        assert tracker.move("o", 3).cost == 0.0
+
+    def test_query_up_and_down(self, tracker):
+        tracker.publish("o", 15)
+        res = tracker.query("o", 12)
+        assert res.proxy == 15
+        assert res.cost == pytest.approx(NET.distance(12, 0) + NET.distance(0, 15))
+
+    def test_query_from_ancestor(self, tracker):
+        tracker.publish("o", 15)
+        res = tracker.query("o", 0)  # root already holds o
+        assert res.cost == pytest.approx(NET.distance(0, 15))
+
+    def test_query_shortcut_jumps_directly(self):
+        t = TrackingTree(NET, _star_parent())
+        plain = TreeTracker(t)
+        short = TreeTracker(t2 := TrackingTree(NET, _star_parent()), query_shortcuts=True)
+        for tr in (plain, short):
+            tr.publish("o", 15)
+        pc = plain.query("o", 12).cost
+        sc = short.query("o", 12).cost
+        assert sc <= pc
+
+    def test_load_root_holds_all_objects(self, tracker):
+        for i in range(7):
+            tracker.publish(f"o{i}", i + 1)
+        load = tracker.load_per_node()
+        assert load[0] == 7  # the §1.3 critique: root stores O(m)
+
+    def test_random_walk_consistency(self, tracker):
+        rnd = random.Random(3)
+        tracker.publish("o", 0)
+        cur = 0
+        for _ in range(100):
+            cur = rnd.choice(NET.neighbors(cur))
+            tracker.move("o", cur)
+            assert tracker.query("o", rnd.choice(NET.nodes)).proxy == cur
+            # DL consistency: exactly the ancestors of the proxy hold o
+            holders = {v for v in NET.nodes if "o" in tracker.detection_list(v)}
+            assert holders == set(tracker.tree.path_to_root(cur))

@@ -1,0 +1,75 @@
+"""Property-based tests for the message-pruning tree tracker.
+
+Invariant under arbitrary move/query scripts on arbitrary (generated)
+spanning hierarchies: the set of nodes holding an object in their DL is
+exactly the tree path from its proxy to the root, queries always locate
+the true proxy paying at least the optimal cost, and the root holds
+every published object.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.tree import TrackingTree, TreeTracker
+from repro.graphs.generators import grid_network
+
+NET = grid_network(4, 4)
+
+
+@st.composite
+def random_parent_maps(draw):
+    """A random spanning hierarchy: node i attaches to a lower-indexed node."""
+    nodes = list(NET.nodes)
+    parent = {nodes[0]: None}
+    for i, v in enumerate(nodes[1:], start=1):
+        parent[v] = nodes[draw(st.integers(0, i - 1))]
+    return parent
+
+
+@st.composite
+def tree_scripts(draw):
+    parent = draw(random_parent_maps())
+    ops = []
+    num_objects = draw(st.integers(1, 3))
+    for i in range(num_objects):
+        ops.append(("publish", i, draw(st.integers(0, NET.n - 1))))
+    for _ in range(draw(st.integers(1, 30))):
+        ops.append(
+            (
+                draw(st.sampled_from(["move", "query"])),
+                draw(st.integers(0, num_objects - 1)),
+                draw(st.integers(0, NET.n - 1)),
+            )
+        )
+    return parent, ops
+
+
+@settings(max_examples=50, deadline=None)
+@given(script=tree_scripts(), shortcuts=st.booleans())
+def test_tree_tracker_invariants(script, shortcuts):
+    parent, ops = script
+    tree = TrackingTree(NET, parent)
+    tracker = TreeTracker(tree, query_shortcuts=shortcuts)
+    pos: dict[int, int] = {}
+    for kind, obj, node_idx in ops:
+        node = NET.node_at(node_idx)
+        if kind == "publish":
+            if obj in pos:
+                continue
+            tracker.publish(obj, node)
+            pos[obj] = node
+        elif kind == "move" and obj in pos:
+            res = tracker.move(obj, node)
+            assert res.cost >= res.optimal_cost - 1e-9
+            pos[obj] = node
+        elif kind == "query" and obj in pos:
+            res = tracker.query(obj, node)
+            assert res.proxy == pos[obj]
+            assert res.cost >= res.optimal_cost - 1e-9
+        # DL invariant: holders of each object = proxy-to-root path
+        for o, p in pos.items():
+            holders = {v for v in NET.nodes if o in tracker.detection_list(v)}
+            assert holders == set(tree.path_to_root(p))
+        assert all(o in tracker.detection_list(tree.root) for o in pos)

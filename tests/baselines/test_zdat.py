@@ -1,0 +1,85 @@
+"""Tests for Z-DAT and Z-DAT with shortcuts (Lin et al. [21], Liu et al. [23])."""
+
+import random
+
+import pytest
+
+from repro.baselines.traffic import TrafficProfile
+from repro.baselines.zdat import ZDATTracker, build_zdat_tree
+from repro.graphs.generators import grid_network
+from repro.graphs.network import SensorNetwork
+from repro.sim.workload import make_workload
+
+NET = grid_network(6, 6)
+
+
+class TestConstruction:
+    def test_valid_tree(self):
+        wl = make_workload(NET, 6, 50, seed=1)
+        tree = build_zdat_tree(NET, wl.traffic)
+        assert set(tree.parent) == set(NET.nodes)
+        assert sum(1 for p in tree.parent.values() if p is None) == 1
+
+    def test_requires_positions(self):
+        import networkx as nx
+
+        net = SensorNetwork(nx.path_graph(4))
+        with pytest.raises(ValueError, match="positions"):
+            build_zdat_tree(net, TrafficProfile())
+
+    def test_zone_capacity_validated(self):
+        with pytest.raises(ValueError, match="zone_capacity"):
+            build_zdat_tree(NET, TrafficProfile(), zone_capacity=0)
+
+    @pytest.mark.parametrize("capacity", [1, 2, 4, 9, 100])
+    def test_various_zone_capacities(self, capacity):
+        wl = make_workload(NET, 6, 50, seed=1)
+        tree = build_zdat_tree(NET, wl.traffic, zone_capacity=capacity)
+        assert set(tree.parent) == set(NET.nodes)
+
+    def test_geographic_locality(self):
+        """Zone trees keep tree paths local: parent hops never span the
+        whole deployment (unlike DAB's arbitrary logical edges)."""
+        wl = make_workload(NET, 6, 50, seed=1)
+        tree = build_zdat_tree(NET, wl.traffic)
+        for v, p in tree.parent.items():
+            if p is not None and tree.depth[v] > 1:
+                assert NET.distance(v, p) <= NET.diameter / 2 + 1
+
+
+class TestTracking:
+    def test_end_to_end_consistency(self):
+        wl = make_workload(NET, 6, 60, seed=4)
+        tr = ZDATTracker(NET, wl.traffic)
+        pos = dict(wl.starts)
+        for o, s in wl.starts.items():
+            tr.publish(o, s)
+        for m in wl.moves:
+            tr.move(m.obj, m.new)
+            pos[m.obj] = m.new
+        rnd = random.Random(0)
+        for _ in range(40):
+            o = rnd.choice(list(pos))
+            assert tr.query(o, rnd.choice(NET.nodes)).proxy == pos[o]
+
+    def test_shortcuts_never_worse_on_queries(self):
+        wl = make_workload(NET, 8, 80, num_queries=60, seed=9)
+        plain = ZDATTracker(NET, wl.traffic)
+        short = ZDATTracker(NET, wl.traffic, shortcuts=True)
+        for tr in (plain, short):
+            for o, s in wl.starts.items():
+                tr.publish(o, s)
+            for m in wl.moves:
+                tr.move(m.obj, m.new)
+            for q in wl.queries:
+                tr.query(q.obj, q.source)
+        assert short.ledger.query_cost <= plain.ledger.query_cost + 1e-9
+        # maintenance identical: shortcuts only change queries
+        assert short.ledger.maintenance_cost == pytest.approx(plain.ledger.maintenance_cost)
+
+    def test_no_load_balancing_at_root(self):
+        wl = make_workload(NET, 12, 10, seed=2)
+        tr = ZDATTracker(NET, wl.traffic)
+        for o, s in wl.starts.items():
+            tr.publish(o, s)
+        assert tr.load_per_node()[tr.tree.root] == 12

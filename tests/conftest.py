@@ -1,0 +1,54 @@
+"""Shared fixtures: small networks and hierarchies reused across suites.
+
+Networks and hierarchies are deterministic (fixed seeds) and cached at
+session scope — construction dominates test runtime otherwise.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.generators import (
+    grid_network,
+    line_network,
+    random_geometric_network,
+    ring_network,
+)
+from repro.hierarchy.structure import build_hierarchy
+
+
+@pytest.fixture(scope="session")
+def grid4():
+    return grid_network(4, 4)
+
+
+@pytest.fixture(scope="session")
+def grid8():
+    return grid_network(8, 8)
+
+
+@pytest.fixture(scope="session")
+def ring16():
+    return ring_network(16)
+
+
+@pytest.fixture(scope="session")
+def line10():
+    return line_network(10)
+
+
+@pytest.fixture(scope="session")
+def geo50():
+    return random_geometric_network(50, seed=4)
+
+
+@pytest.fixture(scope="session")
+def hs_grid8(grid8):
+    """Default (single-chain) hierarchy on the 8x8 grid."""
+    return build_hierarchy(grid8, seed=1)
+
+
+@pytest.fixture(scope="session")
+def hs_grid8_parentsets(grid8):
+    """Full parent-set hierarchy on the 8x8 grid (§3.1 variant)."""
+    return build_hierarchy(grid8, seed=1, use_parent_sets=True)

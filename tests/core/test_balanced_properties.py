@@ -1,0 +1,73 @@
+"""Property-based tests for the §5 load-balanced tracker.
+
+Under arbitrary operation scripts: tracking stays correct, routing
+costs only ever add to the plain tracker's costs, total load is
+conserved under hashing, and every entry's host really is the hashed
+cluster member.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.mot import MOTTracker
+from repro.core.mot_balanced import BalancedMOTTracker
+from repro.graphs.generators import grid_network
+from repro.hierarchy.structure import build_hierarchy
+
+NET = grid_network(4, 4)
+HS = build_hierarchy(NET, seed=1)
+
+
+@st.composite
+def scripts(draw):
+    num_objects = draw(st.integers(1, 3))
+    ops = [("publish", i, draw(st.integers(0, NET.n - 1))) for i in range(num_objects)]
+    for _ in range(draw(st.integers(1, 25))):
+        ops.append(
+            (
+                draw(st.sampled_from(["move", "query"])),
+                draw(st.integers(0, num_objects - 1)),
+                draw(st.integers(0, NET.n - 1)),
+            )
+        )
+    return ops
+
+
+def _run(tracker, ops):
+    pos = {}
+    for kind, obj, node_idx in ops:
+        node = NET.node_at(node_idx)
+        if kind == "publish":
+            if obj not in pos:
+                tracker.publish(obj, node)
+                pos[obj] = node
+        elif kind == "move" and obj in pos:
+            tracker.move(obj, node)
+            pos[obj] = node
+        elif kind == "query" and obj in pos:
+            res = tracker.query(obj, node)
+            assert res.proxy == pos[obj]
+    return pos
+
+
+@settings(max_examples=50, deadline=None)
+@given(ops=scripts())
+def test_balanced_matches_plain_tracking_and_conserves_load(ops):
+    plain = MOTTracker(HS)
+    balanced = BalancedMOTTracker(build_hierarchy(NET, seed=1))
+    pos_a = _run(plain, ops)
+    pos_b = _run(balanced, ops)
+    assert pos_a == pos_b
+    # routing never reduces cost
+    assert balanced.ledger.maintenance_cost >= plain.ledger.maintenance_cost - 1e-9
+    assert balanced.ledger.query_cost >= plain.ledger.query_cost - 1e-9
+    # hashing conserves the total number of stored entries
+    assert sum(balanced.load_per_node().values()) == sum(plain.load_per_node().values())
+    # every DL entry is hosted where the hash says
+    for hnode, objs in balanced._dl.items():
+        emb = balanced.cluster_embedding(hnode)
+        for obj in objs:
+            expected = emb.members[balanced.object_key(obj) % emb.size]
+            assert balanced.host_of(hnode, obj) == expected

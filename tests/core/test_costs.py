@@ -1,0 +1,55 @@
+"""Tests for the cost ledger (paper §1.1 / §4.1 aggregation)."""
+
+import pytest
+
+from repro.core.costs import CostLedger
+
+
+class TestLedger:
+    def test_empty_ratios_default_to_one(self):
+        ledger = CostLedger()
+        assert ledger.maintenance_cost_ratio == 1.0
+        assert ledger.query_cost_ratio == 1.0
+        assert ledger.max_maintenance_ratio == 1.0
+
+    def test_aggregate_ratio_is_sum_over_sum(self):
+        """§4.1: ratio = sum C(E_j) / sum C*(E_j), not mean of ratios."""
+        ledger = CostLedger()
+        ledger.record_maintenance(10.0, 1.0)  # ratio 10
+        ledger.record_maintenance(10.0, 10.0)  # ratio 1
+        assert ledger.maintenance_cost_ratio == pytest.approx(20.0 / 11.0)
+
+    def test_zero_optimal_excluded_from_per_op_ratios(self):
+        ledger = CostLedger()
+        ledger.record_maintenance(0.0, 0.0)
+        ledger.record_maintenance(6.0, 2.0)
+        assert ledger.max_maintenance_ratio == pytest.approx(3.0)
+        assert ledger.maintenance_ops == 2
+
+    def test_query_tracking(self):
+        ledger = CostLedger()
+        ledger.record_query(8.0, 4.0)
+        ledger.record_query(3.0, 3.0)
+        assert ledger.query_cost_ratio == pytest.approx(11.0 / 7.0)
+        assert ledger.max_query_ratio == pytest.approx(2.0)
+        assert ledger.query_ops == 2
+
+    def test_publish_accumulates(self):
+        ledger = CostLedger()
+        ledger.record_publish(5.0)
+        ledger.record_publish(7.0)
+        assert ledger.publish_cost == 12.0
+
+    def test_merge_combines_everything(self):
+        a = CostLedger()
+        a.record_maintenance(4.0, 2.0)
+        a.record_query(6.0, 3.0)
+        a.record_publish(1.0)
+        b = CostLedger()
+        b.record_maintenance(8.0, 2.0)
+        a.merge(b)
+        assert a.maintenance_cost == 12.0
+        assert a.maintenance_optimal == 4.0
+        assert a.maintenance_ops == 2
+        assert a.max_maintenance_ratio == pytest.approx(4.0)
+        assert a.publish_cost == 1.0

@@ -1,0 +1,103 @@
+"""Tests for §7 dynamics: cluster churn with amortized O(1) adaptability."""
+
+import random
+
+import pytest
+
+from repro.core.dynamics import (
+    ChurnEvent,
+    DynamicCluster,
+    RebuildPolicy,
+    amortized_adaptability,
+)
+from repro.graphs.generators import grid_network
+
+
+@pytest.fixture()
+def cluster(grid8):
+    members = grid8.k_neighborhood(27, 2.0)
+    return DynamicCluster(grid8, members, leader=27)
+
+
+class TestJoinLeave:
+    def test_join_adds_member(self, cluster, grid8):
+        before = cluster.size
+        outsider = next(v for v in grid8.nodes if v not in cluster.members)
+        ev = cluster.join(outsider)
+        assert cluster.size == before + 1
+        assert ev.kind == "join" and ev.updated_nodes >= 1
+
+    def test_join_duplicate_rejected(self, cluster):
+        with pytest.raises(ValueError, match="already a member"):
+            cluster.join(cluster.members[0])
+
+    def test_leave_removes_member(self, cluster):
+        victim = next(v for v in cluster.members if v != cluster.leader)
+        before = cluster.size
+        ev = cluster.leave(victim)
+        assert cluster.size == before - 1
+        assert not ev.leader_changed
+
+    def test_leader_leave_elects_closest(self, cluster, grid8):
+        old_leader = cluster.leader
+        others = [v for v in cluster.members if v != old_leader]
+        expected = grid8.closest(old_leader, others)
+        ev = cluster.leave(old_leader)
+        assert ev.leader_changed
+        assert cluster.leader == expected
+
+    def test_cannot_empty_cluster(self, grid8):
+        c = DynamicCluster(grid8, [0, 1], leader=0)
+        c.leave(1)
+        with pytest.raises(ValueError, match="last cluster member"):
+            c.leave(0)
+
+
+class TestAmortization:
+    def test_join_sequence_amortized_constant(self, grid8):
+        """§7: amortized O(1) updates per event over long join sequences."""
+        c = DynamicCluster(grid8, [0], leader=0)
+        for v in list(grid8.nodes)[1:]:
+            c.join(v)
+        # 63 joins over a 64-node grid: dimension changes at 2,4,8,16,32,64
+        assert c.amortized_updates() <= 8.0
+
+    def test_mixed_churn_amortized_constant(self, grid8):
+        rnd = random.Random(5)
+        members = list(grid8.nodes)[:16]
+        c = DynamicCluster(grid8, members, leader=members[0])
+        outside = [v for v in grid8.nodes if v not in members]
+        for _ in range(200):
+            if outside and (c.size <= 2 or rnd.random() < 0.5):
+                c.join(outside.pop())
+            else:
+                victims = [v for v in c.members if v != c.leader]
+                if not victims:
+                    continue
+                gone = rnd.choice(victims)
+                c.leave(gone)
+                outside.append(gone)
+        assert c.amortized_updates() <= 10.0
+
+    def test_amortized_adaptability_helper(self):
+        events = [
+            ChurnEvent("join", 1, 5, False),
+            ChurnEvent("leave", 1, 1, False),
+        ]
+        assert amortized_adaptability(events) == 3.0
+        assert amortized_adaptability([]) == 0.0
+
+
+class TestRebuildPolicy:
+    def test_rebuild_triggers_on_radius_growth(self, grid8):
+        policy = RebuildPolicy(nominal_radius=1.0, max_radius_growth=1.5)
+        c = DynamicCluster(grid8, grid8.k_neighborhood(27, 1.0), leader=27, policy=policy)
+        # joining a far node blows the radius past 1.5
+        c.join(0)
+        assert c.rebuilds >= 1
+
+    def test_no_rebuild_within_threshold(self, grid8):
+        policy = RebuildPolicy(nominal_radius=3.0, max_radius_growth=3.0)
+        c = DynamicCluster(grid8, grid8.k_neighborhood(27, 2.0), leader=27, policy=policy)
+        c.join(next(v for v in grid8.k_neighborhood(27, 3.0) if v not in c.members))
+        assert c.rebuilds == 0

@@ -1,0 +1,147 @@
+"""Tests for §7 fault-tolerant MOT (node departures/arrivals/rebuild)."""
+
+import random
+
+import pytest
+
+from repro.core.fault_tolerant import FaultTolerantMOT
+from repro.core.mot import MOTConfig
+from repro.graphs.generators import grid_network
+from repro.hierarchy.structure import HNode, build_hierarchy
+
+NET = grid_network(8, 8)
+
+
+@pytest.fixture()
+def tracker():
+    return FaultTolerantMOT(build_hierarchy(NET, seed=1))
+
+
+class TestDeparture:
+    def test_proxied_objects_rehomed(self, tracker):
+        tracker.publish("o", 27)
+        report = tracker.handle_departure(27)
+        assert "o" in report.objects_rehomed
+        new_proxy = tracker.proxy_of("o")
+        assert new_proxy != 27
+        assert NET.distance(27, new_proxy) == 1.0  # closest live sensor
+
+    def test_roles_transferred_with_entries(self, tracker):
+        tracker.publish("o", 0)
+        # find an internal node on the object's spine and kill its host
+        victim = next(hn.node for hn in tracker.spine("o") if hn.level >= 1)
+        report = tracker.handle_departure(victim)
+        assert report.roles_transferred >= 1
+        assert report.entries_transferred >= 1
+        assert report.transfer_cost > 0
+        assert tracker.churn_cost == pytest.approx(report.transfer_cost)
+
+    def test_tracking_correct_after_departures(self, tracker):
+        rnd = random.Random(5)
+        tracker.publish("o", 0)
+        cur = 0
+        departed = set()
+        for step in range(60):
+            live_neighbors = [v for v in NET.neighbors(cur) if v not in departed]
+            if not live_neighbors:
+                continue
+            cur = rnd.choice(live_neighbors)
+            tracker.move("o", cur)
+            if step % 10 == 5:
+                victims = [
+                    v for v in NET.nodes
+                    if v not in departed and v != cur and len(departed) < 20
+                ]
+                if victims:
+                    v = rnd.choice(victims)
+                    tracker.handle_departure(v)
+                    departed.add(v)
+                    cur = tracker.proxy_of("o")  # may have been rehomed
+            sources = [v for v in NET.nodes if v not in departed]
+            res = tracker.query("o", rnd.choice(sources))
+            assert res.proxy == tracker.proxy_of("o")
+
+    def test_departed_cannot_participate(self, tracker):
+        tracker.publish("o", 0)
+        tracker.handle_departure(10)
+        with pytest.raises(ValueError, match="departed"):
+            tracker.query("o", 10)
+        with pytest.raises(ValueError, match="departed"):
+            tracker.move("o", 10)
+        with pytest.raises(ValueError, match="departed"):
+            tracker.publish("p", 10)
+        with pytest.raises(ValueError, match="departed"):
+            tracker.handle_departure(10)
+
+    def test_adaptability_counted(self, tracker):
+        tracker.publish("o", 0)
+        report = tracker.handle_departure(33)
+        assert report.updated_nodes >= 1
+        assert tracker.departure_reports == [report]
+
+
+class TestArrival:
+    def test_rejoin_restores_eligibility(self, tracker):
+        tracker.publish("o", 0)
+        tracker.handle_departure(10)
+        report = tracker.handle_arrival(10)
+        assert report.updated_nodes == 1
+        tracker.move("o", 10)  # can proxy again
+        assert tracker.proxy_of("o") == 10
+
+    def test_arrival_validation(self, tracker):
+        with pytest.raises(ValueError, match="already live"):
+            tracker.handle_arrival(5)
+        with pytest.raises(KeyError):
+            tracker.handle_arrival("ghost")
+
+
+class TestRebuild:
+    def test_threshold_flags_rebuild(self):
+        tracker = FaultTolerantMOT(
+            build_hierarchy(NET, seed=1), rebuild_radius_factor=0.01
+        )
+        tracker.publish("o", 0)
+        victim = next(hn.node for hn in tracker.spine("o") if hn.level >= 1)
+        report = tracker.handle_departure(victim)
+        assert report.triggered_rebuild_flag
+        assert tracker.needs_rebuild
+
+    def test_rebuild_replays_state(self, tracker):
+        rnd = random.Random(7)
+        tracker.publish("a", 0)
+        tracker.publish("b", 63)
+        for v in (17, 18, 25):
+            tracker.handle_departure(v)
+        tracker.rebuild(seed=2)
+        assert tracker.rebuilds == 1
+        assert not tracker.needs_rebuild
+        assert tracker.net.n == 61  # live sensors only
+        # objects still tracked on the fresh hierarchy
+        assert tracker.query("a", 63).proxy == 0
+        assert tracker.query("b", 0).proxy == 63
+        # churn bookkeeping survived
+        assert len(tracker.departure_reports) == 3
+        assert tracker.churn_cost > 0
+
+    def test_rebuild_refuses_disconnected(self):
+        net = grid_network(3, 3)
+        tracker = FaultTolerantMOT(build_hierarchy(net, seed=1))
+        tracker.publish("o", 0)
+        # cutting the middle row+column disconnects corners
+        for v in (1, 3, 4):
+            tracker.handle_departure(v)
+        tracker.handle_departure(5)
+        with pytest.raises(RuntimeError, match="disconnected"):
+            tracker.rebuild()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rebuild_radius_factor"):
+            FaultTolerantMOT(build_hierarchy(NET, seed=1), rebuild_radius_factor=0)
+
+    def test_cannot_remove_last_sensor(self):
+        net = grid_network(1, 2)
+        tracker = FaultTolerantMOT(build_hierarchy(net, seed=1))
+        tracker.handle_departure(0)
+        with pytest.raises(RuntimeError, match="last live"):
+            tracker.handle_departure(1)

@@ -1,0 +1,107 @@
+"""Tests pinning down *when* detection-path fragmentation exists (§3, Fig. 2).
+
+A reproduction finding worth its own test file: with single
+default-parent chains (Algorithm 1 as written), ``home^(l+1)`` is a
+function of the level-l node alone, so any two detection paths that
+share a node coincide above it — the spine is always the current
+proxy's complete home chain, Fig. 2's fragmentation cannot occur, and
+special parents can never produce a query hit. Fragmentation — and
+with it the SDL mechanism — only materializes in the §3.1 full
+parent-set traversal, where the visit sequence above a meet depends on
+the source. See DESIGN.md.
+"""
+
+import random
+
+import pytest
+
+from repro.core.mot import MOTConfig, MOTTracker
+from repro.graphs.generators import grid_network
+from repro.hierarchy.structure import HNode
+
+NET = grid_network(8, 8)
+
+
+class TestSingleChainNoFragmentation:
+    def test_spine_is_always_the_full_home_chain(self):
+        """After any move sequence, the spine equals the proxy's home
+        chain — no fragments survive in single-chain mode."""
+        tr = MOTTracker.build(NET, MOTConfig(use_parent_sets=False), seed=1)
+        rnd = random.Random(3)
+        tr.publish("o", 0)
+        for _ in range(100):
+            target = rnd.randrange(NET.n)
+            tr.move("o", target)
+            expected = [HNode(0, target)] + [
+                HNode(l, tr.hs.home(target, l)) for l in range(1, tr.hs.h + 1)
+            ]
+            assert tr.spine("o") == expected
+
+    def test_sdl_never_hits_in_single_chain_mode(self):
+        tr = MOTTracker.build(NET, MOTConfig(use_parent_sets=False), seed=1)
+        rnd = random.Random(5)
+        tr.publish("o", 0)
+        cur = 0
+        for _ in range(200):
+            cur = rnd.choice(NET.neighbors(cur))
+            tr.move("o", cur)
+            q = tr.query("o", rnd.choice(NET.nodes))
+            assert not q.via_sdl
+
+    def test_sdl_ablation_is_a_noop_in_single_chain_mode(self):
+        """Disabling SDLs changes nothing measurable in chain mode."""
+        from repro.experiments.runner import execute_one_by_one
+        from repro.sim.workload import make_workload
+
+        wl = make_workload(NET, num_objects=8, moves_per_object=80,
+                           num_queries=100, seed=7)
+        with_sdl = execute_one_by_one(
+            MOTTracker.build(NET, MOTConfig(use_special_parents=True), seed=1), wl
+        )
+        without = execute_one_by_one(
+            MOTTracker.build(NET, MOTConfig(use_special_parents=False), seed=1), wl
+        )
+        assert with_sdl.query_cost == pytest.approx(without.query_cost)
+        assert with_sdl.maintenance_cost == pytest.approx(without.maintenance_cost)
+
+
+class TestParentSetFragmentation:
+    def test_fragmented_spines_occur(self):
+        """With parent sets, spines genuinely mix fragments of several
+        sources' detection paths (Fig. 2's situation)."""
+        net = grid_network(16, 16)
+        tr = MOTTracker.build(net, MOTConfig(use_parent_sets=True), seed=1)
+        rnd = random.Random(0)
+        tr.publish("o", 0)
+        cur = 0
+        fragmented = 0
+        for _ in range(200):
+            cur = rnd.choice(net.neighbors(cur))
+            tr.move("o", cur)
+            own_chain = {
+                hn
+                for l in range(tr.hs.h + 1)
+                for hn in tr.hs.dpath(cur)[l]
+            }
+            if any(hn not in own_chain for hn in tr.spine("o")):
+                fragmented += 1
+        assert fragmented > 0, "parent-set spines should fragment"
+
+    def test_sdl_hits_occur_and_are_correct(self):
+        """The SDL mechanism fires under fragmentation and the query
+        still lands on the right proxy (the §3 guarantee)."""
+        net = grid_network(16, 16)
+        tr = MOTTracker.build(
+            net, MOTConfig(use_parent_sets=True, special_parent_gap=1), seed=1
+        )
+        rnd = random.Random(0)
+        tr.publish("o", 0)
+        cur = 0
+        sdl_hits = 0
+        for _ in range(400):
+            cur = rnd.choice(net.neighbors(cur))
+            tr.move("o", cur)
+            q = tr.query("o", rnd.choice(net.nodes))
+            assert q.proxy == cur
+            sdl_hits += q.via_sdl
+        assert sdl_hits > 0, "expected at least one SDL-served query"

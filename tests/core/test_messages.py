@@ -1,0 +1,89 @@
+"""Tests for the message-count metric (§1.1's cost proxy).
+
+The paper assumes the total number of messages is proportional to the
+total distance they travel; the trackers report both so that
+proportionality is checkable instead of assumed.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines.tree import TrackingTree, TreeTracker
+from repro.core.mot import MOTTracker
+from repro.graphs.generators import grid_network
+
+NET = grid_network(6, 6)
+
+
+class TestMOTMessages:
+    @pytest.fixture()
+    def tracker(self):
+        from repro.hierarchy.structure import build_hierarchy
+
+        return MOTTracker(build_hierarchy(NET, seed=1))
+
+    def test_publish_messages_equal_chain_length(self, tracker):
+        res = tracker.publish("o", 0)
+        # single-chain mode: one message hop per level climbed
+        assert res.messages == tracker.hs.h
+
+    def test_move_counts_up_and_down_hops(self, tracker):
+        tracker.publish("o", 0)
+        res = tracker.move("o", 1)
+        assert res.messages >= 2  # at least one up and one down hop
+        assert tracker.ledger.maintenance_messages == res.messages
+
+    def test_zero_move_zero_messages(self, tracker):
+        tracker.publish("o", 0)
+        assert tracker.move("o", 0).messages == 0
+
+    def test_query_messages_accumulate(self, tracker):
+        tracker.publish("o", 0)
+        res = tracker.query("o", 35)
+        assert res.messages >= 2
+        assert tracker.ledger.query_messages == res.messages
+
+    def test_messages_proportional_to_cost(self, tracker):
+        """§1.1: messages and distance track each other within the
+        hierarchy's hop-length spread."""
+        rnd = random.Random(2)
+        tracker.publish("o", 0)
+        cur = 0
+        for _ in range(100):
+            cur = rnd.choice(NET.neighbors(cur))
+            tracker.move("o", cur)
+        led = tracker.ledger
+        mean_hop = led.maintenance_cost / led.maintenance_messages
+        assert 0.5 <= mean_hop <= NET.diameter
+
+
+class TestTreeMessages:
+    def test_tree_move_and_query_messages(self):
+        parent = {v: (None if v == 0 else 0) for v in NET.nodes}
+        tr = TreeTracker(TrackingTree(NET, parent))
+        tr.publish("o", 35)
+        res = tr.move("o", 34)
+        assert res.messages == 2  # up to root, down to old proxy
+        q = tr.query("o", 1)
+        assert q.messages == 2  # climb to root, descend one edge
+
+    def test_shortcut_query_single_jump(self):
+        parent = {v: (None if v == 0 else 0) for v in NET.nodes}
+        tr = TreeTracker(TrackingTree(NET, parent), query_shortcuts=True)
+        tr.publish("o", 35)
+        q = tr.query("o", 1)
+        assert q.messages == 2  # climb + direct jump
+
+
+class TestLedgerMessages:
+    def test_merge_sums_messages(self):
+        from repro.core.costs import CostLedger
+
+        a, b = CostLedger(), CostLedger()
+        a.record_maintenance(3.0, 1.0, messages=4)
+        b.record_maintenance(2.0, 1.0, messages=3)
+        b.record_query(1.0, 1.0, messages=2)
+        a.merge(b)
+        assert a.maintenance_messages == 7
+        assert a.query_messages == 2

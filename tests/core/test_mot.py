@@ -1,0 +1,218 @@
+"""Unit tests for the MOT tracker (paper §3, Algorithm 1)."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.mot import MOTConfig, MOTTracker
+from repro.graphs.generators import grid_network, line_network, ring_network
+from repro.hierarchy.structure import HNode, build_hierarchy
+
+
+@pytest.fixture()
+def tracker(hs_grid8):
+    return MOTTracker(hs_grid8)
+
+
+class TestPublish:
+    def test_publish_sets_proxy(self, tracker):
+        tracker.publish("o1", 0)
+        assert tracker.proxy_of("o1") == 0
+        assert tracker.objects == ("o1",)
+
+    def test_publish_fills_root_dl(self, tracker):
+        tracker.publish("o1", 0)
+        assert "o1" in tracker.detection_list(tracker.hs.root)
+
+    def test_publish_spine_bottom_up(self, tracker):
+        tracker.publish("o1", 27)
+        spine = tracker.spine("o1")
+        assert spine[0] == HNode(0, 27)
+        assert spine[-1] == tracker.hs.root
+        assert [h.level for h in spine] == sorted(h.level for h in spine)
+
+    def test_double_publish_rejected(self, tracker):
+        tracker.publish("o1", 0)
+        with pytest.raises(ValueError, match="already published"):
+            tracker.publish("o1", 5)
+
+    def test_publish_unknown_sensor_rejected(self, tracker):
+        with pytest.raises(KeyError, match="not a sensor"):
+            tracker.publish("o1", 999)
+
+    def test_publish_cost_bounded_by_diameter(self, grid8):
+        """Theorem 4.1: publish cost O(D)."""
+        hs = build_hierarchy(grid8, seed=1)
+        tr = MOTTracker(hs)
+        res = tr.publish("o1", 0)
+        assert res.cost <= 32 * grid8.diameter  # generous constant
+
+    def test_publish_recorded_in_ledger(self, tracker):
+        res = tracker.publish("o1", 12)
+        assert tracker.ledger.publish_cost == pytest.approx(res.cost)
+
+
+class TestMove:
+    def test_move_updates_proxy(self, tracker):
+        tracker.publish("o1", 0)
+        tracker.move("o1", 1)
+        assert tracker.proxy_of("o1") == 1
+
+    def test_move_to_same_proxy_free(self, tracker):
+        tracker.publish("o1", 0)
+        res = tracker.move("o1", 0)
+        assert res.cost == 0.0 and res.optimal_cost == 0.0
+
+    def test_move_unknown_object_rejected(self, tracker):
+        with pytest.raises(KeyError, match="never published"):
+            tracker.move("ghost", 3)
+
+    def test_move_unknown_sensor_rejected(self, tracker):
+        tracker.publish("o1", 0)
+        with pytest.raises(KeyError, match="not a sensor"):
+            tracker.move("o1", -1)
+
+    def test_move_optimal_cost_is_distance(self, tracker, grid8):
+        tracker.publish("o1", 0)
+        res = tracker.move("o1", 63)
+        assert res.optimal_cost == pytest.approx(grid8.distance(0, 63))
+
+    def test_move_cost_decomposes(self, tracker):
+        tracker.publish("o1", 0)
+        res = tracker.move("o1", 9)
+        assert res.cost == pytest.approx(res.up_cost + res.down_cost)
+        assert res.cost >= res.optimal_cost
+
+    def test_peak_level_reasonable_for_short_move(self, tracker, grid8):
+        tracker.publish("o1", 0)
+        res = tracker.move("o1", 1)  # distance 1
+        assert 1 <= res.peak_level <= tracker.hs.h
+
+    def test_root_always_holds_object(self, tracker):
+        tracker.publish("o1", 0)
+        rnd = random.Random(1)
+        cur = 0
+        for _ in range(50):
+            cur = rnd.choice(tracker.net.neighbors(cur))
+            tracker.move("o1", cur)
+            assert "o1" in tracker.detection_list(tracker.hs.root)
+
+    def test_old_chain_erased(self, tracker):
+        tracker.publish("o1", 0)
+        spine_before = set(tracker.spine("o1"))
+        tracker.move("o1", 63)
+        spine_after = set(tracker.spine("o1"))
+        gone = spine_before - spine_after
+        for hn in gone:
+            assert "o1" not in tracker.detection_list(hn)
+
+
+class TestQuery:
+    def test_query_from_proxy_free(self, tracker):
+        tracker.publish("o1", 7)
+        res = tracker.query("o1", 7)
+        assert res.cost == 0.0 and res.proxy == 7
+
+    def test_query_finds_after_publish(self, tracker):
+        tracker.publish("o1", 7)
+        res = tracker.query("o1", 56)
+        assert res.proxy == 7
+        assert res.cost >= res.optimal_cost
+
+    def test_query_readonly(self, tracker):
+        tracker.publish("o1", 7)
+        spine = tracker.spine("o1")
+        tracker.query("o1", 56)
+        assert tracker.spine("o1") == spine
+
+    def test_query_unknown_object_rejected(self, tracker):
+        with pytest.raises(KeyError, match="never published"):
+            tracker.query("ghost", 0)
+
+    def test_query_correct_after_many_moves(self, tracker):
+        tracker.publish("o1", 0)
+        rnd = random.Random(3)
+        cur = 0
+        for _ in range(100):
+            cur = rnd.choice(tracker.net.neighbors(cur))
+            tracker.move("o1", cur)
+            res = tracker.query("o1", rnd.choice(tracker.net.nodes))
+            assert res.proxy == cur
+
+    def test_query_constant_ratio_bound(self, grid8):
+        """Theorem 4.11 shape: query ratio O(1) — bounded by a fixed constant
+        across random workloads on the grid."""
+        hs = build_hierarchy(grid8, seed=1)
+        tr = MOTTracker(hs)
+        rnd = random.Random(5)
+        tr.publish("o1", 0)
+        cur = 0
+        for _ in range(200):
+            cur = rnd.choice(grid8.neighbors(cur))
+            tr.move("o1", cur)
+            tr.query("o1", rnd.choice(grid8.nodes))
+        assert tr.ledger.query_cost_ratio < 8.0
+        assert tr.ledger.max_query_ratio < 40.0
+
+
+class TestMultiObject:
+    def test_objects_do_not_interfere(self, tracker):
+        rnd = random.Random(9)
+        objs = {f"o{i}": rnd.randrange(64) for i in range(10)}
+        for o, p in objs.items():
+            tracker.publish(o, p)
+        for _ in range(200):
+            o = rnd.choice(list(objs))
+            objs[o] = rnd.choice(tracker.net.neighbors(objs[o]))
+            tracker.move(o, objs[o])
+        for o, p in objs.items():
+            assert tracker.proxy_of(o) == p
+            assert tracker.query(o, 0).proxy == p
+
+    def test_load_counts_all_objects(self, tracker):
+        for i in range(5):
+            tracker.publish(f"o{i}", i)
+        load = tracker.load_per_node()
+        assert sum(load.values()) >= 5 * (tracker.hs.h + 1)
+
+
+class TestConfigurations:
+    @pytest.mark.parametrize("use_ps,use_sp", [(False, False), (False, True), (True, False), (True, True)])
+    def test_all_modes_correct(self, grid8, use_ps, use_sp):
+        cfg = MOTConfig(use_parent_sets=use_ps, use_special_parents=use_sp)
+        tr = MOTTracker.build(grid8, cfg, seed=2)
+        rnd = random.Random(11)
+        tr.publish("o", 0)
+        cur = 0
+        for _ in range(60):
+            cur = rnd.choice(grid8.neighbors(cur))
+            tr.move("o", cur)
+            assert tr.query("o", rnd.choice(grid8.nodes)).proxy == cur
+
+    def test_special_parent_cost_counted_when_enabled(self, grid8):
+        base = MOTTracker.build(grid8, MOTConfig(count_special_parent_cost=False), seed=2)
+        counted = MOTTracker.build(grid8, MOTConfig(count_special_parent_cost=True), seed=2)
+        for tr in (base, counted):
+            tr.publish("o", 0)
+            tr.move("o", 9)
+        assert counted.ledger.maintenance_cost >= base.ledger.maintenance_cost
+
+    def test_works_on_ring(self):
+        net = ring_network(32)
+        tr = MOTTracker.build(net, seed=3)
+        rnd = random.Random(2)
+        tr.publish("o", 0)
+        cur = 0
+        for _ in range(60):
+            cur = rnd.choice(net.neighbors(cur))
+            tr.move("o", cur)
+            assert tr.query("o", rnd.choice(net.nodes)).proxy == cur
+
+    def test_works_on_line(self):
+        net = line_network(20)
+        tr = MOTTracker.build(net, seed=3)
+        tr.publish("o", 0)
+        for target in (5, 19, 0, 10):
+            tr.move("o", target)
+            assert tr.query("o", 3).proxy == target

@@ -1,0 +1,118 @@
+"""Tests for load-balanced MOT (paper §5)."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.core.mot import MOTConfig, MOTTracker
+from repro.core.mot_balanced import BalancedMOTTracker
+from repro.graphs.generators import grid_network
+from repro.hierarchy.structure import HNode, build_hierarchy
+
+
+@pytest.fixture()
+def balanced(hs_grid8):
+    return BalancedMOTTracker(hs_grid8)
+
+
+class TestCorrectness:
+    def test_tracks_objects_correctly(self, balanced, grid8):
+        rnd = random.Random(4)
+        balanced.publish("o", 0)
+        cur = 0
+        for _ in range(80):
+            cur = rnd.choice(grid8.neighbors(cur))
+            balanced.move("o", cur)
+            assert balanced.query("o", rnd.choice(grid8.nodes)).proxy == cur
+
+    def test_object_keys_sequential_from_one(self, balanced):
+        balanced.publish("a", 0)
+        balanced.publish("b", 1)
+        assert balanced.object_key("a") == 1
+        assert balanced.object_key("b") == 2
+
+    def test_object_key_unknown_raises(self, balanced):
+        with pytest.raises(KeyError):
+            balanced.object_key("ghost")
+
+
+class TestClusters:
+    def test_cluster_radius_matches_level(self, balanced, grid8):
+        hn = HNode(2, balanced.hs.level_nodes(2)[0])
+        emb = balanced.cluster_embedding(hn)
+        for v in emb.members:
+            assert grid8.distance(hn.node, v) <= 4.0
+
+    def test_cluster_embedding_cached(self, balanced):
+        hn = HNode(1, balanced.hs.level_nodes(1)[0])
+        assert balanced.cluster_embedding(hn) is balanced.cluster_embedding(hn)
+
+    def test_host_is_key_mod_cluster_size(self, balanced):
+        balanced.publish("o", 0)
+        hn = HNode(2, balanced.hs.level_nodes(2)[0])
+        emb = balanced.cluster_embedding(hn)
+        assert balanced.host_of(hn, "o") == emb.members[1 % emb.size]
+
+
+class TestCosts:
+    def test_routing_cost_increases_totals(self, grid8):
+        hs = build_hierarchy(grid8, seed=1)
+        plain = MOTTracker(hs)
+        routed = BalancedMOTTracker(hs, count_routing_cost=True)
+        free = BalancedMOTTracker(hs, count_routing_cost=False)
+        for tr in (plain, routed, free):
+            tr.publish("o", 0)
+            for target in (1, 9, 17, 25):
+                tr.move("o", target)
+        assert routed.ledger.maintenance_cost >= plain.ledger.maintenance_cost
+        assert free.ledger.maintenance_cost == pytest.approx(plain.ledger.maintenance_cost)
+
+    def test_cost_ratio_within_log_factor(self, grid8):
+        """Corollary 5.2 shape: balanced costs within ~log n of plain MOT."""
+        import math
+
+        hs = build_hierarchy(grid8, seed=1)
+        plain = MOTTracker(hs)
+        routed = BalancedMOTTracker(build_hierarchy(grid8, seed=1))
+        rnd = random.Random(6)
+        for tr in (plain, routed):
+            r = random.Random(6)
+            tr.publish("o", 0)
+            cur = 0
+            for _ in range(100):
+                cur = r.choice(grid8.neighbors(cur))
+                tr.move("o", cur)
+        factor = routed.ledger.maintenance_cost / plain.ledger.maintenance_cost
+        assert factor <= 4 * math.log2(grid8.n)
+
+
+class TestLoad:
+    def test_load_spread_beats_plain(self, grid8):
+        """Figs. 8–11 shape: balanced max load well below plain MOT's."""
+        rnd = random.Random(8)
+        objs = {f"o{i}": rnd.randrange(64) for i in range(50)}
+        plain = MOTTracker(build_hierarchy(grid8, seed=1))
+        bal = BalancedMOTTracker(build_hierarchy(grid8, seed=1))
+        for tr in (plain, bal):
+            for o, p in objs.items():
+                tr.publish(o, p)
+        assert max(bal.load_per_node().values()) < max(plain.load_per_node().values())
+
+    def test_total_load_preserved(self, grid8):
+        """Hashing redistributes entries; it must not create or lose any."""
+        plain = MOTTracker(build_hierarchy(grid8, seed=1))
+        bal = BalancedMOTTracker(build_hierarchy(grid8, seed=1))
+        for tr in (plain, bal):
+            for i in range(10):
+                tr.publish(f"o{i}", i)
+        assert sum(bal.load_per_node().values()) == sum(plain.load_per_node().values())
+
+    def test_mean_load_modest(self, grid8):
+        """Theorem 5.1 shape: average load O(m1 log D) with m1 small."""
+        rnd = random.Random(8)
+        bal = BalancedMOTTracker(build_hierarchy(grid8, seed=1))
+        for i in range(100):
+            bal.publish(f"o{i}", rnd.randrange(64))
+        load = bal.load_per_node()
+        assert statistics.mean(load.values()) < 100  # << m * h

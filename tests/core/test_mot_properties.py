@@ -1,0 +1,132 @@
+"""Property-based tests of MOT's structural invariants (hypothesis).
+
+The invariants checked after *every* operation of arbitrary generated
+move/query interleavings:
+
+1. the spine runs from the proxy's bottom marker to the root, levels
+   non-decreasing, no duplicate HS roles;
+2. DL membership is exactly the spine (no leaked entries anywhere);
+3. SDL entries point at live spine members only;
+4. every query returns the true proxy and pays at least the optimal
+   cost;
+5. the root's detection list is exactly the published objects.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.mot import MOTConfig, MOTTracker
+from repro.graphs.generators import grid_network
+from repro.hierarchy.structure import build_hierarchy
+
+NET = grid_network(5, 5)
+HS = {
+    (ps, gap): build_hierarchy(NET, seed=1, use_parent_sets=ps, special_parent_gap=gap)
+    for ps in (False, True)
+    for gap in (1, 2)
+}
+
+
+def _check_invariants(tr: MOTTracker) -> None:
+    # (5) root DL = all objects
+    assert tr.detection_list(tr.hs.root) == frozenset(tr.objects)
+    all_spine_entries = set()
+    for obj in tr.objects:
+        spine = tr.spine(obj)
+        # (1) shape
+        assert spine[0].level == 0 and spine[0].node == tr.proxy_of(obj)
+        assert spine[-1] == tr.hs.root
+        levels = [h.level for h in spine]
+        assert levels == sorted(levels), "spine levels must be non-decreasing"
+        assert len(spine) == len(set(spine)), "spine has duplicate roles"
+        # (2) DL membership equals spine membership
+        for hn in spine[1:]:
+            assert obj in tr.detection_list(hn)
+            all_spine_entries.add((hn, obj))
+    for hn, objs in tr._dl.items():
+        for obj in objs:
+            assert (hn, obj) in all_spine_entries, f"leaked DL entry {obj} at {hn}"
+    # (3) SDL points at live spine members
+    for sp, objmap in tr._sdl.items():
+        for obj, children in objmap.items():
+            spine = set(tr.spine(obj))
+            for child in children:
+                assert child in spine, f"SDL at {sp} points at dead {child}"
+
+
+@st.composite
+def scripts(draw):
+    """An interleaved script of publishes, adjacent moves and queries."""
+    num_objects = draw(st.integers(min_value=1, max_value=4))
+    length = draw(st.integers(min_value=1, max_value=40))
+    ops = []
+    for i in range(num_objects):
+        ops.append(("publish", i, draw(st.integers(0, NET.n - 1))))
+    for _ in range(length):
+        kind = draw(st.sampled_from(["move", "query"]))
+        obj = draw(st.integers(0, num_objects - 1))
+        ops.append((kind, obj, draw(st.integers(0, NET.n - 1))))
+    return ops
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    script=scripts(),
+    use_ps=st.booleans(),
+    gap=st.sampled_from([1, 2]),
+)
+def test_invariants_hold_under_any_script(script, use_ps, gap):
+    tr = MOTTracker(HS[(use_ps, gap)], MOTConfig(use_parent_sets=use_ps, special_parent_gap=gap))
+    pos: dict[int, int] = {}
+    for kind, obj, node_idx in script:
+        node = NET.node_at(node_idx)
+        if kind == "publish":
+            if obj in pos:
+                continue
+            tr.publish(obj, node)
+            pos[obj] = node
+        elif kind == "move":
+            if obj not in pos:
+                continue
+            # route via a neighbor chain: arbitrary target is fine too —
+            # MOT never assumes adjacency, only the analysis does
+            tr.move(obj, node)
+            pos[obj] = node
+        else:  # query
+            if obj not in pos:
+                continue
+            res = tr.query(obj, node)
+            assert res.proxy == pos[obj]
+            assert res.cost >= res.optimal_cost - 1e-9
+        _check_invariants(tr)
+
+
+@settings(max_examples=30, deadline=None)
+@given(script=scripts())
+def test_ledger_totals_match_operation_results(script):
+    """The ledger's aggregates equal the sums of per-operation results."""
+    tr = MOTTracker(HS[(False, 2)])
+    pos: dict[int, int] = {}
+    maint_cost = maint_opt = query_cost = query_opt = 0.0
+    for kind, obj, node_idx in script:
+        node = NET.node_at(node_idx)
+        if kind == "publish":
+            if obj in pos:
+                continue
+            tr.publish(obj, node)
+            pos[obj] = node
+        elif kind == "move" and obj in pos:
+            r = tr.move(obj, node)
+            maint_cost += r.cost
+            maint_opt += r.optimal_cost
+            pos[obj] = node
+        elif kind == "query" and obj in pos:
+            r = tr.query(obj, node)
+            query_cost += r.cost
+            query_opt += r.optimal_cost
+    assert tr.ledger.maintenance_cost == pytest.approx(maint_cost)
+    assert tr.ledger.maintenance_optimal == pytest.approx(maint_opt)
+    assert tr.ledger.query_cost == pytest.approx(query_cost)
+    assert tr.ledger.query_optimal == pytest.approx(query_opt)

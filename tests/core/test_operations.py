@@ -1,0 +1,44 @@
+"""Tests for the operation result records."""
+
+import pytest
+
+from repro.core.operations import MoveResult, PublishResult, QueryResult
+
+
+def _move(cost=6.0, optimal=2.0):
+    return MoveResult(
+        obj="o", old_proxy=0, new_proxy=1, cost=cost, up_cost=4.0,
+        down_cost=2.0, peak_level=1, optimal_cost=optimal,
+    )
+
+
+def _query(cost=6.0, optimal=3.0):
+    return QueryResult(
+        obj="o", source=0, proxy=1, cost=cost, found_level=2,
+        via_sdl=False, optimal_cost=optimal,
+    )
+
+
+def test_move_cost_ratio():
+    assert _move().cost_ratio == pytest.approx(3.0)
+
+
+def test_move_zero_optimal_ratio_defaults_to_one():
+    assert _move(cost=0.0, optimal=0.0).cost_ratio == 1.0
+
+
+def test_query_cost_ratio():
+    assert _query().cost_ratio == pytest.approx(2.0)
+
+
+def test_query_zero_optimal_ratio_defaults_to_one():
+    assert _query(cost=0.0, optimal=0.0).cost_ratio == 1.0
+
+
+def test_records_are_immutable():
+    with pytest.raises(AttributeError):
+        _move().cost = 99.0
+    with pytest.raises(AttributeError):
+        _query().proxy = 5
+    with pytest.raises(AttributeError):
+        PublishResult(obj="o", proxy=0, cost=1.0, levels_climbed=3).cost = 2.0

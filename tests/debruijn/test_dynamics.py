@@ -1,0 +1,86 @@
+"""Tests for the §7 join/leave relabeling at the embedding level."""
+
+import pytest
+
+from repro.debruijn.embedding import ClusterEmbedding
+from repro.graphs.generators import grid_network
+
+NET = grid_network(6, 6)
+
+
+class TestJoin:
+    def test_join_appends_label(self):
+        emb = ClusterEmbedding(NET, [0, 1, 2])
+        emb.join(10)
+        assert emb.label_of(10) == 3
+
+    def test_join_constant_updates_off_power(self):
+        emb = ClusterEmbedding(NET, [0, 1])  # size 2 -> 3: dim 1 -> 2 changes!
+        # pick a transition that does NOT change the dimension: 5 -> 6
+        emb = ClusterEmbedding(NET, [0, 1, 2, 3, 6])
+        updates = emb.join(7)
+        assert updates <= 5
+
+    def test_join_dimension_change_updates_all(self):
+        emb = ClusterEmbedding(NET, [0, 1, 2, 3])  # dim 2; adding -> dim 3
+        updates = emb.join(10)
+        assert updates == emb.size
+
+    def test_join_rejects_existing_member(self):
+        emb = ClusterEmbedding(NET, [0, 1])
+        with pytest.raises(ValueError):
+            emb.join(0)
+
+    def test_join_rejects_foreign_sensor(self):
+        emb = ClusterEmbedding(NET, [0, 1])
+        with pytest.raises(KeyError):
+            emb.join("nope")
+
+
+class TestLeave:
+    def test_leave_backfills_label(self):
+        emb = ClusterEmbedding(NET, [0, 1, 2, 3, 6])
+        last = emb.members[-1]
+        victim = emb.members[1]
+        emb.leave(victim)
+        assert emb.label_of(last) == 1  # backfilled into the vacated slot
+        with pytest.raises(KeyError):
+            emb.label_of(victim)
+
+    def test_leave_last_label_simple(self):
+        emb = ClusterEmbedding(NET, [0, 1, 2, 3, 6])
+        updates = emb.leave(emb.members[-1])
+        assert updates <= 5
+
+    def test_leave_dimension_drop_updates_all(self):
+        emb = ClusterEmbedding(NET, [0, 1, 2, 3, 6])  # 5 -> 4: dim 3 -> 2
+        updates = emb.leave(emb.members[2])
+        assert updates == emb.size
+
+    def test_leave_cannot_empty(self):
+        emb = ClusterEmbedding(NET, [0])
+        with pytest.raises(ValueError):
+            emb.leave(0)
+
+    def test_routing_still_valid_after_churn(self):
+        emb = ClusterEmbedding(NET, [0, 1, 2, 3, 6, 7])
+        emb.leave(2)
+        emb.join(8)
+        emb.leave(emb.members[0])
+        for a in emb.members:
+            for b in emb.members:
+                hosts, cost = emb.route(a, b)
+                assert hosts[0] == a and hosts[-1] == b
+                assert cost >= 0
+
+
+class TestAmortized:
+    def test_amortized_over_full_growth(self):
+        """Joining n members costs O(1) amortized (dimension doublings sum
+        to a geometric series)."""
+        emb = ClusterEmbedding(NET, [0])
+        total = 0
+        nodes = list(NET.nodes)[1:32]
+        for v in nodes:
+            total += emb.join(v)
+        assert total / len(nodes) <= 8.0

@@ -1,0 +1,108 @@
+"""Tests for de Bruijn cluster embeddings (paper §5, §7)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.debruijn.embedding import ClusterEmbedding
+from repro.graphs.generators import grid_network
+
+NET = grid_network(6, 6)
+
+
+def _cluster(center=14, radius=2.0):
+    return ClusterEmbedding(NET, NET.k_neighborhood(center, radius))
+
+
+class TestConstruction:
+    def test_members_sorted_and_labelled(self):
+        emb = _cluster()
+        assert list(emb.members) == sorted(emb.members, key=NET.index_of)
+        for i, v in enumerate(emb.members):
+            assert emb.label_of(v) == i
+
+    def test_dimension_is_ceil_log(self):
+        emb = _cluster()
+        assert emb.dimension == math.ceil(math.log2(emb.size))
+
+    def test_singleton_cluster(self):
+        emb = ClusterEmbedding(NET, [0])
+        assert emb.dimension == 0
+        assert emb.host(0) == 0
+        assert emb.route_cost(0, 0) == 0.0
+
+    def test_rejects_empty_or_duplicates(self):
+        with pytest.raises(ValueError):
+            ClusterEmbedding(NET, [])
+        with pytest.raises(ValueError):
+            ClusterEmbedding(NET, [0, 0])
+
+    def test_label_of_non_member_raises(self):
+        with pytest.raises(KeyError):
+            _cluster().label_of(35)
+
+
+class TestHosting:
+    def test_low_labels_host_themselves(self):
+        emb = _cluster()
+        for l in range(emb.size):
+            assert emb.host(l) == emb.members[l]
+
+    def test_high_labels_emulated_by_msb_clear(self):
+        """§7: virtual vertex l >= |X| hosted by member l minus its MSB."""
+        emb = _cluster()
+        d = emb.dimension
+        for l in range(emb.size, 1 << d):
+            assert emb.host(l) == emb.members[l & ~(1 << (d - 1))]
+
+    def test_host_out_of_range_raises(self):
+        emb = _cluster()
+        with pytest.raises(ValueError):
+            emb.host(1 << emb.dimension)
+
+
+class TestRouting:
+    def test_route_endpoints(self):
+        emb = _cluster()
+        a, b = emb.members[0], emb.members[-1]
+        hosts, cost = emb.route(a, b)
+        assert hosts[0] == a and hosts[-1] == b
+        assert cost >= 0.0
+
+    def test_route_cost_zero_to_self(self):
+        emb = _cluster()
+        assert emb.route_cost(emb.members[2], emb.members[2]) == 0.0
+
+    def test_route_hops_bounded_by_dimension(self):
+        emb = _cluster()
+        for a in emb.members[:4]:
+            for b in emb.members[-4:]:
+                hosts, _ = emb.route(a, b)
+                assert len(hosts) - 1 <= emb.dimension
+
+    def test_route_cost_bounded_by_cluster_diameter_times_hops(self):
+        """§5: routing cost O(D_X log |X|)."""
+        emb = _cluster()
+        dx = max(NET.distance(a, b) for a in emb.members for b in emb.members)
+        for a in emb.members:
+            for b in emb.members:
+                assert emb.route_cost(a, b) <= dx * emb.dimension + 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    center=st.integers(0, NET.n - 1),
+    radius=st.sampled_from([1.0, 2.0, 3.0]),
+    data=st.data(),
+)
+def test_routing_total_cost_matches_hop_distances(center, radius, data):
+    """Property: reported cost equals the sum of inter-host distances."""
+    emb = ClusterEmbedding(NET, NET.k_neighborhood(center, radius))
+    a = data.draw(st.sampled_from(list(emb.members)))
+    b = data.draw(st.sampled_from(list(emb.members)))
+    hosts, cost = emb.route(a, b)
+    expected = sum(
+        NET.distance(x, y) for x, y in zip(hosts, hosts[1:]) if x != y
+    )
+    assert cost == pytest.approx(expected)

@@ -1,0 +1,105 @@
+"""Tests for the de Bruijn graph topology (paper §5, [19])."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.debruijn.graph import DeBruijnGraph, debruijn_shortest_path
+
+
+class TestShortestPath:
+    def test_self_path_is_trivial(self):
+        assert debruijn_shortest_path(5, 5, 3) == [5]
+
+    def test_dimension_zero(self):
+        assert debruijn_shortest_path(0, 0, 0) == [0]
+
+    def test_one_shift(self):
+        # 011 -> 110 is one left shift appending 0
+        assert debruijn_shortest_path(0b011, 0b110, 3) == [0b011, 0b110]
+
+    def test_full_rewrite(self):
+        path = debruijn_shortest_path(0b000, 0b111, 3)
+        assert path == [0b000, 0b001, 0b011, 0b111]
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            debruijn_shortest_path(8, 0, 3)
+        with pytest.raises(ValueError):
+            debruijn_shortest_path(0, -1, 3)
+        with pytest.raises(ValueError):
+            debruijn_shortest_path(0, 0, -1)
+
+    def test_path_follows_edges(self):
+        g = DeBruijnGraph(4)
+        path = debruijn_shortest_path(0b1010, 0b0111, 4)
+        for a, b in zip(path, path[1:]):
+            mask = (1 << 4) - 1
+            assert b >> 1 == (a & (mask >> 1)) or b == ((a << 1) & mask) | (b & 1)
+
+
+class TestGraphStructure:
+    def test_successors_shift_left(self):
+        g = DeBruijnGraph(3)
+        assert set(g.successors(0b011)) == {0b110, 0b111}
+
+    def test_successors_exclude_self_loop(self):
+        g = DeBruijnGraph(3)
+        assert 0 not in g.successors(0)
+        assert 7 not in g.successors(7)
+
+    def test_predecessors_shift_right(self):
+        g = DeBruijnGraph(3)
+        assert set(g.predecessors(0b110)) == {0b011, 0b111}
+
+    def test_degree_at_most_two(self):
+        g = DeBruijnGraph(4)
+        for v in range(16):
+            assert len(g.successors(v)) <= 2
+            assert len(g.predecessors(v)) <= 2
+
+    def test_label_range_checked(self):
+        g = DeBruijnGraph(2)
+        with pytest.raises(ValueError):
+            g.successors(4)
+
+    def test_dimension_zero_graph(self):
+        g = DeBruijnGraph(0)
+        assert g.size == 1
+        assert g.successors(0) == ()
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    d=st.integers(min_value=1, max_value=8),
+    data=st.data(),
+)
+def test_path_valid_and_within_diameter(d, data):
+    """Property: the canonical path is edge-valid, ends correctly, and its
+    length never exceeds the dimension (the graph diameter)."""
+    size = 1 << d
+    src = data.draw(st.integers(0, size - 1))
+    dst = data.draw(st.integers(0, size - 1))
+    path = debruijn_shortest_path(src, dst, d)
+    assert path[0] == src and path[-1] == dst
+    assert len(path) - 1 <= d
+    mask = size - 1
+    for a, b in zip(path, path[1:]):
+        assert b in (((a << 1) & mask), ((a << 1) & mask) | 1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(d=st.integers(min_value=1, max_value=6), data=st.data())
+def test_distance_is_truly_shortest(d, data):
+    """Property: overlap-based distance equals BFS distance."""
+    import networkx as nx
+
+    size = 1 << d
+    src = data.draw(st.integers(0, size - 1))
+    dst = data.draw(st.integers(0, size - 1))
+    g = nx.DiGraph()
+    mask = size - 1
+    for v in range(size):
+        g.add_edge(v, (v << 1) & mask)
+        g.add_edge(v, ((v << 1) & mask) | 1)
+    expected = nx.shortest_path_length(g, src, dst)
+    assert DeBruijnGraph(d).distance(src, dst) == expected

@@ -1,0 +1,53 @@
+"""Tests for the concurrent execution driver (§8 schedule details)."""
+
+import pytest
+
+from repro.experiments.runner import (
+    execute_concurrent,
+    make_concurrent_tracker,
+)
+from repro.graphs.generators import grid_network
+from repro.sim.workload import make_workload
+
+NET = grid_network(5, 5)
+
+
+def test_all_queries_complete_even_beyond_batch_budget():
+    """Queries exceeding the two-per-batch budget run post-quiescence."""
+    wl = make_workload(NET, num_objects=2, moves_per_object=10,
+                       num_queries=50, seed=3)
+    tracker = make_concurrent_tracker("MOT", NET, wl.traffic, seed=1)
+    ledger = execute_concurrent(tracker, wl, batch=5)
+    assert ledger.query_ops == 50
+    assert tracker.fallback_queries == 0
+
+
+def test_move_counts_exact():
+    wl = make_workload(NET, num_objects=3, moves_per_object=17, seed=4)
+    tracker = make_concurrent_tracker("Z-DAT", NET, wl.traffic, seed=1)
+    ledger = execute_concurrent(tracker, wl, batch=10)
+    assert ledger.maintenance_ops == 51
+    # every object ended where its trajectory says
+    for obj in wl.objects:
+        assert tracker.true_proxy[obj] == wl.moves_of(obj)[-1].new
+
+
+def test_mot_balanced_maps_to_balanced_concurrent():
+    """The concurrent factory yields the §5 balanced adapter (same
+    protocol, de Bruijn probe costs charged per DL touch)."""
+    from repro.sim.concurrent_balanced import ConcurrentBalancedMOT
+
+    wl = make_workload(NET, num_objects=2, moves_per_object=5, seed=5)
+    tracker = make_concurrent_tracker("MOT-balanced", NET, wl.traffic, seed=1)
+    assert isinstance(tracker, ConcurrentBalancedMOT)
+    ledger = execute_concurrent(tracker, wl, batch=5)
+    assert ledger.maintenance_ops == 10
+
+
+def test_batch_size_one_is_sequential():
+    """batch=1 degenerates to one-by-one semantics (ops never overlap)."""
+    wl = make_workload(NET, num_objects=2, moves_per_object=12, seed=6)
+    tracker = make_concurrent_tracker("MOT", NET, wl.traffic, seed=1)
+    ledger = execute_concurrent(tracker, wl, batch=1)
+    assert ledger.maintenance_ops == 24
+    assert tracker.fallback_queries == 0

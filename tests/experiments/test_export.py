@@ -1,0 +1,60 @@
+"""Tests for CSV export."""
+
+import pytest
+
+from repro.experiments.config import CostExperiment
+from repro.experiments.export import cost_sweep_to_csv, loads_to_csv, write_csv
+from repro.experiments.runner import CostSweepResult
+from repro.metrics.ratios import summarize_ratios
+
+
+def _result():
+    res = CostSweepResult(experiment=CostExperiment(algorithms=("MOT", "STUN")))
+    res.sizes = [9, 25]
+    res.maintenance = {
+        "MOT": [summarize_ratios([2.0]), summarize_ratios([3.0, 3.5])],
+        "STUN": [summarize_ratios([5.0]), summarize_ratios([8.0])],
+    }
+    res.query = {
+        "MOT": [summarize_ratios([1.2]), summarize_ratios([1.4])],
+        "STUN": [summarize_ratios([3.3]), summarize_ratios([3.6])],
+    }
+    return res
+
+
+def test_cost_csv_shape():
+    csv_text = cost_sweep_to_csv(_result(), "maintenance")
+    lines = csv_text.strip().split("\n")
+    assert lines[0] == "nodes,MOT_mean,MOT_std,STUN_mean,STUN_std"
+    assert lines[1].startswith("9,2,")
+    assert len(lines) == 3
+
+
+def test_cost_csv_query_metric():
+    csv_text = cost_sweep_to_csv(_result(), "query")
+    assert "1.4" in csv_text
+
+
+def test_cost_csv_validates_metric():
+    with pytest.raises(ValueError):
+        cost_sweep_to_csv(_result(), "latency")
+
+
+def test_loads_csv():
+    text = loads_to_csv({"A": {0: 1, 1: 5}, "B": {0: 9, 1: 0}})
+    lines = text.strip().split("\n")
+    assert lines[0] == "node,A,B"
+    assert lines[1] == "0,1,9"
+
+
+def test_loads_csv_validates():
+    with pytest.raises(ValueError, match="no load"):
+        loads_to_csv({})
+    with pytest.raises(ValueError, match="different sensors"):
+        loads_to_csv({"A": {0: 1}, "B": {1: 1}})
+
+
+def test_write_csv_creates_dirs(tmp_path):
+    target = tmp_path / "deep" / "nested" / "x.csv"
+    p = write_csv("a,b\n1,2\n", target)
+    assert p.read_text() == "a,b\n1,2\n"

@@ -1,0 +1,53 @@
+"""Tests for the per-figure entry points (tiny scales; shapes only)."""
+
+import pytest
+
+from repro.experiments.figures import FIGURES, run_figure
+from repro.experiments.reporting import format_cost_table, format_load_table
+from repro.metrics.load import LoadStats
+
+
+def test_all_paper_figures_registered():
+    assert set(FIGURES) == {f"fig{i}" for i in range(4, 16)}
+
+
+def test_unknown_figure_rejected():
+    with pytest.raises(ValueError, match="unknown figure"):
+        run_figure("fig99")
+
+
+def test_bad_scale_rejected():
+    with pytest.raises(ValueError, match="scale"):
+        run_figure("fig4", scale=0.0)
+
+
+@pytest.mark.slow
+def test_cost_figure_smoke():
+    res = run_figure("fig4", scale=0.02)
+    assert res.cost_result is not None
+    assert "MOT" in res.table and "STUN" in res.table
+    assert len(res.cost_result.sizes) == 7  # the paper's 10..1024 x-axis
+
+
+@pytest.mark.slow
+def test_load_figure_smoke():
+    res = run_figure("fig8", scale=0.05)
+    assert res.loads is not None
+    assert set(res.loads) == {"MOT-balanced", "STUN"}
+    assert "max load" in res.table
+
+
+def test_format_cost_table_validates_metric():
+    class Dummy:
+        sizes = []
+        maintenance = {}
+        query = {}
+
+    with pytest.raises(ValueError):
+        format_cost_table(Dummy(), "latency")
+
+
+def test_format_load_table():
+    stats = {"A": LoadStats.from_loads({0: 3, 1: 12})}
+    out = format_load_table(stats)
+    assert "A" in out and "12" in out

@@ -1,0 +1,70 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.experiments.plotting import ascii_histogram, ascii_series_chart
+
+
+class TestSeriesChart:
+    def test_renders_markers_and_legend(self):
+        out = ascii_series_chart(
+            [10, 100, 1000],
+            {"MOT": [2.0, 3.0, 4.0], "STUN": [5.0, 9.0, 14.0]},
+            width=30,
+            height=8,
+            title="demo",
+        )
+        assert "demo" in out
+        assert "*" in out and "o" in out
+        assert "legend: * MOT   o STUN" in out
+        assert "10" in out and "1000" in out
+
+    def test_y_axis_scaled_to_max(self):
+        out = ascii_series_chart([1, 2], {"a": [0.0, 50.0]}, height=6)
+        assert "50.0" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one series"):
+            ascii_series_chart([1, 2], {})
+        with pytest.raises(ValueError, match="two x positions"):
+            ascii_series_chart([1], {"a": [1.0]})
+        with pytest.raises(ValueError, match="length"):
+            ascii_series_chart([1, 2], {"a": [1.0]})
+
+    def test_zero_series_does_not_divide_by_zero(self):
+        out = ascii_series_chart([1, 2], {"a": [0.0, 0.0]})
+        assert "a" in out
+
+
+class TestHistogram:
+    def test_bars_proportional(self):
+        out = ascii_histogram({"0-1": 10, "1-2": 5}, width=10)
+        lines = out.split("\n")
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_counts_printed(self):
+        out = ascii_histogram({"x": 3})
+        assert "3" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_histogram({})
+
+
+class TestRenderCostFigure:
+    def test_from_real_sweep(self):
+        from repro.experiments.config import CostExperiment
+        from repro.experiments.plotting import render_cost_figure
+        from repro.experiments.runner import run_cost_sweep
+
+        exp = CostExperiment(
+            grid_sizes=((3, 3), (5, 5)),
+            num_objects=3, moves_per_object=15, num_queries=5,
+            reps=1, algorithms=("MOT", "Z-DAT"),
+        )
+        res = run_cost_sweep(exp)
+        out = render_cost_figure(res, "maintenance")
+        assert "maintenance cost ratio" in out
+        with pytest.raises(ValueError):
+            render_cost_figure(res, "latency")

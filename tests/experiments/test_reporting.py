@@ -1,0 +1,56 @@
+"""Tests for the text-report formatting."""
+
+import pytest
+
+from repro.experiments.config import CostExperiment
+from repro.experiments.reporting import format_cost_table, format_load_table
+from repro.experiments.runner import CostSweepResult
+from repro.metrics.load import LoadStats
+from repro.metrics.ratios import summarize_ratios
+
+
+def _fake_result():
+    res = CostSweepResult(experiment=CostExperiment(algorithms=("MOT", "STUN")))
+    res.sizes = [16, 64]
+    res.maintenance = {
+        "MOT": [summarize_ratios([2.0, 2.2]), summarize_ratios([3.0])],
+        "STUN": [summarize_ratios([5.0]), summarize_ratios([9.0])],
+    }
+    res.query = {
+        "MOT": [summarize_ratios([1.5]), summarize_ratios([1.6])],
+        "STUN": [summarize_ratios([4.0]), summarize_ratios([4.5])],
+    }
+    return res
+
+
+def test_cost_table_contains_sizes_and_values():
+    out = format_cost_table(_fake_result(), "maintenance")
+    assert "16" in out and "64" in out
+    assert "MOT" in out and "STUN" in out
+    assert "9.00" in out
+
+
+def test_cost_table_query_metric():
+    out = format_cost_table(_fake_result(), "query")
+    assert "4.50" in out
+
+
+def test_cost_table_rejects_unknown_metric():
+    with pytest.raises(ValueError, match="metric"):
+        format_cost_table(_fake_result(), "latency")
+
+
+def test_series_accessor():
+    res = _fake_result()
+    assert res.series("maintenance", "STUN") == [5.0, 9.0]
+    assert res.series("query", "MOT") == [1.5, 1.6]
+
+
+def test_load_table_lists_algorithms():
+    stats = {
+        "MOT-balanced": LoadStats.from_loads({0: 2, 1: 3}),
+        "STUN": LoadStats.from_loads({0: 90, 1: 0}),
+    }
+    out = format_load_table(stats)
+    assert "MOT-balanced" in out and "STUN" in out
+    assert "90" in out

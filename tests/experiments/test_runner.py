@@ -1,0 +1,103 @@
+"""Tests for the experiment harness (§8)."""
+
+import pytest
+
+from repro.experiments.config import CostExperiment, LoadExperiment
+from repro.experiments.runner import (
+    execute_concurrent,
+    execute_one_by_one,
+    make_concurrent_tracker,
+    make_tracker,
+    run_cost_sweep,
+    run_load_experiment,
+)
+from repro.graphs.generators import grid_network
+from repro.sim.workload import make_workload
+
+NET = grid_network(5, 5)
+WL = make_workload(NET, num_objects=5, moves_per_object=30, num_queries=20, seed=1)
+
+
+class TestFactories:
+    @pytest.mark.parametrize(
+        "name", ["MOT", "MOT-balanced", "STUN", "DAT", "Z-DAT", "Z-DAT+shortcuts"]
+    )
+    def test_one_by_one_factory(self, name):
+        tr = make_tracker(name, NET, WL.traffic, seed=1)
+        ledger = execute_one_by_one(tr, WL)
+        assert ledger.maintenance_ops == len(WL.moves)
+        assert ledger.query_ops == len(WL.queries)
+        assert ledger.maintenance_cost_ratio >= 1.0
+
+    @pytest.mark.parametrize("name", ["MOT", "STUN", "Z-DAT", "Z-DAT+shortcuts"])
+    def test_concurrent_factory(self, name):
+        tr = make_concurrent_tracker(name, NET, WL.traffic, seed=1)
+        ledger = execute_concurrent(tr, WL, batch=5)
+        assert ledger.maintenance_ops == len(WL.moves)
+        assert ledger.query_ops == len(WL.queries)
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            make_tracker("FOO", NET, WL.traffic)
+        with pytest.raises(ValueError, match="unknown concurrent"):
+            make_concurrent_tracker("FOO", NET, WL.traffic)
+
+
+class TestSweeps:
+    def test_cost_sweep_shapes(self):
+        exp = CostExperiment(
+            grid_sizes=((3, 3), (4, 4)),
+            num_objects=4,
+            moves_per_object=20,
+            num_queries=10,
+            reps=2,
+            algorithms=("MOT", "Z-DAT"),
+        )
+        res = run_cost_sweep(exp)
+        assert res.sizes == [9, 16]
+        for alg in exp.algorithms:
+            assert len(res.maintenance[alg]) == 2
+            assert len(res.query[alg]) == 2
+            assert all(s.reps == 2 for s in res.maintenance[alg])
+            assert all(s.mean >= 1.0 for s in res.maintenance[alg])
+
+    def test_concurrent_sweep_runs(self):
+        exp = CostExperiment(
+            grid_sizes=((4, 4),),
+            num_objects=3,
+            moves_per_object=15,
+            num_queries=6,
+            reps=1,
+            algorithms=("MOT", "STUN"),
+            mode="concurrent",
+        )
+        res = run_cost_sweep(exp)
+        assert res.sizes == [16]
+        assert res.series("maintenance", "MOT")[0] >= 1.0
+
+    def test_load_experiment(self):
+        exp = LoadExperiment(grid_side=8, num_objects=20, after_moves=False)
+        loads = run_load_experiment(exp)
+        assert set(loads) == {"MOT-balanced", "STUN"}
+        for alg, load in loads.items():
+            assert len(load) == 64
+            assert sum(load.values()) > 0
+
+    def test_load_experiment_after_moves_differs(self):
+        before = run_load_experiment(
+            LoadExperiment(grid_side=8, num_objects=20, after_moves=False)
+        )
+        after = run_load_experiment(
+            LoadExperiment(grid_side=8, num_objects=20, after_moves=True)
+        )
+        assert before["STUN"] != after["STUN"]
+
+
+class TestScaled:
+    def test_scaled_preserves_sizes(self):
+        exp = CostExperiment()
+        small = exp.scaled(num_objects=10, moves_per_object=50, reps=2)
+        assert small.grid_sizes == exp.grid_sizes
+        assert small.num_objects == 10
+        assert small.moves_per_object == 50
+        assert small.reps == 2

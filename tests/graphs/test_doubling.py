@@ -1,0 +1,44 @@
+"""Tests for doubling-dimension estimation (paper §2.2 footnote)."""
+
+import pytest
+
+from repro.graphs.doubling import estimate_doubling_dimension, greedy_half_radius_cover
+from repro.graphs.generators import grid_network, line_network, star_network
+
+
+class TestGreedyCover:
+    def test_cover_of_whole_line(self, line10):
+        # a radius-9 ball (the whole line) is coverable by few radius-4.5 balls
+        count = greedy_half_radius_cover(line10, 0, 9.0)
+        assert 1 <= count <= 3
+
+    def test_tiny_radius_single_ball(self, grid4):
+        assert greedy_half_radius_cover(grid4, 5, 0.5) == 1
+
+
+class TestEstimate:
+    def test_grid_is_low_dimensional(self):
+        net = grid_network(10, 10)
+        rho = estimate_doubling_dimension(net, samples=8, seed=1)
+        assert rho <= 3.5  # planar grid: ~2 plus greedy slack
+
+    def test_line_lower_than_grid(self):
+        line = line_network(64)
+        grid = grid_network(8, 8)
+        rho_line = estimate_doubling_dimension(line, samples=8, seed=1)
+        rho_grid = estimate_doubling_dimension(grid, samples=8, seed=1)
+        assert rho_line <= rho_grid + 0.5
+
+    def test_star_is_high_dimensional(self):
+        # a star's center ball needs ~n half-radius balls: not doubling
+        net = star_network(64)
+        rho = estimate_doubling_dimension(net, samples=8, radii=2, seed=1)
+        assert rho >= 4.0
+
+    def test_single_node(self):
+        from repro.graphs.network import SensorNetwork
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_node(0)
+        assert estimate_doubling_dimension(SensorNetwork(g)) == 0.0

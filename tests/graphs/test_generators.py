@@ -1,0 +1,114 @@
+"""Unit tests for topology generators."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.graphs.generators import (
+    erdos_renyi_network,
+    grid_network,
+    line_network,
+    paper_grid_sizes,
+    random_geometric_network,
+    random_tree_network,
+    ring_network,
+    star_network,
+)
+
+
+class TestGrid:
+    def test_size_and_edges(self):
+        net = grid_network(3, 4)
+        assert net.n == 12
+        assert net.graph.number_of_edges() == 3 * 3 + 2 * 4  # rows*(cols-1)+...(cols*(rows-1))
+
+    def test_unit_weights(self):
+        net = grid_network(3, 3)
+        assert all(d["weight"] == 1.0 for _, _, d in net.graph.edges(data=True))
+
+    def test_diagonal_grid_weights(self):
+        net = grid_network(3, 3, diagonal=True)
+        weights = {round(d["weight"], 6) for _, _, d in net.graph.edges(data=True)}
+        assert weights == {1.0, round(math.sqrt(2), 6)}
+
+    def test_diagonal_reduces_diameter(self):
+        plain = grid_network(5, 5)
+        diag = grid_network(5, 5, diagonal=True)
+        assert diag.diameter < plain.diameter
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            grid_network(0, 3)
+
+    def test_positions_are_lattice(self):
+        net = grid_network(2, 3)
+        assert net.position(4) == (1.0, 1.0)  # row 1, col 1
+
+
+class TestRingLineStar:
+    def test_ring_degree_two(self, ring16):
+        assert all(ring16.degree(v) == 2 for v in ring16.nodes)
+
+    def test_ring_diameter(self, ring16):
+        assert ring16.diameter == 8.0
+
+    def test_ring_min_size(self):
+        with pytest.raises(ValueError):
+            ring_network(2)
+
+    def test_line_is_path(self, line10):
+        assert line10.degree(0) == 1
+        assert line10.degree(5) == 2
+
+    def test_star_hub(self):
+        net = star_network(9)
+        assert net.degree(0) == 8
+        assert net.diameter == 2.0
+
+    def test_star_min_size(self):
+        with pytest.raises(ValueError):
+            star_network(1)
+
+
+class TestRandomGeometric:
+    def test_connected_and_sized(self, geo50):
+        assert geo50.n == 50
+        assert nx.is_connected(geo50.graph)
+
+    def test_deterministic_given_seed(self):
+        a = random_geometric_network(30, seed=7)
+        b = random_geometric_network(30, seed=7)
+        assert set(a.graph.edges()) == set(b.graph.edges())
+
+    def test_weights_normalized(self, geo50):
+        min_w = min(d["weight"] for _, _, d in geo50.graph.edges(data=True))
+        assert min_w == pytest.approx(1.0)
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            random_geometric_network(1)
+
+
+class TestGeneralGraphs:
+    def test_erdos_renyi_connected(self):
+        net = erdos_renyi_network(40, seed=3)
+        assert nx.is_connected(net.graph)
+        assert net.n == 40
+
+    def test_random_tree_is_tree(self):
+        net = random_tree_network(25, seed=5)
+        assert net.graph.number_of_edges() == 24
+        assert nx.is_connected(net.graph)
+
+    def test_single_node_tree(self):
+        net = random_tree_network(1)
+        assert net.n == 1
+
+
+class TestPaperSizes:
+    def test_span_matches_paper(self):
+        sizes = [r * c for r, c in paper_grid_sizes()]
+        assert sizes[0] == 10
+        assert sizes[-1] == 1024
+        assert sizes == sorted(sizes)

@@ -1,0 +1,164 @@
+"""Unit tests for the SensorNetwork model (paper §2.1)."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.graphs.network import SensorNetwork
+from repro.graphs.generators import grid_network, line_network
+
+
+def _triangle(w12=1.0, w23=2.0, w13=10.0):
+    g = nx.Graph()
+    g.add_edge(1, 2, weight=w12)
+    g.add_edge(2, 3, weight=w23)
+    g.add_edge(1, 3, weight=w13)
+    return g
+
+
+class TestConstruction:
+    def test_rejects_empty_graph(self):
+        with pytest.raises(ValueError, match="at least one node"):
+            SensorNetwork(nx.Graph())
+
+    def test_rejects_disconnected_graph(self):
+        g = nx.Graph()
+        g.add_edge(1, 2)
+        g.add_node(3)
+        with pytest.raises(ValueError, match="connected"):
+            SensorNetwork(g)
+
+    def test_rejects_nonpositive_weight(self):
+        g = nx.Graph()
+        g.add_edge(1, 2, weight=0.0)
+        with pytest.raises(ValueError, match="non-positive"):
+            SensorNetwork(g)
+
+    def test_missing_weights_default_to_one(self):
+        g = nx.path_graph(3)
+        net = SensorNetwork(g)
+        assert net.edge_weight(0, 1) == 1.0
+
+    def test_normalization_scales_min_edge_to_one(self):
+        net = SensorNetwork(_triangle(w12=2.0, w23=4.0, w13=20.0))
+        weights = sorted(
+            net.edge_weight(u, v) for u, v in net.graph.edges()
+        )
+        assert weights[0] == pytest.approx(1.0)
+        assert weights == pytest.approx([1.0, 2.0, 10.0])
+
+    def test_normalization_can_be_disabled(self):
+        net = SensorNetwork(_triangle(w12=2.0), normalize=False)
+        assert net.edge_weight(1, 2) == 2.0
+
+    def test_does_not_mutate_input_graph(self):
+        g = _triangle(w12=2.0)
+        SensorNetwork(g)
+        assert g[1][2]["weight"] == 2.0
+
+    def test_single_node_network(self):
+        g = nx.Graph()
+        g.add_node("only")
+        net = SensorNetwork(g)
+        assert net.n == 1
+        assert net.diameter == 0.0
+
+
+class TestIndexing:
+    def test_nodes_sorted_deterministically(self, grid4):
+        assert list(grid4.nodes) == sorted(grid4.nodes)
+
+    def test_node_at_and_index_of_are_inverses(self, grid4):
+        for i in range(grid4.n):
+            assert grid4.index_of(grid4.node_at(i)) == i
+
+    def test_index_of_unknown_node_raises(self, grid4):
+        with pytest.raises(KeyError, match="not a node"):
+            grid4.index_of("nope")
+
+    def test_contains_len_iter(self, grid4):
+        assert 0 in grid4
+        assert "x" not in grid4
+        assert len(grid4) == 16
+        assert list(iter(grid4)) == list(grid4.nodes)
+
+
+class TestDistances:
+    def test_distance_on_weighted_triangle(self):
+        net = SensorNetwork(_triangle(), normalize=False)
+        # direct edge 1-3 costs 10; via 2 costs 3
+        assert net.distance(1, 3) == pytest.approx(3.0)
+
+    def test_distance_matches_networkx(self, grid8):
+        for u, v in [(0, 63), (7, 56), (10, 53)]:
+            expect = nx.shortest_path_length(grid8.graph, u, v, weight="weight")
+            assert grid8.distance(u, v) == pytest.approx(expect)
+
+    def test_distance_symmetric_and_zero_diag(self, grid4):
+        for u in (0, 5, 15):
+            assert grid4.distance(u, u) == 0.0
+        assert grid4.distance(0, 15) == grid4.distance(15, 0)
+
+    def test_diameter_of_grid(self):
+        net = grid_network(3, 5)
+        assert net.diameter == (3 - 1) + (5 - 1)
+
+    def test_diameter_of_line(self, line10):
+        assert line10.diameter == 9.0
+
+    def test_distances_from_vector(self, grid4):
+        vec = grid4.distances_from(0)
+        assert vec[grid4.index_of(0)] == 0.0
+        assert vec[grid4.index_of(15)] == 6.0
+
+    def test_shortest_path_endpoints_and_length(self, grid8):
+        path = grid8.shortest_path(0, 63)
+        assert path[0] == 0 and path[-1] == 63
+        total = sum(grid8.edge_weight(a, b) for a, b in zip(path, path[1:]))
+        assert total == pytest.approx(grid8.distance(0, 63))
+
+
+class TestNeighborhoods:
+    def test_k_neighborhood_includes_self(self, grid4):
+        assert 5 in grid4.k_neighborhood(5, 0)
+
+    def test_k_neighborhood_radius_one(self, grid4):
+        hood = grid4.k_neighborhood(5, 1)
+        assert sorted(hood) == sorted([5, 1, 4, 6, 9])
+
+    def test_k_neighborhood_covers_all_at_diameter(self, grid4):
+        assert len(grid4.k_neighborhood(0, grid4.diameter)) == grid4.n
+
+    def test_neighbors_sorted(self, grid4):
+        nb = grid4.neighbors(5)
+        assert nb == sorted(nb, key=grid4.index_of)
+
+    def test_degree(self, grid4):
+        assert grid4.degree(0) == 2  # corner
+        assert grid4.degree(5) == 4  # interior
+
+
+class TestClosest:
+    def test_closest_picks_minimum_distance(self, grid4):
+        assert grid4.closest(0, [15, 1, 10]) == 1
+
+    def test_closest_breaks_ties_by_index(self, grid4):
+        # nodes 1 and 4 are both at distance 1 from node 0
+        assert grid4.closest(0, [4, 1]) == 1
+
+    def test_closest_empty_raises(self, grid4):
+        with pytest.raises(ValueError, match="non-empty"):
+            grid4.closest(0, [])
+
+
+class TestPositions:
+    def test_grid_positions(self, grid4):
+        assert grid4.position(0) == (0.0, 0.0)
+        assert grid4.position(5) == (1.0, 1.0)
+
+    def test_position_unavailable_raises(self):
+        net = SensorNetwork(nx.path_graph(3))
+        assert not net.has_positions
+        with pytest.raises(KeyError, match="no position"):
+            net.position(0)

@@ -1,0 +1,83 @@
+"""Tests for the deterministic MIS option (the paper's [29] alternative)."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.generators import grid_network
+from repro.hierarchy.levels import build_levels
+from repro.hierarchy.mis import deterministic_mis, is_maximal_independent_set
+from repro.hierarchy.structure import build_hierarchy
+
+
+def _adj(g):
+    return {v: list(g.neighbors(v)) for v in g.nodes()}
+
+
+class TestDeterministicMIS:
+    def test_path_graph(self):
+        g = nx.path_graph(7)
+        mis, rounds = deterministic_mis(list(g.nodes()), _adj(g))
+        assert is_maximal_independent_set(mis, list(g.nodes()), _adj(g))
+        assert 0 in mis  # the global minimum always wins round one
+
+    def test_fully_deterministic(self):
+        g = nx.gnp_random_graph(25, 0.2, seed=8)
+        a, _ = deterministic_mis(list(g.nodes()), _adj(g))
+        b, _ = deterministic_mis(list(g.nodes()), _adj(g))
+        assert a == b
+
+    def test_rounds_reported(self):
+        g = nx.path_graph(10)
+        _, rounds = deterministic_mis(list(g.nodes()), _adj(g))
+        assert rounds >= 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(2, 20),
+    p=st.floats(0.05, 0.9),
+    seed=st.integers(0, 200),
+)
+def test_deterministic_mis_always_maximal(n, p, seed):
+    g = nx.gnp_random_graph(n, p, seed=seed)
+    nodes = list(g.nodes())
+    adj = _adj(g)
+    mis, _ = deterministic_mis(nodes, adj)
+    assert is_maximal_independent_set(mis, nodes, adj)
+
+
+class TestLevelsWithDeterministicMIS:
+    def test_levels_valid(self):
+        net = grid_network(6, 6)
+        ls = build_levels(net, mis_algorithm="deterministic")
+        assert len(ls.levels[-1]) == 1
+        for lower, upper in zip(ls.levels, ls.levels[1:]):
+            assert set(upper) <= set(lower)
+
+    def test_seed_independent(self):
+        net = grid_network(6, 6)
+        a = build_levels(net, seed=1, mis_algorithm="deterministic")
+        b = build_levels(net, seed=99, mis_algorithm="deterministic")
+        assert a.levels == b.levels
+
+    def test_unknown_algorithm_rejected(self):
+        net = grid_network(3, 3)
+        with pytest.raises(ValueError, match="unknown MIS"):
+            build_levels(net, mis_algorithm="magic")
+
+    def test_tracker_runs_on_deterministic_hierarchy(self):
+        import random
+
+        net = grid_network(6, 6)
+        from repro.core.mot import MOTTracker
+
+        hs = build_hierarchy(net, mis_algorithm="deterministic")
+        tr = MOTTracker(hs)
+        tr.publish("o", 0)
+        rnd = random.Random(1)
+        cur = 0
+        for _ in range(40):
+            cur = rnd.choice(net.neighbors(cur))
+            tr.move("o", cur)
+            assert tr.query("o", rnd.choice(net.nodes)).proxy == cur

@@ -1,0 +1,92 @@
+"""Tests for the general-network hierarchy (paper §6)."""
+
+import math
+
+import pytest
+
+from repro.graphs.generators import erdos_renyi_network, random_tree_network
+from repro.hierarchy.general import build_general_hierarchy
+from repro.hierarchy.structure import HNode
+
+
+@pytest.fixture(scope="module")
+def gh_er():
+    net = erdos_renyi_network(30, seed=2)
+    return build_general_hierarchy(net, seed=1)
+
+
+@pytest.fixture(scope="module")
+def gh_tree():
+    net = random_tree_network(25, seed=5)
+    return build_general_hierarchy(net, seed=1)
+
+
+class TestShape:
+    def test_single_root(self, gh_er):
+        assert len(gh_er.covers[-1]) == 1
+        assert gh_er.root.node in gh_er.net
+
+    def test_level_zero_is_self(self, gh_er):
+        for v in gh_er.net.nodes:
+            assert gh_er.parent_set_of(v, 0) == (v,)
+
+    def test_parent_sets_nonempty_all_levels(self, gh_er):
+        for v in gh_er.net.nodes:
+            for ell in range(1, gh_er.h + 1):
+                assert gh_er.parent_set_of(v, ell)
+
+    def test_height_bounded(self, gh_er):
+        d = gh_er.net.diameter
+        assert gh_er.h <= math.ceil(math.log2(d)) + 2
+
+    def test_membership_logarithmic(self, gh_er):
+        assert gh_er.max_cluster_membership() <= 4 * math.ceil(math.log2(gh_er.net.n)) + 4
+
+    def test_rejects_multi_cluster_top(self, gh_er):
+        from repro.hierarchy.general import GeneralHierarchy
+        from repro.hierarchy.sparse_cover import sparse_cover
+
+        covers = [sparse_cover(gh_er.net, 1.0, seed=0)]
+        if len(covers[-1]) > 1:
+            with pytest.raises(ValueError, match="single cluster"):
+                GeneralHierarchy(gh_er.net, covers)
+
+
+class TestMeeting:
+    def test_meeting_level_lemma61(self, gh_er):
+        """Lemma 6.1: DPaths meet at level ceil(log dist)+1 (shared cluster)."""
+        net = gh_er.net
+        nodes = list(net.nodes)
+        for u, v in [(nodes[0], nodes[1]), (nodes[3], nodes[17]), (nodes[5], nodes[29])]:
+            if u == v:
+                continue
+            bound = min(gh_er.h, math.ceil(math.log2(max(net.distance(u, v), 1.0))) + 1)
+            met = gh_er.meeting_level(u, v)
+            assert met is not None and met <= bound
+
+    def test_dpath_reaches_root(self, gh_tree):
+        for v in gh_tree.net.nodes:
+            flat = gh_tree.dpath_flat(v)
+            assert flat[0] == HNode(0, v)
+            assert flat[-1] == gh_tree.root
+
+
+class TestMOTOnGeneral:
+    def test_tracker_runs_on_general_hierarchy(self, gh_er):
+        """MOT consumes a GeneralHierarchy unchanged (duck typing)."""
+        import random
+
+        from repro.core.mot import MOTTracker
+
+        tr = MOTTracker(gh_er)
+        net = gh_er.net
+        rnd = random.Random(0)
+        tr.publish("o", net.node_at(0))
+        cur = net.node_at(0)
+        for _ in range(40):
+            cur = rnd.choice(net.neighbors(cur))
+            tr.move("o", cur)
+            res = tr.query("o", rnd.choice(net.nodes))
+            assert res.proxy == cur
+        # §6 polylog bound, loosely: ratio far below the trivial O(D) blowup
+        assert tr.ledger.maintenance_cost_ratio < 40 * math.log2(net.n) ** 2

@@ -1,0 +1,89 @@
+"""Tests for Luby's MIS (paper §2.2, [24]) — including hypothesis checks."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hierarchy.mis import (
+    greedy_mis,
+    is_independent_set,
+    is_maximal_independent_set,
+    luby_mis,
+)
+
+
+def _adj(g: nx.Graph) -> dict:
+    return {v: list(g.neighbors(v)) for v in g.nodes()}
+
+
+class TestLubyBasics:
+    def test_empty_graph(self):
+        mis, rounds = luby_mis([], {})
+        assert mis == set() and rounds == 0
+
+    def test_single_node(self):
+        mis, _ = luby_mis([0], {0: []})
+        assert mis == {0}
+
+    def test_isolated_nodes_all_in_mis(self):
+        nodes = list(range(5))
+        mis, rounds = luby_mis(nodes, {v: [] for v in nodes})
+        assert mis == set(nodes)
+        assert rounds == 1
+
+    def test_complete_graph_single_winner(self):
+        g = nx.complete_graph(8)
+        mis, _ = luby_mis(list(g.nodes()), _adj(g), seed=3)
+        assert len(mis) == 1
+
+    def test_path_graph_maximal(self):
+        g = nx.path_graph(10)
+        mis, _ = luby_mis(list(g.nodes()), _adj(g), seed=0)
+        assert is_maximal_independent_set(mis, list(g.nodes()), _adj(g))
+
+    def test_deterministic_given_seed(self):
+        g = nx.gnp_random_graph(30, 0.2, seed=1)
+        a, _ = luby_mis(list(g.nodes()), _adj(g), seed=9)
+        b, _ = luby_mis(list(g.nodes()), _adj(g), seed=9)
+        assert a == b
+
+    def test_round_cap_raises_on_asymmetric_adjacency(self):
+        # node 0 sees 1 as neighbor but not vice versa: 1 may join while
+        # 0 never retires correctly -> cap must fire rather than loop
+        nodes = [0, 1]
+        adj = {0: [1], 1: []}
+        # may or may not loop depending on priorities; force a tiny cap
+        with pytest.raises(RuntimeError):
+            luby_mis(nodes, adj, seed=0, max_rounds=0)
+
+
+class TestOracles:
+    def test_greedy_is_maximal(self):
+        g = nx.gnp_random_graph(40, 0.15, seed=2)
+        mis = greedy_mis(list(g.nodes()), _adj(g))
+        assert is_maximal_independent_set(mis, list(g.nodes()), _adj(g))
+
+    def test_is_independent_rejects_adjacent_pair(self):
+        g = nx.path_graph(3)
+        assert not is_independent_set({0, 1}, _adj(g))
+
+    def test_is_maximal_rejects_extendable(self):
+        g = nx.path_graph(5)
+        # {0} is independent but node 3 has no neighbor in it
+        assert not is_maximal_independent_set({0}, list(g.nodes()), _adj(g))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=24),
+    p=st.floats(min_value=0.05, max_value=0.9),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_luby_always_maximal_independent(n, p, seed):
+    """Property: Luby's output is a maximal independent set on any graph."""
+    g = nx.gnp_random_graph(n, p, seed=seed)
+    nodes = list(g.nodes())
+    adj = _adj(g)
+    mis, rounds = luby_mis(nodes, adj, seed=seed)
+    assert is_maximal_independent_set(mis, nodes, adj)
+    assert rounds >= 1

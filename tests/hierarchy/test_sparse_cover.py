@@ -1,0 +1,71 @@
+"""Tests for Awerbuch–Peleg sparse covers (paper §6)."""
+
+import math
+
+import pytest
+
+from repro.graphs.generators import erdos_renyi_network, grid_network, random_tree_network
+from repro.hierarchy.sparse_cover import sparse_cover
+
+
+@pytest.fixture(scope="module")
+def er30():
+    return erdos_renyi_network(30, seed=2)
+
+
+class TestCoverProperties:
+    @pytest.mark.parametrize("radius", [1.0, 2.0, 4.0])
+    def test_every_ball_covered(self, er30, radius):
+        """Property 1: each node's r-ball lies inside some cluster."""
+        clusters = sparse_cover(er30, radius, seed=1)
+        for v in er30.nodes:
+            ball = set(er30.k_neighborhood(v, radius))
+            assert any(ball <= set(c.members) for c in clusters), v
+
+    @pytest.mark.parametrize("radius", [1.0, 2.0])
+    def test_cluster_radius_bounded(self, er30, radius):
+        """Property 2: cluster radius O(r log n)."""
+        k = math.ceil(math.log2(er30.n))
+        bound = 2 * radius * (k + 2)
+        for c in sparse_cover(er30, radius, seed=1):
+            ecc = max(er30.distance(c.leader, v) for v in c.members)
+            assert ecc <= bound
+
+    @pytest.mark.parametrize("radius", [1.0, 2.0])
+    def test_overlap_bounded(self, er30, radius):
+        """Property 3: every node in O(log n) clusters (loose empirical bound)."""
+        clusters = sparse_cover(er30, radius, seed=1)
+        counts = {v: 0 for v in er30.nodes}
+        for c in clusters:
+            for v in c.members:
+                counts[v] += 1
+        assert max(counts.values()) <= 4 * math.ceil(math.log2(er30.n)) + 4
+
+    def test_cores_partition_nodes(self, er30):
+        clusters = sparse_cover(er30, 2.0, seed=1)
+        seen = []
+        for c in clusters:
+            seen.extend(c.core)
+        assert sorted(seen) == sorted(er30.nodes)  # exactly once each
+
+    def test_leader_in_core(self, er30):
+        for c in sparse_cover(er30, 2.0, seed=1):
+            assert c.leader in c.core
+            assert c.leader in c
+
+    def test_labels_unique(self, er30):
+        clusters = sparse_cover(er30, 1.0, seed=1)
+        labels = [c.label for c in clusters]
+        assert len(labels) == len(set(labels))
+
+    def test_huge_radius_single_cluster(self, er30):
+        clusters = sparse_cover(er30, er30.diameter + 1, seed=1)
+        assert len(clusters) == 1
+        assert set(clusters[0].members) == set(er30.nodes)
+
+    def test_works_on_trees_and_grids(self):
+        for net in (grid_network(5, 5), random_tree_network(20, seed=3)):
+            clusters = sparse_cover(net, 2.0, seed=0)
+            for v in net.nodes:
+                ball = set(net.k_neighborhood(v, 2.0))
+                assert any(ball <= set(c.members) for c in clusters)

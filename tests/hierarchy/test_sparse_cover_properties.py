@@ -1,0 +1,56 @@
+"""Property-based tests for sparse covers over random graphs (§6)."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.network import SensorNetwork
+from repro.hierarchy.sparse_cover import sparse_cover
+
+
+@st.composite
+def random_networks(draw):
+    n = draw(st.integers(4, 24))
+    seed = draw(st.integers(0, 500))
+    g = nx.gnp_random_graph(n, 0.25, seed=seed)
+    if not nx.is_connected(g):
+        # connect components along a path for a valid SensorNetwork
+        comps = [sorted(c)[0] for c in nx.connected_components(g)]
+        for a, b in zip(comps, comps[1:]):
+            g.add_edge(a, b)
+    for _, _, d in g.edges(data=True):
+        d["weight"] = 1.0
+    return SensorNetwork(g, normalize=False)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    net=random_networks(),
+    radius=st.sampled_from([1.0, 2.0, 3.0]),
+    seed=st.integers(0, 20),
+)
+def test_sparse_cover_properties_hold_on_random_graphs(net, radius, seed):
+    clusters = sparse_cover(net, radius, seed=seed)
+
+    # 1. cover: every node's r-ball inside some cluster
+    for v in net.nodes:
+        ball = set(net.k_neighborhood(v, radius))
+        assert any(ball <= set(c.members) for c in clusters), v
+
+    # 2. radius bound O(r log n) from the leader
+    k = math.ceil(math.log2(max(net.n, 2)))
+    bound = 2 * radius * (k + 2)
+    for c in clusters:
+        assert all(net.distance(c.leader, v) <= bound for v in c.members)
+
+    # 3. cores partition the node set
+    cores = [v for c in clusters for v in c.core]
+    assert sorted(cores, key=net.index_of) == sorted(net.nodes, key=net.index_of)
+
+    # 4. leaders are members of their own cores
+    for c in clusters:
+        assert c.leader in c.core

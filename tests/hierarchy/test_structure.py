@@ -1,0 +1,157 @@
+"""Tests for the overlay HS: parents, parent sets, DPaths (paper §2.2, §3)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.generators import grid_network, ring_network
+from repro.hierarchy.structure import HNode, build_hierarchy
+
+
+class TestParents:
+    def test_default_parent_is_closest_upper(self, hs_grid8, grid8):
+        for ell in range(hs_grid8.h):
+            uppers = hs_grid8.level_nodes(ell + 1)
+            for w in hs_grid8.level_nodes(ell):
+                dp = hs_grid8.default_parent(ell, w)
+                dmin = min(grid8.distance(w, u) for u in uppers)
+                assert grid8.distance(w, dp) == pytest.approx(dmin)
+
+    def test_default_parent_within_mis_bound(self, hs_grid8, grid8):
+        """MIS maximality: default parent at distance < 2^(ell+1)."""
+        for ell in range(hs_grid8.h):
+            for w in hs_grid8.level_nodes(ell):
+                dp = hs_grid8.default_parent(ell, w)
+                assert grid8.distance(w, dp) < 2 ** (ell + 1)
+
+    def test_parent_set_contains_default_and_radius(self, hs_grid8_parentsets, grid8):
+        hs = hs_grid8_parentsets
+        for ell in range(hs.h):
+            for w in hs.level_nodes(ell):
+                ps = hs.parent_set(ell, w)
+                assert hs.default_parent(ell, w) in ps
+                radius = 4.0 * 2 ** (ell + 1)
+                for p in ps:
+                    assert grid8.distance(w, p) <= radius or p == hs.default_parent(ell, w)
+
+    def test_parent_sets_id_ordered(self, hs_grid8_parentsets, grid8):
+        hs = hs_grid8_parentsets
+        for ell in range(hs.h):
+            for w in hs.level_nodes(ell):
+                ps = list(hs.parent_set(ell, w))
+                assert ps == sorted(ps, key=grid8.index_of)
+
+    def test_parent_set_bounded_constant(self, hs_grid8_parentsets):
+        """Observation 1: constant-size parent sets in doubling networks."""
+        hs = hs_grid8_parentsets
+        for ell in range(hs.h):
+            for w in hs.level_nodes(ell):
+                assert len(hs.parent_set(ell, w)) <= 2 ** (3 * 3)  # 2^(3 rho), rho<=3
+
+    def test_home_chain_reaches_root(self, hs_grid8):
+        for x in hs_grid8.net.nodes:
+            assert hs_grid8.home(x, hs_grid8.h) == hs_grid8.root.node
+
+    def test_invalid_special_gap_rejected(self, grid8):
+        with pytest.raises(ValueError, match="special_parent_gap"):
+            build_hierarchy(grid8, special_parent_gap=0)
+
+
+class TestDPath:
+    def test_dpath_starts_at_self_ends_at_root(self, hs_grid8):
+        for x in (0, 27, 63):
+            path = hs_grid8.dpath(x)
+            assert path[0] == (HNode(0, x),)
+            assert path[-1] == (hs_grid8.root,)
+
+    def test_dpath_single_chain_one_node_per_level(self, hs_grid8):
+        for x in (0, 27, 63):
+            assert all(len(tier) == 1 for tier in hs_grid8.dpath(x))
+
+    def test_dpath_flat_no_duplicates(self, hs_grid8_parentsets):
+        for x in (0, 27, 63):
+            flat = hs_grid8_parentsets.dpath_flat(x)
+            assert len(flat) == len(set(flat))
+
+    def test_dpath_cached(self, hs_grid8):
+        assert hs_grid8.dpath(5) is hs_grid8.dpath(5)
+
+    def test_dpath_length_monotone_in_level(self, hs_grid8):
+        lengths = [hs_grid8.dpath_length(17, j) for j in range(hs_grid8.h + 1)]
+        assert lengths == sorted(lengths)
+        assert lengths[0] == 0.0
+
+    def test_dpath_length_bound_lemma22(self, hs_grid8_parentsets, grid8):
+        """Lemma 2.2 shape: length(DPath_j) <= 2^(j + c) for a constant c."""
+        hs = hs_grid8_parentsets
+        for x in (0, 27, 63):
+            for j in range(1, hs.h + 1):
+                assert hs.dpath_length(x, j) <= 2 ** (j + 8)
+
+
+class TestMeetingLevel:
+    def test_meeting_level_exists(self, hs_grid8_parentsets):
+        assert hs_grid8_parentsets.meeting_level(0, 63) is not None
+
+    def test_meeting_level_bound_lemma21(self, hs_grid8_parentsets, grid8):
+        """Lemma 2.1: DPaths of u, v meet by level ceil(log dist)+1 (parent sets)."""
+        hs = hs_grid8_parentsets
+        pairs = [(0, 1), (0, 9), (10, 37), (0, 63), (7, 56)]
+        for u, v in pairs:
+            bound = min(hs.h, math.ceil(math.log2(grid8.distance(u, v))) + 1)
+            assert hs.meeting_level(u, v) <= bound, (u, v)
+
+    def test_meeting_level_zero_iff_same(self, hs_grid8_parentsets):
+        assert hs_grid8_parentsets.meeting_level(5, 5) == 0
+        assert hs_grid8_parentsets.meeting_level(5, 6) >= 1
+
+
+class TestSpecialParents:
+    def test_special_level_clamped_at_root(self, hs_grid8):
+        assert hs_grid8.special_level(hs_grid8.h) == hs_grid8.h
+        assert hs_grid8.special_level(0) == min(hs_grid8.special_parent_gap, hs_grid8.h)
+
+    def test_special_parent_on_own_dpath(self, hs_grid8):
+        for x in (0, 27, 63):
+            for ell in range(1, hs_grid8.h):
+                sp = hs_grid8.special_parent_for(x, ell, 0)
+                k = hs_grid8.special_level(ell)
+                assert sp.level == k
+                assert sp.node in hs_grid8.parent_set_of(x, k)
+
+    def test_special_parent_rank_cycles(self, hs_grid8_parentsets):
+        hs = hs_grid8_parentsets
+        x = 27
+        ell = 1
+        size = len(hs.parent_set_of(x, hs.special_level(ell)))
+        assert hs.special_parent_for(x, ell, 0) == hs.special_parent_for(x, ell, size)
+
+
+class TestLoadRoles:
+    def test_every_node_has_at_least_bottom_role(self, hs_grid8):
+        roles = hs_grid8.load_roles()
+        assert all(r >= 1 for r in roles.values())
+
+    def test_total_roles_equals_level_populations(self, hs_grid8):
+        roles = hs_grid8.load_roles()
+        assert sum(roles.values()) == sum(len(hs_grid8.level_nodes(l)) for l in range(hs_grid8.h + 1))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    rows=st.integers(min_value=2, max_value=6),
+    cols=st.integers(min_value=2, max_value=6),
+    seed=st.integers(min_value=0, max_value=50),
+)
+def test_hierarchy_invariants_on_random_grids(rows, cols, seed):
+    """Property: structure invariants hold for every grid and seed."""
+    net = grid_network(rows, cols)
+    hs = build_hierarchy(net, seed=seed)
+    assert len(hs.level_nodes(hs.h)) == 1
+    for x in net.nodes:
+        flat = hs.dpath_flat(x)
+        assert flat[0] == HNode(0, x)
+        assert flat[-1] == hs.root
+        levels = [hn.level for hn in flat]
+        assert levels == sorted(levels)

@@ -1,0 +1,40 @@
+"""Tests for load statistics (Figs. 8–11 call-outs)."""
+
+import pytest
+
+from repro.metrics.load import LoadStats
+
+
+def test_from_loads():
+    loads = {0: 0, 1: 5, 2: 12, 3: 30}
+    s = LoadStats.from_loads(loads, threshold=10)
+    assert s.total == 47
+    assert s.nodes == 4
+    assert s.max_load == 30
+    assert s.mean_load == pytest.approx(47 / 4)
+    assert s.above_threshold == 2
+    assert s.threshold == 10
+
+
+def test_threshold_strict_inequality():
+    """The paper counts nodes with load > 10, not >= 10."""
+    s = LoadStats.from_loads({0: 10, 1: 11}, threshold=10)
+    assert s.above_threshold == 1
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        LoadStats.from_loads({})
+
+
+def test_histogram_buckets():
+    loads = {i: v for i, v in enumerate([0, 0, 1, 3, 7, 15, 60])}
+    s = LoadStats.from_loads(loads)
+    hist = s.histogram(loads)
+    assert hist["0-1"] == 2
+    assert hist["1-2"] == 1
+    assert hist["2-5"] == 1
+    assert hist["5-10"] == 1
+    assert hist["10-20"] == 1
+    assert hist["50+"] == 1
+    assert sum(hist.values()) == len(loads)

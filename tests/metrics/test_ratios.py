@@ -1,0 +1,28 @@
+"""Tests for ratio aggregation."""
+
+import pytest
+
+from repro.metrics.ratios import RatioStats, summarize_ratios
+
+
+def test_basic_stats():
+    s = summarize_ratios([1.0, 2.0, 3.0])
+    assert s.mean == pytest.approx(2.0)
+    assert s.min == 1.0 and s.max == 3.0
+    assert s.reps == 3
+    assert s.std == pytest.approx((2.0 / 3.0) ** 0.5)
+
+
+def test_single_value():
+    s = summarize_ratios([4.2])
+    assert s.mean == 4.2 and s.std == 0.0
+
+
+def test_accepts_generators():
+    s = summarize_ratios(x / 2 for x in range(1, 4))
+    assert s.reps == 3
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError, match="empty"):
+        summarize_ratios([])

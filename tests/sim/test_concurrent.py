@@ -1,0 +1,183 @@
+"""Tests for the concurrent tracking protocol (§3, §4.1.2)."""
+
+import random
+
+import pytest
+
+from repro.baselines.stun import build_dab_tree
+from repro.baselines.zdat import build_zdat_tree
+from repro.graphs.generators import grid_network
+from repro.hierarchy.structure import build_hierarchy
+from repro.sim.concurrent_mot import ConcurrentMOT
+from repro.sim.concurrent_tree import ConcurrentTreeTracker
+from repro.sim.workload import make_workload
+
+NET = grid_network(6, 6)
+HS = build_hierarchy(NET, seed=1)
+
+
+def _drain_check(tracker):
+    """After drain: no stuck waiters, no garbage entries off the spines."""
+    stuck = sum(len(l) for m in tracker._waiting.values() for l in m.values())
+    assert stuck == 0, "queries left waiting after drain"
+    for station, bucket in tracker._entries.items():
+        for obj in bucket:
+            assert station in tracker._spine_index[obj], f"garbage entry at {station}"
+
+
+class TestSequentialEquivalence:
+    def test_single_op_at_a_time_matches_truth(self):
+        """With one outstanding op the protocol is plain MOT."""
+        tr = ConcurrentMOT(HS)
+        tr.publish("o", 0)
+        rnd = random.Random(1)
+        cur = 0
+        for _ in range(50):
+            cur = rnd.choice(NET.neighbors(cur))
+            tr.submit_move(tr.engine.now, "o", cur)
+            tr.run()
+            tr.submit_query(tr.engine.now, "o", rnd.choice(NET.nodes))
+            tr.run()
+            assert tr.query_results[-1].proxy == cur
+        _drain_check(tr)
+        assert tr.fallback_queries == 0
+
+    def test_publish_twice_rejected(self):
+        tr = ConcurrentMOT(HS)
+        tr.publish("o", 0)
+        with pytest.raises(ValueError):
+            tr.publish("o", 1)
+
+    def test_move_unknown_object_rejected(self):
+        tr = ConcurrentMOT(HS)
+        with pytest.raises(KeyError):
+            tr.submit_move(0.0, "ghost", 3)
+        with pytest.raises(KeyError):
+            tr.submit_query(0.0, "ghost", 3)
+
+
+class TestConcurrentMoves:
+    @pytest.mark.parametrize("batch", [2, 5, 10])
+    def test_batched_moves_converge(self, batch):
+        """Paper §8 schedule: up to `batch` outstanding ops per object."""
+        tr = ConcurrentMOT(build_hierarchy(NET, seed=2))
+        wl = make_workload(NET, num_objects=5, moves_per_object=40, seed=4)
+        for o, s in wl.starts.items():
+            tr.publish(o, s)
+        per_obj = {o: [m for m in wl.moves if m.obj == o] for o in wl.starts}
+        for o, moves in per_obj.items():
+            for i in range(0, len(moves), batch):
+                t0 = tr.engine.now
+                for k, m in enumerate(moves[i : i + batch]):
+                    tr.submit_move(t0 + 0.01 * k, m.obj, m.new)
+                tr.run(max_events=1_000_000)
+        _drain_check(tr)
+        for o, moves in per_obj.items():
+            assert tr.true_proxy[o] == moves[-1].new
+            assert tr.spine_of(o)[0][1] if False else True
+            tr.submit_query(tr.engine.now, o, 0)
+            tr.run()
+            assert tr.query_results[-1].proxy == moves[-1].new
+
+    def test_fully_simultaneous_burst(self):
+        """The §4.1.2 'completely concurrent case': all ops at t=0."""
+        tr = ConcurrentMOT(build_hierarchy(NET, seed=3))
+        tr.publish("o", 0)
+        path = [0]
+        rnd = random.Random(9)
+        for _ in range(15):
+            path.append(rnd.choice(NET.neighbors(path[-1])))
+        for i, node in enumerate(path[1:]):
+            tr.submit_move(0.0, "o", node)
+        tr.run(max_events=1_000_000)
+        _drain_check(tr)
+        tr.submit_query(tr.engine.now, "o", 35)
+        tr.run()
+        assert tr.query_results[-1].proxy == path[-1]
+
+    def test_costs_at_least_optimal_total(self):
+        tr = ConcurrentMOT(build_hierarchy(NET, seed=1))
+        tr.publish("o", 0)
+        tr.submit_move(0.0, "o", 1)
+        tr.submit_move(0.0, "o", 2)
+        tr.run()
+        assert tr.ledger.maintenance_cost >= 2.0  # two unit moves
+
+
+class TestQueriesDuringMoves:
+    def test_overlapping_queries_find_some_valid_proxy(self):
+        """A query overlapping maintenance may return any position the
+        object legitimately held during the overlap; it must complete."""
+        tr = ConcurrentMOT(build_hierarchy(NET, seed=5))
+        tr.publish("o", 0)
+        trail = [0]
+        rnd = random.Random(11)
+        for _ in range(20):
+            trail.append(rnd.choice(NET.neighbors(trail[-1])))
+        for i, node in enumerate(trail[1:]):
+            tr.submit_move(i * 0.5, "o", node)
+        for i in range(10):
+            tr.submit_query(i * 1.0 + 0.25, "o", rnd.choice(NET.nodes))
+        tr.run(max_events=1_000_000)
+        _drain_check(tr)
+        assert len(tr.query_results) == 10
+        valid = set(trail)
+        for r in tr.query_results:
+            assert r.proxy in valid
+
+    def test_query_waits_at_stale_proxy_then_forwards(self):
+        """The paper's Fig-1 narrative: the query reaches the old proxy,
+        waits for the delete, and follows the carried new-proxy id."""
+        hs = build_hierarchy(grid_network(8, 8), seed=1)
+        net = hs.net
+        tr = ConcurrentMOT(hs)
+        tr.publish("o", 0)
+        tr.submit_move(0.0, "o", 1)
+        tr.run()
+        # move to a far node and immediately query from right next to the
+        # old proxy: the query gets there long before the delete
+        tr.submit_move(100.0, "o", 63)
+        tr.submit_query(100.0, "o", 1)
+        tr.run()
+        res = tr.query_results[-1]
+        assert res.proxy == 63
+        assert res.cost >= net.distance(1, 63)
+
+
+class TestConcurrentTrees:
+    @pytest.mark.parametrize("shortcuts", [False, True])
+    def test_tree_protocol_converges(self, shortcuts):
+        wl = make_workload(NET, num_objects=4, moves_per_object=30, seed=6)
+        tree = build_zdat_tree(NET, wl.traffic)
+        tr = ConcurrentTreeTracker(tree, query_shortcuts=shortcuts)
+        for o, s in wl.starts.items():
+            tr.publish(o, s)
+        per_obj = {o: [m for m in wl.moves if m.obj == o] for o in wl.starts}
+        for o, moves in per_obj.items():
+            for i in range(0, len(moves), 10):
+                t0 = tr.engine.now
+                for k, m in enumerate(moves[i : i + 10]):
+                    tr.submit_move(t0 + 0.01 * k, m.obj, m.new)
+                tr.run(max_events=1_000_000)
+        _drain_check(tr)
+        for o, moves in per_obj.items():
+            tr.submit_query(tr.engine.now, o, tree.root)
+            tr.run()
+            assert tr.query_results[-1].proxy == moves[-1].new
+
+    def test_move_to_tree_ancestor(self):
+        """The tricky tree case: the new proxy is an ancestor of the old."""
+        wl = make_workload(NET, num_objects=2, moves_per_object=5, seed=1)
+        tree = build_dab_tree(NET, wl.traffic)
+        tr = ConcurrentTreeTracker(tree)
+        # find a node with a parent and walk down then up
+        child = next(v for v in NET.nodes if tree.parent[v] is not None)
+        parent = tree.parent[child]
+        tr.publish("o", parent)
+        tr.submit_move(0.0, "o", child)
+        tr.submit_move(0.5, "o", parent)  # back to the ancestor, overlapping
+        tr.run(max_events=100_000)
+        _drain_check(tr)
+        tr.submit_query(tr.engine.now, "o", tree.root)
+        tr.run()
+        assert tr.query_results[-1].proxy == parent

@@ -1,0 +1,64 @@
+"""Tests for the concurrent load-balanced MOT adapter."""
+
+import random
+
+import pytest
+
+from repro.graphs.generators import grid_network
+from repro.hierarchy.structure import build_hierarchy
+from repro.sim.concurrent_balanced import ConcurrentBalancedMOT
+from repro.sim.concurrent_mot import ConcurrentMOT
+
+NET = grid_network(6, 6)
+
+
+def _run(tracker, seed=3, steps=30):
+    rnd = random.Random(seed)
+    tracker.publish("o", 0)
+    cur = 0
+    t = 0.0
+    for _ in range(steps):
+        cur = rnd.choice(NET.neighbors(cur))
+        tracker.submit_move(t, "o", cur)
+        t += 0.5
+    tracker.run(max_events=500_000)
+    tracker.submit_query(tracker.engine.now, "o", 35)
+    tracker.run()
+    return cur
+
+
+class TestConcurrentBalanced:
+    def test_tracking_correct(self):
+        tracker = ConcurrentBalancedMOT(build_hierarchy(NET, seed=1))
+        final = _run(tracker)
+        assert tracker.query_results[-1].proxy == final
+        assert tracker.fallback_queries == 0
+
+    def test_costs_dominate_plain_concurrent(self):
+        """Corollary 5.2, concurrently: routing only ever adds cost."""
+        plain = ConcurrentMOT(build_hierarchy(NET, seed=1))
+        balanced = ConcurrentBalancedMOT(build_hierarchy(NET, seed=1))
+        _run(plain)
+        _run(balanced)
+        assert balanced.ledger.maintenance_cost >= plain.ledger.maintenance_cost - 1e-9
+        assert balanced.ledger.query_cost >= plain.ledger.query_cost - 1e-9
+        # and within the O(log n) envelope
+        import math
+
+        assert balanced.ledger.maintenance_cost <= (
+            4 * math.log2(NET.n) * max(plain.ledger.maintenance_cost, 1.0)
+        )
+
+    def test_object_keys_assigned_once(self):
+        tracker = ConcurrentBalancedMOT(build_hierarchy(NET, seed=1))
+        tracker.publish("a", 0)
+        tracker.publish("b", 1)
+        assert tracker.object_key("a") == 1
+        assert tracker.object_key("b") == 2
+        with pytest.raises(KeyError):
+            tracker.object_key("ghost")
+
+    def test_works_with_periods(self):
+        tracker = ConcurrentBalancedMOT(build_hierarchy(NET, seed=1), periods=True)
+        final = _run(tracker, steps=15)
+        assert tracker.query_results[-1].proxy == final

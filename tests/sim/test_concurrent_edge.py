@@ -1,0 +1,103 @@
+"""Edge-case and failure-injection tests for the concurrent simulator."""
+
+import pytest
+
+from repro.graphs.generators import grid_network
+from repro.hierarchy.structure import build_hierarchy
+from repro.sim.concurrent_mot import ConcurrentMOT
+from repro.sim.engine import Engine
+
+NET = grid_network(5, 5)
+HS = build_hierarchy(NET, seed=1)
+
+
+class TestFallbackValve:
+    def test_fallback_fires_when_cap_exhausted(self, monkeypatch):
+        """Failure injection: with an absurdly small chase cap, the
+        safety valve resolves the query at the true proxy and counts it."""
+        tr = ConcurrentMOT(HS)
+        monkeypatch.setattr(type(tr), "MAX_QUERY_WAITS", 0)
+        tr.publish("o", 0)
+        tr.submit_move(0.0, "o", 1)
+        tr.run()
+        tr.submit_query(tr.engine.now, "o", 24)
+        tr.run()
+        assert tr.fallback_queries >= 1
+        # the fallback still reports the correct location
+        assert tr.query_results[-1].proxy == 1
+
+    def test_normal_runs_never_fall_back(self):
+        tr = ConcurrentMOT(HS)
+        tr.publish("o", 0)
+        for i, node in enumerate([1, 2, 7, 12, 11]):
+            tr.submit_move(float(i), "o", node)
+            tr.submit_query(float(i) + 0.1, "o", 24)
+        tr.run()
+        assert tr.fallback_queries == 0
+
+
+class TestSharedEngine:
+    def test_two_trackers_share_a_clock(self):
+        engine = Engine()
+        a = ConcurrentMOT(HS, engine=engine)
+        b = ConcurrentMOT(build_hierarchy(NET, seed=2), engine=engine)
+        a.publish("x", 0)
+        b.publish("y", 24)
+        a.submit_move(0.0, "x", 1)
+        b.submit_move(0.0, "y", 23)
+        engine.run()
+        assert a.true_proxy["x"] == 1
+        assert b.true_proxy["y"] == 23
+        assert a.engine is b.engine
+
+
+class TestTimingSemantics:
+    def test_message_latency_equals_distance(self):
+        """§4.1.2: a hop of distance d takes d time units."""
+        tr = ConcurrentMOT(HS)
+        tr.publish("o", 0)
+        t0 = tr.engine.now
+        tr.submit_move(t0, "o", 1)
+        tr.run()
+        # the maintenance finished strictly after the clock advanced by
+        # at least the insert's first-hop distance
+        assert tr.engine.now > t0
+
+    def test_run_until_partial_progress(self):
+        tr = ConcurrentMOT(HS)
+        tr.publish("o", 0)
+        tr.submit_move(0.0, "o", 24)  # a long way: many hops
+        tr.engine.run(until=0.5)
+        in_flight = tr.engine.pending
+        assert in_flight >= 1  # still travelling
+        tr.run()
+        assert tr.true_proxy["o"] == 24
+
+    def test_query_cost_includes_waiting_free_forwarding_paid(self):
+        """A query that waits pays no cost while waiting, but pays the
+        forwarding jump (the paper charges messages, not time)."""
+        tr = ConcurrentMOT(HS)
+        tr.publish("o", 0)
+        tr.submit_move(0.0, "o", 1)
+        tr.run()
+        # long move; query issued simultaneously right next to old proxy
+        tr.submit_move(100.0, "o", 24)
+        tr.submit_query(100.0, "o", 1)
+        tr.run()
+        res = tr.query_results[-1]
+        assert res.proxy == 24
+        assert res.cost >= NET.distance(1, 24)
+
+
+class TestSubmissionValidation:
+    def test_moves_respect_submission_order(self):
+        tr = ConcurrentMOT(HS)
+        tr.publish("o", 0)
+        tr.submit_move(0.0, "o", 1)
+        tr.submit_move(1.0, "o", 2)
+        tr.run()
+        assert len(tr.move_results) == 2
+        assert tr.true_proxy["o"] == 2
+        # results carry the trajectory's old/new pairs
+        pairs = {(m.old_proxy, m.new_proxy) for m in tr.move_results}
+        assert pairs == {(0, 1), (1, 2)}

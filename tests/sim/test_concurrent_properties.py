@@ -1,0 +1,102 @@
+"""Property-based tests of the concurrent protocol (hypothesis).
+
+For arbitrary interleavings of batched moves and overlapping queries:
+
+1. the run always drains (no deadlock, no livelock);
+2. no waiting query survives the drain;
+3. no garbage detection-list entries survive off the spines;
+4. the final spine of every object leads to its true final position;
+5. every query completes and returns a position the object actually
+   held during the execution.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.generators import grid_network
+from repro.hierarchy.structure import build_hierarchy
+from repro.sim.concurrent_mot import ConcurrentMOT
+
+NET = grid_network(5, 5)
+HS = build_hierarchy(NET, seed=1)
+
+
+@st.composite
+def concurrent_scripts(draw):
+    num_objects = draw(st.integers(1, 3))
+    trails = {}
+    for i in range(num_objects):
+        start = draw(st.integers(0, NET.n - 1))
+        length = draw(st.integers(1, 15))
+        trail = [NET.node_at(start)]
+        for _ in range(length):
+            nb = NET.neighbors(trail[-1])
+            trail.append(nb[draw(st.integers(0, len(nb) - 1))])
+        trails[i] = trail
+    # per-object submit times: non-decreasing, possibly equal (bursts)
+    schedules = {}
+    for i, trail in trails.items():
+        t = 0.0
+        times = []
+        for _ in trail[1:]:
+            t += draw(st.sampled_from([0.0, 0.3, 1.0, 5.0]))
+            times.append(t)
+        schedules[i] = times
+    queries = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, num_objects - 1),
+                st.integers(0, NET.n - 1),
+                st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+            ),
+            max_size=6,
+        )
+    )
+    return trails, schedules, queries
+
+
+@settings(max_examples=50, deadline=None)
+@given(script=concurrent_scripts())
+def test_concurrent_protocol_invariants(script):
+    trails, schedules, queries = script
+    tr = ConcurrentMOT(HS)
+    for i, trail in trails.items():
+        tr.publish(i, trail[0])
+    for i, trail in trails.items():
+        for node, t in zip(trail[1:], schedules[i]):
+            tr.submit_move(t, i, node)
+    for obj, src_idx, t in queries:
+        tr.submit_query(t, obj, NET.node_at(src_idx))
+    # (1) drains without livelock
+    tr.run(max_events=500_000)
+
+    # (2) no waiting queries survive
+    stuck = sum(len(l) for m in tr._waiting.values() for l in m.values())
+    assert stuck == 0
+
+    # (3) no garbage entries off the spines
+    for station, bucket in tr._entries.items():
+        for obj in bucket:
+            assert station in tr._spine_index[obj]
+
+    # (4) spines reach the true final positions
+    for i, trail in trails.items():
+        assert tr.true_proxy[i] == trail[-1]
+        spine = tr.spine_of(i)
+        assert spine[0].node == trail[-1] and spine[0].level == 0
+        assert spine[-1] == HS.root
+        # every move completed and was recorded
+    assert len(tr.move_results) == sum(len(t) - 1 for t in trails.values())
+
+    # (5) all queries completed with positions the object actually held
+    assert len(tr.query_results) == len(queries)
+    for r in tr.query_results:
+        assert r.proxy in set(trails[r.obj])
+
+    # post-drain queries find the exact final position
+    for i, trail in trails.items():
+        tr.submit_query(tr.engine.now, i, NET.node_at(0))
+        tr.run()
+        assert tr.query_results[-1].proxy == trail[-1]

@@ -1,0 +1,83 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        e = Engine()
+        seen = []
+        e.schedule(2.0, lambda: seen.append("b"))
+        e.schedule(1.0, lambda: seen.append("a"))
+        e.schedule(3.0, lambda: seen.append("c"))
+        e.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_ties_fire_in_schedule_order(self):
+        e = Engine()
+        seen = []
+        for i in range(5):
+            e.schedule(1.0, lambda i=i: seen.append(i))
+        e.run()
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_now_advances(self):
+        e = Engine()
+        times = []
+        e.schedule(1.5, lambda: times.append(e.now))
+        e.schedule(4.0, lambda: times.append(e.now))
+        e.run()
+        assert times == [1.5, 4.0]
+
+    def test_nested_scheduling(self):
+        e = Engine()
+        seen = []
+        e.schedule(1.0, lambda: (seen.append("outer"), e.schedule(1.0, lambda: seen.append("inner"))))
+        e.run()
+        assert seen == ["outer", "inner"]
+        assert e.now == 2.0
+
+    def test_negative_delay_rejected(self):
+        e = Engine()
+        with pytest.raises(ValueError):
+            e.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute(self):
+        e = Engine()
+        seen = []
+        e.schedule_at(5.0, lambda: seen.append(e.now))
+        e.run()
+        assert seen == [5.0]
+
+
+class TestRunControls:
+    def test_run_until_stops_and_sets_clock(self):
+        e = Engine()
+        seen = []
+        e.schedule(1.0, lambda: seen.append(1))
+        e.schedule(10.0, lambda: seen.append(10))
+        e.run(until=5.0)
+        assert seen == [1]
+        assert e.now == 5.0
+        assert e.pending == 1
+        e.run()
+        assert seen == [1, 10]
+
+    def test_max_events_guards_livelock(self):
+        e = Engine()
+
+        def loop():
+            e.schedule(0.0, loop)
+
+        e.schedule(0.0, loop)
+        with pytest.raises(RuntimeError, match="livelock"):
+            e.run(max_events=100)
+
+    def test_events_processed_counter(self):
+        e = Engine()
+        for _ in range(3):
+            e.schedule(0.1, lambda: None)
+        e.run()
+        assert e.events_processed == 3

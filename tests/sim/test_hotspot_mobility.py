@@ -1,0 +1,63 @@
+"""Tests for the hotspot mobility model."""
+
+import pytest
+
+from repro.graphs.generators import grid_network
+from repro.sim.mobility import hotspot_trajectories
+from repro.sim.workload import make_workload
+
+NET = grid_network(6, 6)
+
+
+class TestHotspotTrajectories:
+    def test_shape_and_adjacency(self):
+        t = hotspot_trajectories(NET, 3, 30, seed=1)
+        for path in t.values():
+            assert len(path) == 31
+            for a, b in zip(path, path[1:]):
+                assert NET.graph.has_edge(a, b)
+
+    def test_traffic_concentrates_near_hotspots(self):
+        """Hotspot traffic is more skewed than the uniform random walk."""
+        from repro.baselines.traffic import TrafficProfile
+        from repro.sim.mobility import random_walk_trajectories
+
+        def edge_skew(trajs):
+            moves = [
+                (a, b)
+                for path in trajs.values()
+                for a, b in zip(path, path[1:])
+            ]
+            profile = TrafficProfile.from_moves(NET, moves)
+            rates = sorted(profile.counts.values(), reverse=True)
+            top = sum(rates[: max(1, len(rates) // 10)])
+            return top / sum(rates)
+
+        hot = edge_skew(hotspot_trajectories(NET, 8, 60, seed=2, attraction=0.9))
+        uni = edge_skew(random_walk_trajectories(NET, 8, 60, seed=2))
+        assert hot > uni
+
+    def test_attraction_zero_behaves_like_waypoint(self):
+        t = hotspot_trajectories(NET, 2, 20, seed=3, attraction=0.0)
+        assert all(len(p) == 21 for p in t.values())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hotspot_trajectories(NET, 0, 5)
+        with pytest.raises(ValueError):
+            hotspot_trajectories(NET, 1, 5, num_hotspots=0)
+        with pytest.raises(ValueError):
+            hotspot_trajectories(NET, 1, 5, attraction=1.5)
+
+    def test_deterministic(self):
+        a = hotspot_trajectories(NET, 2, 15, seed=9)
+        b = hotspot_trajectories(NET, 2, 15, seed=9)
+        assert a == b
+
+
+class TestWorkloadIntegration:
+    def test_hotspot_workload(self):
+        wl = make_workload(NET, 4, 25, seed=5, mobility="hotspot")
+        assert len(wl.moves) == 100
+        for m in wl.moves:
+            assert NET.graph.has_edge(m.old, m.new)

@@ -1,0 +1,66 @@
+"""Tests for mobility models (§2.1, §8)."""
+
+import pytest
+
+from repro.graphs.generators import grid_network
+from repro.sim.mobility import random_walk_trajectories, waypoint_trajectories
+
+NET = grid_network(5, 5)
+
+
+class TestRandomWalk:
+    def test_shape(self):
+        t = random_walk_trajectories(NET, 4, 10, seed=1)
+        assert len(t) == 4
+        assert all(len(path) == 11 for path in t.values())
+
+    def test_steps_are_adjacent(self):
+        t = random_walk_trajectories(NET, 3, 30, seed=2)
+        for path in t.values():
+            for a, b in zip(path, path[1:]):
+                assert NET.graph.has_edge(a, b)
+
+    def test_deterministic(self):
+        assert random_walk_trajectories(NET, 3, 10, seed=7) == random_walk_trajectories(NET, 3, 10, seed=7)
+
+    def test_object_naming(self):
+        t = random_walk_trajectories(NET, 2, 1, seed=0, object_prefix="animal")
+        assert set(t) == {"animal0", "animal1"}
+
+    def test_zero_moves(self):
+        t = random_walk_trajectories(NET, 2, 0, seed=0)
+        assert all(len(p) == 1 for p in t.values())
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            random_walk_trajectories(NET, 0, 5)
+        with pytest.raises(ValueError):
+            random_walk_trajectories(NET, 1, -1)
+
+
+class TestWaypoint:
+    def test_shape_and_adjacency(self):
+        t = waypoint_trajectories(NET, 3, 25, seed=3)
+        for path in t.values():
+            assert len(path) == 26
+            for a, b in zip(path, path[1:]):
+                assert NET.graph.has_edge(a, b)
+
+    def test_waypoint_more_directional_than_walk(self):
+        """Waypoint legs follow shortest paths, so net displacement over
+        a window beats the random walk's diffusive displacement."""
+        walk = random_walk_trajectories(NET, 8, 40, seed=5)
+        way = waypoint_trajectories(NET, 8, 40, seed=5)
+
+        def mean_leg_displacement(trajs, window=8):
+            total, count = 0.0, 0
+            for path in trajs.values():
+                for i in range(0, len(path) - window, window):
+                    total += NET.distance(path[i], path[i + window])
+                    count += 1
+            return total / count
+
+        assert mean_leg_displacement(way) > mean_leg_displacement(walk)
+
+    def test_deterministic(self):
+        assert waypoint_trajectories(NET, 2, 15, seed=9) == waypoint_trajectories(NET, 2, 15, seed=9)

@@ -1,0 +1,40 @@
+"""Tests for the adversarial oscillation mobility model (§1.3)."""
+
+import pytest
+
+from repro.graphs.generators import grid_network
+from repro.sim.mobility import oscillation_trajectories
+from repro.sim.workload import make_workload
+
+NET = grid_network(4, 4)
+
+
+class TestOscillation:
+    def test_alternates_across_one_edge(self):
+        t = oscillation_trajectories(NET, 2, 6, seed=1, edge=(4, 5))
+        assert t["obj0"] == [4, 5, 4, 5, 4, 5, 4]
+        assert t["obj1"] == [5, 4, 5, 4, 5, 4, 5]
+
+    def test_default_edge_is_an_adjacency(self):
+        t = oscillation_trajectories(NET, 1, 4, seed=3)
+        path = t["obj0"]
+        assert NET.graph.has_edge(path[0], path[1])
+
+    def test_non_adjacent_edge_rejected(self):
+        with pytest.raises(ValueError, match="not an adjacency"):
+            oscillation_trajectories(NET, 1, 4, edge=(0, 15))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            oscillation_trajectories(NET, 0, 4)
+
+    def test_workload_integration(self):
+        wl = make_workload(NET, 3, 8, seed=2, mobility="oscillation")
+        assert len(wl.moves) == 24
+        # all crossings on one adjacency
+        assert len(wl.traffic.counts) == 1
+
+    def test_objects_split_between_endpoints(self):
+        t = oscillation_trajectories(NET, 4, 2, seed=1, edge=(4, 5))
+        starts = [p[0] for p in t.values()]
+        assert starts.count(4) == 2 and starts.count(5) == 2

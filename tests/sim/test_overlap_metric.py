@@ -1,0 +1,71 @@
+"""Tests for the §4.2.2 overlap-adjusted query optimal."""
+
+import pytest
+
+from repro.graphs.generators import grid_network
+from repro.hierarchy.structure import build_hierarchy
+from repro.sim.concurrent_mot import ConcurrentMOT
+
+NET = grid_network(8, 8)
+HS = build_hierarchy(NET, seed=1)
+
+
+def test_no_overlap_equals_plain_optimal():
+    tr = ConcurrentMOT(HS)
+    tr.publish("o", 0)
+    tr.submit_move(0.0, "o", 1)
+    tr.run()
+    tr.submit_query(tr.engine.now + 100, "o", 63)
+    tr.run()
+    assert len(tr.overlap_adjusted_optimal) == 1
+    # the only "overlap" candidate is the already-finished move whose
+    # proxy is where the query found the object anyway
+    assert tr.overlap_adjusted_optimal[0] == pytest.approx(
+        tr.query_results[0].optimal_cost
+    )
+    assert tr.overlap_adjusted_query_ratio == pytest.approx(
+        tr.ledger.query_cost_ratio
+    )
+
+
+def test_overlap_raises_the_comparison_distance():
+    """A query chasing a mover is compared against the farthest
+    overlapping destination, not just where it finally caught up."""
+    tr = ConcurrentMOT(HS)
+    tr.publish("o", 0)
+    tr.submit_move(0.0, "o", 1)
+    tr.run()
+    # long move away from the querier, issued simultaneously with a
+    # query from right next to the old proxy
+    tr.submit_move(100.0, "o", 63)
+    tr.submit_query(100.0, "o", 0)
+    tr.run()
+    res = tr.query_results[-1]
+    adjusted = tr.overlap_adjusted_optimal[-1]
+    assert adjusted >= res.optimal_cost - 1e-9
+    assert adjusted >= NET.distance(0, 63) - 1e-9
+
+
+def test_adjusted_ratio_never_exceeds_plain():
+    import random
+
+    tr = ConcurrentMOT(HS)
+    tr.publish("o", 0)
+    rnd = random.Random(3)
+    cur = 0
+    t = 0.0
+    for i in range(40):
+        cur = rnd.choice(NET.neighbors(cur))
+        tr.submit_move(t, "o", cur)
+        if i % 5 == 0:
+            tr.submit_query(t + 0.1, "o", rnd.choice(NET.nodes))
+        t += 0.6
+    tr.run(max_events=500_000)
+    assert len(tr.overlap_adjusted_optimal) == len(tr.query_results)
+    assert tr.overlap_adjusted_query_ratio <= tr.ledger.query_cost_ratio + 1e-9
+
+
+def test_empty_ratio_defaults_to_one():
+    tr = ConcurrentMOT(HS)
+    tr.publish("o", 0)
+    assert tr.overlap_adjusted_query_ratio == 1.0

@@ -1,0 +1,59 @@
+"""Tests for workload generation (§8 setup)."""
+
+import pytest
+
+from repro.graphs.generators import grid_network
+from repro.sim.workload import MoveOp, Workload, make_workload
+
+NET = grid_network(5, 5)
+
+
+class TestMakeWorkload:
+    def test_counts(self):
+        wl = make_workload(NET, num_objects=6, moves_per_object=20, num_queries=15, seed=1)
+        assert len(wl.starts) == 6
+        assert len(wl.moves) == 120
+        assert len(wl.queries) == 15
+
+    def test_per_object_order_preserved(self):
+        """Interleaving must keep each object's moves in trajectory order."""
+        wl = make_workload(NET, num_objects=5, moves_per_object=30, seed=2)
+        for obj in wl.objects:
+            ms = wl.moves_of(obj)
+            assert [m.seq for m in ms] == list(range(1, 31))
+            assert ms[0].old == wl.starts[obj]
+            for a, b in zip(ms, ms[1:]):
+                assert a.new == b.old
+
+    def test_moves_are_adjacent_steps(self):
+        wl = make_workload(NET, num_objects=4, moves_per_object=25, seed=3)
+        for m in wl.moves:
+            assert NET.graph.has_edge(m.old, m.new)
+
+    def test_interleaving_mixes_objects(self):
+        wl = make_workload(NET, num_objects=4, moves_per_object=25, seed=3)
+        first_20 = {m.obj for m in wl.moves[:20]}
+        assert len(first_20) >= 2
+
+    def test_traffic_profile_counts_all_crossings(self):
+        wl = make_workload(NET, num_objects=3, moves_per_object=40, seed=4)
+        assert sum(wl.traffic.counts.values()) == len(wl.moves)
+
+    def test_deterministic(self):
+        a = make_workload(NET, 3, 10, num_queries=5, seed=6)
+        b = make_workload(NET, 3, 10, num_queries=5, seed=6)
+        assert a.moves == b.moves and a.queries == b.queries
+
+    def test_queries_reference_known_objects(self):
+        wl = make_workload(NET, 4, 5, num_queries=20, seed=7)
+        for q in wl.queries:
+            assert q.obj in wl.starts
+            assert q.source in NET
+
+    def test_waypoint_mobility_mode(self):
+        wl = make_workload(NET, 3, 20, seed=8, mobility="waypoint")
+        assert len(wl.moves) == 60
+
+    def test_unknown_mobility_rejected(self):
+        with pytest.raises(ValueError, match="unknown mobility"):
+            make_workload(NET, 3, 5, mobility="teleport")

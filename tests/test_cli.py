@@ -1,0 +1,47 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_prints_all_figures(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for i in range(4, 16):
+        assert f"fig{i}" in out
+
+
+def test_demo_runs(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "tiger" in out
+    assert "cost ratio" in out
+
+
+def test_compare_small(capsys):
+    assert main(["compare", "--side", "5", "--objects", "4",
+                 "--moves", "30", "--queries", "20"]) == 0
+    out = capsys.readouterr().out
+    assert "MOT" in out and "STUN" in out and "Z-DAT" in out
+
+
+@pytest.mark.slow
+def test_figure_with_csv(tmp_path, capsys):
+    csv_path = tmp_path / "out" / "fig8.csv"
+    assert main(["figure", "fig8", "--scale", "0.05", "--csv", str(csv_path)]) == 0
+    out = capsys.readouterr().out
+    assert "fig8" in out
+    content = csv_path.read_text()
+    assert content.startswith("node,")
+    assert "MOT-balanced" in content
+
+
+def test_unknown_figure_errors():
+    with pytest.raises(ValueError, match="unknown figure"):
+        main(["figure", "fig99"])
+
+
+def test_missing_command_exits():
+    with pytest.raises(SystemExit):
+        main([])

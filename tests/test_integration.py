@@ -1,0 +1,112 @@
+"""End-to-end integration tests crossing all subsystems.
+
+These are the "does the whole reproduction hang together" checks: the
+paper's qualitative claims, verified on small-but-real configurations.
+"""
+
+import random
+
+import pytest
+
+from repro import (
+    MOTTracker,
+    STUNTracker,
+    ZDATTracker,
+    BalancedMOTTracker,
+    build_hierarchy,
+    grid_network,
+    ring_network,
+)
+from repro.core.mot import MOTConfig
+from repro.experiments.runner import execute_one_by_one, make_tracker
+from repro.sim.workload import make_workload
+
+
+@pytest.fixture(scope="module")
+def grid_wl():
+    net = grid_network(10, 10)
+    wl = make_workload(net, num_objects=20, moves_per_object=150, num_queries=150, seed=13)
+    return net, wl
+
+
+class TestPaperClaims:
+    def test_mot_beats_stun_on_maintenance(self, grid_wl):
+        """Figs. 4/5 headline: MOT's maintenance ratio ≪ STUN's."""
+        net, wl = grid_wl
+        mot = execute_one_by_one(make_tracker("MOT", net, wl.traffic, seed=1), wl)
+        stun = execute_one_by_one(make_tracker("STUN", net, wl.traffic, seed=1), wl)
+        assert mot.maintenance_cost_ratio < stun.maintenance_cost_ratio
+
+    def test_mot_close_to_zdat_on_maintenance(self, grid_wl):
+        """Figs. 4/5: MOT matches Z-DAT up to a small overhead."""
+        net, wl = grid_wl
+        mot = execute_one_by_one(make_tracker("MOT", net, wl.traffic, seed=1), wl)
+        zdat = execute_one_by_one(make_tracker("Z-DAT", net, wl.traffic, seed=1), wl)
+        assert mot.maintenance_cost_ratio < 3.0 * zdat.maintenance_cost_ratio
+
+    def test_mot_beats_stun_on_queries(self, grid_wl):
+        """Figs. 6/7: MOT's query ratio beats STUN's."""
+        net, wl = grid_wl
+        mot = execute_one_by_one(make_tracker("MOT", net, wl.traffic, seed=1), wl)
+        stun = execute_one_by_one(make_tracker("STUN", net, wl.traffic, seed=1), wl)
+        assert mot.query_cost_ratio < stun.query_cost_ratio
+
+    def test_shortcuts_best_on_queries(self, grid_wl):
+        """§8: 'MOT can only do as good as Z-DAT with shortcuts'."""
+        net, wl = grid_wl
+        mot = execute_one_by_one(make_tracker("MOT", net, wl.traffic, seed=1), wl)
+        zs = execute_one_by_one(make_tracker("Z-DAT+shortcuts", net, wl.traffic, seed=1), wl)
+        assert zs.query_cost_ratio <= mot.query_cost_ratio + 0.5
+
+    def test_balanced_mot_load_beats_trees(self, grid_wl):
+        """Figs. 8–11: balanced MOT's max load ≪ tree trackers' root load."""
+        net, wl = grid_wl
+        bal = make_tracker("MOT-balanced", net, wl.traffic, seed=1)
+        stun = make_tracker("STUN", net, wl.traffic, seed=1)
+        for tr in (bal, stun):
+            for o, s in wl.starts.items():
+                tr.publish(o, s)
+        assert max(bal.load_per_node().values()) < max(stun.load_per_node().values())
+
+    def test_mot_traffic_oblivious(self, grid_wl):
+        """MOT ignores traffic: identical results for any profile."""
+        from repro.baselines.traffic import TrafficProfile
+
+        net, wl = grid_wl
+        a = execute_one_by_one(make_tracker("MOT", net, wl.traffic, seed=1), wl)
+        b = execute_one_by_one(make_tracker("MOT", net, TrafficProfile(), seed=1), wl)
+        assert a.maintenance_cost == b.maintenance_cost
+        assert a.query_cost == b.query_cost
+
+    def test_ring_separates_mot_from_trees(self):
+        """§1.3: on rings, spanning trees pay Θ(D) while MOT stays low."""
+        net = ring_network(64)
+        wl = make_workload(net, num_objects=6, moves_per_object=200, seed=3)
+        mot = execute_one_by_one(make_tracker("MOT", net, wl.traffic, seed=1), wl)
+        stun = execute_one_by_one(make_tracker("STUN", net, wl.traffic, seed=1), wl)
+        assert mot.maintenance_cost_ratio < stun.maintenance_cost_ratio
+
+    def test_query_ratio_flat_across_sizes(self):
+        """Theorem 4.11 in practice: MOT's query ratio does not grow with n."""
+        ratios = []
+        for side in (6, 10, 14):
+            net = grid_network(side, side)
+            wl = make_workload(net, num_objects=10, moves_per_object=60,
+                               num_queries=120, seed=21)
+            ledger = execute_one_by_one(make_tracker("MOT", net, wl.traffic, seed=1), wl)
+            ratios.append(ledger.query_cost_ratio)
+        assert max(ratios) < 2.5 * min(ratios)
+        assert max(ratios) < 8.0
+
+
+class TestOneByOneVsConcurrent:
+    def test_concurrent_close_to_one_by_one(self):
+        """§8: concurrent ratios exceed one-by-one by a small factor only."""
+        from repro.experiments.runner import execute_concurrent, make_concurrent_tracker
+
+        net = grid_network(8, 8)
+        wl = make_workload(net, num_objects=8, moves_per_object=60, num_queries=40, seed=17)
+        obo = execute_one_by_one(make_tracker("MOT", net, wl.traffic, seed=1), wl)
+        conc = execute_concurrent(make_concurrent_tracker("MOT", net, wl.traffic, seed=1), wl)
+        assert conc.maintenance_cost_ratio < 3.0 * obo.maintenance_cost_ratio
+        assert conc.query_cost_ratio < 4.0 * obo.query_cost_ratio

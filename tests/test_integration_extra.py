@@ -1,0 +1,125 @@
+"""Extra cross-cutting integration tests: weighted metrics, exotic node
+identifiers, and the concurrent protocol over the general hierarchy."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.core.mot import MOTConfig, MOTTracker
+from repro.core.mot_balanced import BalancedMOTTracker
+from repro.graphs.generators import random_geometric_network
+from repro.graphs.network import SensorNetwork
+from repro.hierarchy.general import build_general_hierarchy
+from repro.hierarchy.structure import build_hierarchy
+from repro.sim.concurrent_mot import ConcurrentMOT
+
+
+class TestWeightedNetworks:
+    """The paper's model is fully weighted (§2.1); unit grids must not be
+    a hidden assumption anywhere."""
+
+    @pytest.fixture(scope="class")
+    def geo(self):
+        return random_geometric_network(60, seed=11)
+
+    def test_mot_on_weighted_unit_disk(self, geo):
+        tracker = MOTTracker.build(geo, seed=2)
+        rnd = random.Random(4)
+        tracker.publish("o", geo.node_at(0))
+        cur = geo.node_at(0)
+        for _ in range(80):
+            cur = rnd.choice(geo.neighbors(cur))
+            tracker.move("o", cur)
+            res = tracker.query("o", rnd.choice(geo.nodes))
+            assert res.proxy == cur
+            assert res.cost >= res.optimal_cost - 1e-9
+        assert tracker.ledger.maintenance_cost_ratio >= 1.0
+
+    def test_balanced_mot_on_weighted_unit_disk(self, geo):
+        tracker = BalancedMOTTracker(build_hierarchy(geo, seed=2))
+        rnd = random.Random(5)
+        tracker.publish("o", geo.node_at(3))
+        cur = geo.node_at(3)
+        for _ in range(40):
+            cur = rnd.choice(geo.neighbors(cur))
+            tracker.move("o", cur)
+        assert tracker.query("o", geo.node_at(7)).proxy == cur
+
+    def test_concurrent_mot_on_weighted_unit_disk(self, geo):
+        tracker = ConcurrentMOT(build_hierarchy(geo, seed=2))
+        rnd = random.Random(6)
+        tracker.publish("o", geo.node_at(0))
+        cur = geo.node_at(0)
+        t = 0.0
+        for _ in range(30):
+            cur = rnd.choice(geo.neighbors(cur))
+            tracker.submit_move(t, "o", cur)
+            t += 0.4
+        tracker.run(max_events=500_000)
+        tracker.submit_query(tracker.engine.now, "o", geo.node_at(1))
+        tracker.run()
+        assert tracker.query_results[-1].proxy == cur
+        assert tracker.fallback_queries == 0
+
+
+class TestStringNodeIds:
+    """Node identifiers are arbitrary hashables (sensor serial numbers)."""
+
+    @pytest.fixture(scope="class")
+    def named_net(self):
+        g = nx.Graph()
+        names = [f"sensor-{c}" for c in "abcdefghij"]
+        for a, b in zip(names, names[1:]):
+            g.add_edge(a, b, weight=1.0)
+        g.add_edge(names[0], names[5], weight=2.5)
+        return SensorNetwork(g)
+
+    def test_network_basics(self, named_net):
+        assert named_net.n == 10
+        assert "sensor-a" in named_net
+        assert named_net.distance("sensor-a", "sensor-c") == pytest.approx(2.0)
+
+    def test_mot_tracks_on_named_sensors(self, named_net):
+        tracker = MOTTracker.build(named_net, seed=3)
+        tracker.publish("rhino", "sensor-a")
+        tracker.move("rhino", "sensor-b")
+        tracker.move("rhino", "sensor-c")
+        res = tracker.query("rhino", "sensor-j")
+        assert res.proxy == "sensor-c"
+
+
+class TestConcurrentOnGeneralHierarchy:
+    def test_protocol_runs_on_sparse_partition_overlay(self):
+        from repro.graphs.generators import erdos_renyi_network
+
+        net = erdos_renyi_network(40, seed=3)
+        hs = build_general_hierarchy(net, seed=3)
+        tracker = ConcurrentMOT(hs)
+        rnd = random.Random(7)
+        tracker.publish("o", net.node_at(0))
+        cur = net.node_at(0)
+        t = 0.0
+        for _ in range(25):
+            cur = rnd.choice(net.neighbors(cur))
+            tracker.submit_move(t, "o", cur)
+            t += 0.3
+        tracker.run(max_events=500_000)
+        tracker.submit_query(tracker.engine.now, "o", net.node_at(5))
+        tracker.run()
+        assert tracker.query_results[-1].proxy == cur
+
+
+class TestConfigPlumbing:
+    def test_make_tracker_passes_mot_config(self):
+        from repro.baselines.traffic import TrafficProfile
+        from repro.experiments.runner import make_tracker
+        from repro.graphs.generators import grid_network
+
+        net = grid_network(4, 4)
+        cfg = MOTConfig(use_special_parents=False, special_parent_gap=3)
+        tracker = make_tracker("MOT", net, TrafficProfile(), seed=1, mot_config=cfg)
+        assert tracker.config is cfg
+        balanced = make_tracker("MOT-balanced", net, TrafficProfile(), seed=1, mot_config=cfg)
+        assert balanced.config is cfg
+        assert balanced.hs.special_parent_gap == 3
