@@ -73,6 +73,21 @@ def test_bench_hierarchy_construction(benchmark):
     benchmark(lambda: build_hierarchy(NET, seed=2))
 
 
+def test_bench_hierarchy_construction_2048_boundary(benchmark):
+    """Build at the full/lazy auto-switch boundary (n = LAZY_THRESHOLD).
+
+    This is the acceptance microbench for the batched distance layer: a
+    2048-node build must be no slower than the per-pair seed code. The
+    network is rebuilt inside the timed callable's setup (not per
+    round) so the timing isolates ``build_hierarchy``.
+    """
+    from repro.graphs.network import SensorNetwork
+
+    base = grid_network(64, 32)
+    assert base.n == 2048 == SensorNetwork.LAZY_THRESHOLD
+    benchmark(lambda: build_hierarchy(base, seed=2))
+
+
 def test_bench_dab_tree_construction(benchmark):
     benchmark(lambda: build_dab_tree(NET, WL.traffic))
 

@@ -25,7 +25,9 @@ def main() -> None:
 
     from repro.experiments.figures import run_figure
     from repro.metrics.load import LoadStats
+    from repro.perf import PERF
 
+    PERF.reset()
     out: dict = {"scale": args.scale, "conc_scale": args.conc_scale}
     t0 = time.time()
 
@@ -65,6 +67,10 @@ def main() -> None:
             },
         }
         print(f"{name}: {time.time() - t:.0f}s", file=sys.stderr, flush=True)
+
+    # instrumentation accumulated across every figure run above:
+    # oracle pressure counters plus per-operation / per-phase timers
+    out["perf"] = PERF.report()
 
     print(f"total {time.time() - t0:.0f}s", file=sys.stderr)
     with open(args.out, "w") as fh:

@@ -179,13 +179,15 @@ class TreeTracker:
     def move(self, obj: ObjectId, new_proxy: Node) -> MoveResult:
         """Maintenance: climb new proxy → LCA, delete LCA → old proxy."""
         old_proxy = self.proxy_of(obj)
-        optimal = self.net.distance(old_proxy, new_proxy)
         if new_proxy == old_proxy:
-            self.ledger.record_maintenance(0.0, 0.0)
+            # zero-distance no-op: tallied apart from real maintenance
+            # (same accounting as MOTTracker.move)
+            self.ledger.record_noop_move()
             return MoveResult(
                 obj=obj, old_proxy=old_proxy, new_proxy=new_proxy,
                 cost=0.0, up_cost=0.0, down_cost=0.0, peak_level=0, optimal_cost=0.0,
             )
+        optimal = self.net.distance(old_proxy, new_proxy)
         meet = self.tree.lca(old_proxy, new_proxy)
         up_cost = 0.0
         msgs = 0

@@ -8,6 +8,9 @@ Commands:
 - ``compare [--side N] [--objects M] …`` — the quick §8-style
   head-to-head on one grid workload (same engine as
   ``examples/baseline_comparison.py``);
+- ``perf [--side N] [--distance-mode M] [--out PATH]`` — run one MOT
+  workload with instrumentation on and emit the JSON perf report
+  (oracle hit/miss pressure, per-operation timers, ledger summary);
 - ``demo`` — a 30-second guided tour (the quickstart on one object).
 """
 
@@ -15,6 +18,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 __all__ = ["main"]
 
@@ -71,6 +75,53 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.runner import execute_one_by_one, make_tracker
+    from repro.graphs.generators import grid_network
+    from repro.graphs.network import SensorNetwork
+    from repro.metrics.ratios import per_operation_means
+    from repro.perf import PERF
+    from repro.sim.workload import make_workload
+
+    PERF.reset()
+    net = grid_network(args.side, args.side)
+    if args.distance_mode != "auto":
+        net = SensorNetwork(net.graph, normalize=False, distance_mode=args.distance_mode)
+    wl = make_workload(net, num_objects=args.objects, moves_per_object=args.moves,
+                       num_queries=args.queries, seed=args.seed)
+    tracker = make_tracker("MOT", net, wl.traffic, seed=args.seed)
+    ledger = execute_one_by_one(tracker, wl)
+    report = {
+        "run": {
+            "grid_side": args.side,
+            "sensors": net.n,
+            "distance_mode": net.distance_mode,
+            "objects": args.objects,
+            "moves_per_object": args.moves,
+            "queries": args.queries,
+            "seed": args.seed,
+        },
+        "oracle": net.oracle_stats,
+        "ledger": {
+            "maintenance_cost_ratio": ledger.maintenance_cost_ratio,
+            "query_cost_ratio": ledger.query_cost_ratio,
+            **per_operation_means(ledger),
+        },
+        **PERF.report(),
+    }
+    text = json.dumps(report, indent=1)
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text + "\n")
+        print(f"wrote {out}")
+    else:
+        print(text)
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     import random
 
@@ -118,6 +169,16 @@ def main(argv: list[str] | None = None) -> int:
     p_cmp.add_argument("--queries", type=int, default=300)
     p_cmp.add_argument("--seed", type=int, default=1)
     p_cmp.set_defaults(fn=_cmd_compare)
+
+    p_perf = sub.add_parser("perf", help="run one MOT workload, emit JSON perf report")
+    p_perf.add_argument("--side", type=int, default=16)
+    p_perf.add_argument("--objects", type=int, default=10)
+    p_perf.add_argument("--moves", type=int, default=50)
+    p_perf.add_argument("--queries", type=int, default=50)
+    p_perf.add_argument("--seed", type=int, default=1)
+    p_perf.add_argument("--distance-mode", choices=("auto", "full", "lazy"), default="auto")
+    p_perf.add_argument("--out", help="write the JSON report here instead of stdout")
+    p_perf.set_defaults(fn=_cmd_perf)
 
     p_demo = sub.add_parser("demo", help="30-second guided tour")
     p_demo.set_defaults(fn=_cmd_demo)

@@ -27,6 +27,7 @@ class CostLedger:
     maintenance_optimal: float = 0.0
     maintenance_ops: int = 0
     maintenance_messages: int = 0
+    noop_moves: int = 0
     query_cost: float = 0.0
     query_optimal: float = 0.0
     query_ops: int = 0
@@ -47,6 +48,16 @@ class CostLedger:
         self.maintenance_messages += messages
         if optimal > 0:
             self._maint_ratios.append(cost / optimal)
+
+    def record_noop_move(self) -> None:
+        """Count a zero-distance move (same proxy) without touching averages.
+
+        No-op moves send no messages and have optimal cost 0, so folding
+        them into ``maintenance_ops`` used to deflate per-operation
+        averages and message counts. They are tallied separately;
+        ``maintenance_ops`` counts only moves that did real work.
+        """
+        self.noop_moves += 1
 
     def record_query(self, cost: float, optimal: float, messages: int = 0) -> None:
         """Accumulate one query operation (cost, optimum, hop count)."""
@@ -88,6 +99,7 @@ class CostLedger:
         self.maintenance_cost += other.maintenance_cost
         self.maintenance_optimal += other.maintenance_optimal
         self.maintenance_ops += other.maintenance_ops
+        self.noop_moves += other.noop_moves
         self.query_cost += other.query_cost
         self.query_optimal += other.query_optimal
         self.query_ops += other.query_ops

@@ -40,6 +40,7 @@ from repro.core.costs import CostLedger
 from repro.core.operations import MoveResult, PublishResult, QueryResult
 from repro.graphs.network import SensorNetwork
 from repro.hierarchy.structure import BaseHierarchy, HNode, build_hierarchy
+from repro.perf import timed
 
 Node = Hashable
 ObjectId = Hashable
@@ -218,6 +219,7 @@ class MOTTracker:
     # ------------------------------------------------------------------
     # operations
     # ------------------------------------------------------------------
+    @timed("mot.publish")
     def publish(self, obj: ObjectId, proxy: Node) -> PublishResult:
         """Register ``obj`` at ``proxy`` (Algorithm 1 lines 1–5). One-time."""
         if obj in self._proxy:
@@ -225,20 +227,24 @@ class MOTTracker:
         if proxy not in self.net:
             raise KeyError(f"{proxy!r} is not a sensor of this network")
         path = self.hs.dpath(proxy)
+        # publish always walks the whole detection path, so its hop
+        # distances can be resolved in one batched oracle call
+        ranked = [
+            (rank, hn) for level in range(1, self.hs.h + 1)
+            for rank, hn in enumerate(path[level])
+        ]
+        seq = [proxy] + [self._phys(hn) for _, hn in ranked]
+        hop = self.net.consecutive_distances(seq)
         spine: list[SpineEntry] = [SpineEntry(HNode(0, proxy), None)]
         cost = 0.0
         msgs = 0
-        prev: Node = proxy
-        for level in range(1, self.hs.h + 1):
-            for rank, hn in enumerate(path[level]):
-                phys = self._phys(hn)
-                cost += self._dist(prev, phys)
-                prev = phys
-                msgs += 1
-                cost += self._probe_cost(hn, obj)
-                entry, sdl_cost = self._add_entry(obj, hn, proxy, rank)
-                cost += sdl_cost
-                spine.append(entry)
+        for k, (rank, hn) in enumerate(ranked):
+            cost += float(hop[k])
+            msgs += 1
+            cost += self._probe_cost(hn, obj)
+            entry, sdl_cost = self._add_entry(obj, hn, proxy, rank)
+            cost += sdl_cost
+            spine.append(entry)
         self._spine[obj] = spine
         self._proxy[obj] = proxy
         self.ledger.record_publish(cost)
@@ -247,21 +253,24 @@ class MOTTracker:
             levels_climbed=self.hs.h, messages=msgs,
         )
 
+    @timed("mot.move")
     def move(self, obj: ObjectId, new_proxy: Node) -> MoveResult:
         """Maintenance after ``obj`` moved to ``new_proxy`` (lines 6–18)."""
         old_proxy = self.proxy_of(obj)
         if new_proxy not in self.net:
             raise KeyError(f"{new_proxy!r} is not a sensor of this network")
-        optimal = self._dist(old_proxy, new_proxy)
         if new_proxy == old_proxy:
-            result = MoveResult(
+            # Zero-distance no-op: nothing climbs, nothing is deleted.
+            # Recorded apart from real maintenance so per-op averages and
+            # message counts are not diluted by moves that did no work.
+            self.ledger.record_noop_move()
+            return MoveResult(
                 obj=obj, old_proxy=old_proxy, new_proxy=new_proxy,
                 cost=0.0, up_cost=0.0, down_cost=0.0, peak_level=0, optimal_cost=0.0,
             )
-            self.ledger.record_maintenance(0.0, 0.0)
-            return result
+        optimal = self._dist(old_proxy, new_proxy)
 
-    # -- insert: climb DPath(new_proxy) until the object is found --------
+        # -- insert: climb DPath(new_proxy) until the object is found ----
         spine = self._spine[obj]
         spine_pos = {e.hnode: i for i, e in enumerate(spine)}
         path = self.hs.dpath(new_proxy)
@@ -318,6 +327,7 @@ class MOTTracker:
             messages=msgs,
         )
 
+    @timed("mot.query")
     def query(self, obj: ObjectId, source: Node) -> QueryResult:
         """Locate ``obj`` from sensor ``source`` (lines 19–24). Read-only."""
         proxy = self.proxy_of(obj)

@@ -28,6 +28,7 @@ from repro.core.mot import MOTConfig, MOTTracker
 from repro.core.operations import PublishResult
 from repro.debruijn.embedding import ClusterEmbedding
 from repro.hierarchy.structure import BaseHierarchy, HNode
+from repro.perf import PERF
 
 Node = Hashable
 ObjectId = Hashable
@@ -66,9 +67,11 @@ class BalancedMOTTracker(MOTTracker):
         """
         emb = self._embeddings.get(hnode)
         if emb is None:
-            members = self.net.k_neighborhood(hnode.node, float(2**hnode.level))
-            emb = ClusterEmbedding(self.net, members)
+            with PERF.timer("balanced.embedding_build"):
+                members = self.net.k_neighborhood(hnode.node, float(2**hnode.level))
+                emb = ClusterEmbedding(self.net, members)
             self._embeddings[hnode] = emb
+            PERF.incr("balanced.embeddings_built")
         return emb
 
     def object_key(self, obj: ObjectId) -> int:

@@ -18,6 +18,7 @@ from repro.graphs.generators import grid_network
 from repro.graphs.network import SensorNetwork
 from repro.hierarchy.structure import build_hierarchy
 from repro.metrics.ratios import RatioStats, summarize_ratios
+from repro.perf import PERF
 from repro.sim.concurrent import ConcurrentTracker
 from repro.sim.concurrent_balanced import ConcurrentBalancedMOT
 from repro.sim.concurrent_mot import ConcurrentMOT
@@ -50,8 +51,20 @@ def make_tracker(
     """One-by-one tracker factory for the §8 algorithm names.
 
     MOT variants never look at ``traffic`` (they are traffic-oblivious);
-    the baselines receive the workload's exact profile.
+    the baselines receive the workload's exact profile. Construction is
+    timed under ``runner.build.<name>`` in :data:`repro.perf.PERF`.
     """
+    with PERF.timer(f"runner.build.{name}"):
+        return _make_tracker(name, net, traffic, seed, mot_config)
+
+
+def _make_tracker(
+    name: str,
+    net: SensorNetwork,
+    traffic: TrafficProfile,
+    seed: int = 0,
+    mot_config: MOTConfig | None = None,
+):
     if name == "MOT":
         return MOTTracker.build(net, mot_config, seed=seed)
     if name == "MOT-balanced":
@@ -99,13 +112,20 @@ def make_concurrent_tracker(
 # execution drivers
 # ----------------------------------------------------------------------
 def execute_one_by_one(tracker, workload: Workload) -> CostLedger:
-    """Publish, apply all moves in order, then run all queries."""
-    for obj, start in workload.starts.items():
-        tracker.publish(obj, start)
-    for m in workload.moves:
-        tracker.move(m.obj, m.new)
-    for q in workload.queries:
-        tracker.query(q.obj, q.source)
+    """Publish, apply all moves in order, then run all queries.
+
+    Each phase is timed under ``runner.*`` in :data:`repro.perf.PERF`
+    so the perf report can split workload latency by phase.
+    """
+    with PERF.timer("runner.publish_phase"):
+        for obj, start in workload.starts.items():
+            tracker.publish(obj, start)
+    with PERF.timer("runner.move_phase"):
+        for m in workload.moves:
+            tracker.move(m.obj, m.new)
+    with PERF.timer("runner.query_phase"):
+        for q in workload.queries:
+            tracker.query(q.obj, q.source)
     return tracker.ledger
 
 

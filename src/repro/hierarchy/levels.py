@@ -63,19 +63,28 @@ class LevelStructure:
         return frozenset(self.levels[level])
 
 
+#: source-chunk size for batched distance queries — bounds the transient
+#: dense block at ``CHUNK · n`` floats (≈40 MB on a 10,000-node network)
+CHUNK = 512
+
+
 def _threshold_adjacency(
     net: SensorNetwork, members: list[Node], threshold: float
 ) -> dict[Node, list[Node]]:
     """Adjacency of ``E_ℓ``: pairs of ``members`` with distance < threshold.
 
-    Row-based so it works in lazy distance mode (no full matrix needed).
+    Batched and radius-pruned: each chunk of sources resolves in one
+    Dijkstra call cut off at ``threshold``, so low levels on big lazy
+    networks explore small balls instead of full rows.
     """
-    idx = np.asarray([net.index_of(v) for v in members])
     adj: dict[Node, list[Node]] = {v: [] for v in members}
-    for a, v in enumerate(members):
-        row = net.distances_from(v)[idx]
-        hits = np.nonzero((row < threshold) & (row > 0))[0]
-        adj[v] = [members[b] for b in hits.tolist()]
+    for start in range(0, len(members), CHUNK):
+        chunk = members[start : start + CHUNK]
+        sub = net.distances_to_many(chunk, members, limit=threshold)
+        for a, v in enumerate(chunk):
+            row = sub[a]
+            hits = np.nonzero((row < threshold) & (row > 0))[0]
+            adj[v] = [members[b] for b in hits.tolist()]
     return adj
 
 
@@ -101,9 +110,13 @@ def build_levels(
     levels: list[list[Node]] = [list(net.nodes)]
     rounds: list[int] = [0]
     ell = 0
-    # Safety bound: thresholds double each level; once 2^(ℓ+1) > D every
-    # pair is adjacent and the MIS collapses to one node.
-    max_levels = int(np.ceil(np.log2(max(net.diameter, 1.0)))) + 3
+    # Safety bound: thresholds double each level; once 2^ℓ > D every pair
+    # is adjacent and the MIS collapses to one node. The cap must come
+    # from a certified *upper* bound on D — the lazy-mode double-sweep
+    # estimate is a lower bound and capping on it truncated hierarchies
+    # on large networks before a single root existed.
+    _, d_upper = net.diameter_bounds
+    max_levels = int(np.ceil(np.log2(max(d_upper, 1.0)))) + 3
     while len(levels[-1]) > 1:
         ell += 1
         if ell > max_levels:
@@ -116,4 +129,6 @@ def build_levels(
             mis, r = deterministic_mis(members, adj)
         levels.append(sorted(mis, key=net.index_of))
         rounds.append(r)
+    # Post-build invariant (paper §2.2): the top level is exactly {r}.
+    assert len(levels[-1]) == 1, "level construction must end at a single root"
     return LevelStructure(levels=levels, mis_rounds=rounds)

@@ -109,16 +109,17 @@ class BaseHierarchy:
         return [hn for tier in self.dpath(x) for hn in tier]
 
     def dpath_length(self, x: Node, up_to_level: int | None = None) -> float:
-        """length(DPath_j(x)) — total distance of the visit sequence (Lemma 2.2)."""
+        """length(DPath_j(x)) — total distance of the visit sequence (Lemma 2.2).
+
+        Resolved through the batched oracle: one distance call for the
+        whole visit sequence instead of one per hop.
+        """
         if up_to_level is None:
             up_to_level = self.h
-        flat: list[HNode] = [
-            hn for tier in self.dpath(x)[: up_to_level + 1] for hn in tier
+        flat: list[Node] = [
+            hn.node for tier in self.dpath(x)[: up_to_level + 1] for hn in tier
         ]
-        total = 0.0
-        for a, b in zip(flat, flat[1:]):
-            total += self.net.distance(a.node, b.node)
-        return total
+        return self.net.path_length(flat)
 
     def meeting_level(self, u: Node, v: Node) -> int | None:
         """Lowest level where DPath(u) and DPath(v) share a node (Lemma 2.1)."""
@@ -189,31 +190,37 @@ class Hierarchy(BaseHierarchy):
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
+    #: source-chunk size for batched distance queries (bounds the dense
+    #: ``CHUNK × |V_{ℓ+1}|`` block resolved per Dijkstra call)
+    CHUNK = 512
+
     def _build_parents(self) -> None:
         net = self.net
         levels = self.levels.levels
         for ell in range(len(levels) - 1):
             members = levels[ell]
             uppers = levels[ell + 1]
-            upper_idx = np.asarray([net.index_of(v) for v in uppers])
             radius = self.parent_set_radius_factor * (2.0 ** (ell + 1))
+            # The default parent is < 2^(ℓ+1) away (MIS maximality), so
+            # pruning at max(radius, 2^(ℓ+1)) keeps both lookups exact
+            # even for radius factors below 1.
+            limit = max(radius, 2.0 ** (ell + 1))
             dp: dict[Node, Node] = {}
             ps: dict[Node, tuple[Node, ...]] = {}
-            for w in members:
-                # row-based distance access: works in lazy mode too
-                row = net.distances_from(w)[upper_idx]
-                # default parent: closest upper node, ties by node index
-                best = int(np.argmin(row))
-                # resolve ties deterministically by node index
-                min_d = row[best]
-                ties = np.nonzero(row == min_d)[0]
-                if ties.size > 1:
-                    best = min(ties.tolist(), key=lambda k: net.index_of(uppers[k]))
-                dp[w] = uppers[best]
-                in_range = np.nonzero(row <= radius)[0]
-                members_in = {uppers[k] for k in in_range.tolist()}
-                members_in.add(uppers[best])  # default parent always included
-                ps[w] = tuple(sorted(members_in, key=net.index_of))
+            for start in range(0, len(members), self.CHUNK):
+                chunk = members[start : start + self.CHUNK]
+                sub = net.distances_to_many(chunk, uppers, limit=limit)
+                # closest upper node per member; `uppers` is ID-sorted, so
+                # argmin's first-occurrence rule breaks ties by node index
+                best = np.argmin(sub, axis=1)
+                for a, w in enumerate(chunk):
+                    row = sub[a]
+                    b = int(best[a])
+                    dp[w] = uppers[b]
+                    in_range = np.nonzero(row <= radius)[0]
+                    members_in = {uppers[k] for k in in_range.tolist()}
+                    members_in.add(uppers[b])  # default parent always included
+                    ps[w] = tuple(sorted(members_in, key=net.index_of))
             self._default_parent.append(dp)
             self._parent_sets.append(ps)
 

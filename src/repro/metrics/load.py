@@ -44,10 +44,18 @@ class LoadStats:
         )
 
     def histogram(self, loads: Mapping[Node, int], bins: Sequence[int] = (0, 1, 2, 5, 10, 20, 50)) -> dict[str, int]:
-        """Counts of nodes per load bucket, for the Figs. 8–11 bar shapes."""
+        """Counts of nodes per load bucket, for the Figs. 8–11 bar shapes.
+
+        Buckets are half-open ``[lo, hi)`` and labelled that way
+        explicitly — the old ``"5-10"`` labels read as inclusive while
+        the counting excluded ``hi``. Note the deliberate asymmetry with
+        :attr:`above_threshold`, which follows the paper's strict
+        ``load > threshold`` call-out: a node with load exactly 10 falls
+        in the ``[10,20)`` bucket yet is *not* above threshold 10.
+        """
         edges = list(bins) + [float("inf")]
         out: dict[str, int] = {}
         for lo, hi in zip(edges, edges[1:]):
-            label = f"{lo}+" if hi == float("inf") else f"{lo}-{hi}"
+            label = f"[{lo},inf)" if hi == float("inf") else f"[{lo},{hi})"
             out[label] = sum(1 for v in loads.values() if lo <= v < hi)
         return out

@@ -3,16 +3,22 @@
 The paper plots 5-run averages of the aggregate cost ratio
 ``C(E)/C*(E)`` per network size. :class:`RatioStats` carries the
 average plus dispersion so benches can report error bars and tests can
-assert stability.
+assert stability. :func:`per_operation_means` turns a
+:class:`~repro.core.costs.CostLedger` into per-operation averages that
+honour the ledger's no-op/real-move split (zero-distance moves are
+reported, never averaged in).
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
-__all__ = ["RatioStats", "summarize_ratios"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.costs import CostLedger
+
+__all__ = ["RatioStats", "summarize_ratios", "per_operation_means"]
 
 
 @dataclass(frozen=True)
@@ -42,3 +48,25 @@ def summarize_ratios(values: Sequence[float] | Iterable[float]) -> RatioStats:
     mean = sum(vals) / n
     var = sum((v - mean) ** 2 for v in vals) / n
     return RatioStats(mean=mean, std=math.sqrt(var), min=min(vals), max=max(vals), reps=n)
+
+
+def per_operation_means(ledger: "CostLedger") -> dict[str, float]:
+    """Per-operation averages of a ledger, excluding no-op moves.
+
+    ``maintenance_ops`` counts only moves that did real work (the ledger
+    records zero-distance moves under ``noop_moves``), so the averages
+    here are per *effective* operation — the quantity the paper's
+    per-op tables intend. ``noop_moves`` is passed through so reports
+    can show how much of the workload was stationary.
+    """
+    m_ops = ledger.maintenance_ops or 1
+    q_ops = ledger.query_ops or 1
+    return {
+        "maintenance_cost_per_op": ledger.maintenance_cost / m_ops,
+        "maintenance_messages_per_op": ledger.maintenance_messages / m_ops,
+        "query_cost_per_op": ledger.query_cost / q_ops,
+        "query_messages_per_op": ledger.query_messages / q_ops,
+        "maintenance_ops": float(ledger.maintenance_ops),
+        "query_ops": float(ledger.query_ops),
+        "noop_moves": float(ledger.noop_moves),
+    }

@@ -1,0 +1,158 @@
+"""Lightweight run-time instrumentation: counters and wall-clock timers.
+
+Every run-shaped question the ROADMAP's scaling work keeps asking —
+*how hard is the distance oracle being hit? where does an operation's
+latency go?* — funnels through this module. It deliberately stays tiny:
+
+- **counters** are plain integer accumulators keyed by dotted names
+  (``"oracle.row_miss"``, ``"balanced.embedding_built"``);
+- **timers** accumulate count / total / max wall-clock seconds per
+  dotted name (``"mot.move"``) via a context manager or the
+  :func:`timed` decorator.
+
+A process-wide singleton :data:`PERF` is what the library instruments;
+:meth:`PerfRegistry.report` renders everything as a JSON-ready dict that
+``scripts/collect_results.py`` and the ``python -m repro perf``
+subcommand emit. Instrumentation overhead is a dict update per event, so
+it stays on by default; ``PERF.enabled = False`` turns every probe into
+a no-op for microbenchmarks that want a sterile loop.
+
+Typical shape of a report::
+
+    {
+      "counters": {"oracle.row_miss": 412, "oracle.row_hit": 96341, ...},
+      "timers": {
+        "mot.move": {"count": 1000, "total_s": 0.84,
+                      "mean_s": 0.00084, "max_s": 0.012},
+        ...
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterator, TypeVar
+
+__all__ = ["PerfRegistry", "TimerStat", "PERF", "timed"]
+
+F = TypeVar("F", bound=Callable)
+
+
+@dataclass
+class TimerStat:
+    """Accumulated wall-clock statistics of one named timer."""
+
+    count: int = 0
+    total_s: float = 0.0
+    max_s: float = 0.0
+
+    def add(self, dt: float) -> None:
+        """Fold one observation of ``dt`` seconds into the stat."""
+        self.count += 1
+        self.total_s += dt
+        if dt > self.max_s:
+            self.max_s = dt
+
+    @property
+    def mean_s(self) -> float:
+        """Average seconds per observation (0.0 before any observation)."""
+        return self.total_s / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """JSON-ready view of the stat."""
+        return {
+            "count": self.count,
+            "total_s": self.total_s,
+            "mean_s": self.mean_s,
+            "max_s": self.max_s,
+        }
+
+
+class PerfRegistry:
+    """A named bag of counters and timers (see module docstring)."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: dict[str, int] = {}
+        self._timers: dict[str, TimerStat] = {}
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def incr(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to counter ``name`` (no-op when disabled)."""
+        if self.enabled:
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Time the enclosed block under timer ``name``."""
+        if not self.enabled:
+            yield
+            return
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            stat = self._timers.get(name)
+            if stat is None:
+                stat = self._timers[name] = TimerStat()
+            stat.add(time.perf_counter() - t0)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        return self._counters.get(name, 0)
+
+    def timer_stat(self, name: str) -> TimerStat:
+        """Stats of timer ``name`` (zeros if never observed)."""
+        return self._timers.get(name, TimerStat())
+
+    def report(self) -> dict:
+        """JSON-ready snapshot of every counter and timer."""
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "timers": {
+                name: stat.as_dict()
+                for name, stat in sorted(self._timers.items())
+            },
+        }
+
+    def to_json(self, indent: int = 1) -> str:
+        """The report as a JSON string."""
+        return json.dumps(self.report(), indent=indent)
+
+    def reset(self) -> None:
+        """Drop every counter and timer (a fresh measurement window)."""
+        self._counters.clear()
+        self._timers.clear()
+
+
+#: process-wide registry the library instruments
+PERF = PerfRegistry()
+
+
+def timed(name: str, registry: PerfRegistry | None = None) -> Callable[[F], F]:
+    """Decorator: time every call of the wrapped function under ``name``.
+
+    Binds to :data:`PERF` at call time unless ``registry`` is given, so
+    tests can swap the singleton's state freely.
+    """
+
+    def deco(fn: F) -> F:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            reg = registry if registry is not None else PERF
+            with reg.timer(name):
+                return fn(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return deco

@@ -40,6 +40,24 @@ class TestLedger:
         ledger.record_publish(7.0)
         assert ledger.publish_cost == 12.0
 
+    def test_noop_moves_tracked_separately(self):
+        ledger = CostLedger()
+        ledger.record_noop_move()
+        ledger.record_noop_move()
+        ledger.record_maintenance(6.0, 2.0)
+        assert ledger.noop_moves == 2
+        assert ledger.maintenance_ops == 1  # no-ops are not maintenance
+        assert ledger.maintenance_cost == 6.0
+        assert ledger.maintenance_cost_ratio == pytest.approx(3.0)
+
+    def test_merge_combines_noop_moves(self):
+        a, b = CostLedger(), CostLedger()
+        a.record_noop_move()
+        b.record_noop_move()
+        b.record_noop_move()
+        a.merge(b)
+        assert a.noop_moves == 3
+
     def test_merge_combines_everything(self):
         a = CostLedger()
         a.record_maintenance(4.0, 2.0)

@@ -64,6 +64,16 @@ class TestMove:
         res = tracker.move("o1", 0)
         assert res.cost == 0.0 and res.optimal_cost == 0.0
 
+    def test_same_proxy_move_counted_as_noop(self, tracker):
+        """Zero-distance moves must not dilute the maintenance averages."""
+        tracker.publish("o1", 0)
+        tracker.move("o1", 0)
+        tracker.move("o1", 0)
+        tracker.move("o1", 1)
+        assert tracker.ledger.noop_moves == 2
+        assert tracker.ledger.maintenance_ops == 1
+        assert tracker.ledger.maintenance_messages > 0
+
     def test_move_unknown_object_rejected(self, tracker):
         with pytest.raises(KeyError, match="never published"):
             tracker.move("ghost", 3)

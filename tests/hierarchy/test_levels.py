@@ -39,6 +39,48 @@ class TestShape:
         assert ls.h == 0 and ls.root == 0
 
 
+class TestDiameterTruncationRegression:
+    """The lazy-mode double sweep is a *lower* bound on D; capping
+    ``max_levels`` on it used to truncate hierarchies before a single
+    root existed. ``build_levels`` must size its safety cap from the
+    certified upper bound instead."""
+
+    def test_converges_when_diameter_underestimates(self, monkeypatch):
+        from repro.graphs.network import SensorNetwork
+
+        net = grid_network(12, 12)
+        true_d = net.diameter
+        # a pathologically bad estimate: the old code capped max_levels on
+        # the *estimate* and raised "failed to converge" here; the fix
+        # sizes the cap from the certified upper bound
+        monkeypatch.setattr(
+            SensorNetwork, "diameter",
+            property(lambda self: true_d / 8.0),
+        )
+        monkeypatch.setattr(
+            SensorNetwork, "diameter_bounds",
+            property(lambda self: (true_d / 8.0, true_d)),
+        )
+        ls = build_levels(net, seed=3)
+        assert len(ls.levels[-1]) == 1  # single root despite the bad estimate
+
+    def test_lazy_mode_reaches_single_root(self):
+        from repro.graphs.network import SensorNetwork
+
+        base = grid_network(12, 12)
+        lazy = SensorNetwork(base.graph, normalize=False, distance_mode="lazy")
+        ls = build_levels(lazy, seed=3)
+        assert len(ls.levels[-1]) == 1
+
+    def test_lazy_and_full_levels_identical(self):
+        from repro.graphs.network import SensorNetwork
+
+        base = grid_network(10, 10)
+        full = SensorNetwork(base.graph, normalize=False, distance_mode="full")
+        lazy = SensorNetwork(base.graph, normalize=False, distance_mode="lazy")
+        assert build_levels(full, seed=7).levels == build_levels(lazy, seed=7).levels
+
+
 class TestSeparationAndCover:
     @pytest.mark.parametrize("maker,arg", [(grid_network, (8, 8)), (ring_network, (20,)), (line_network, (17,))])
     def test_level_nodes_pairwise_separated(self, maker, arg):

@@ -31,10 +31,27 @@ def test_histogram_buckets():
     loads = {i: v for i, v in enumerate([0, 0, 1, 3, 7, 15, 60])}
     s = LoadStats.from_loads(loads)
     hist = s.histogram(loads)
-    assert hist["0-1"] == 2
-    assert hist["1-2"] == 1
-    assert hist["2-5"] == 1
-    assert hist["5-10"] == 1
-    assert hist["10-20"] == 1
-    assert hist["50+"] == 1
+    assert hist["[0,1)"] == 2
+    assert hist["[1,2)"] == 1
+    assert hist["[2,5)"] == 1
+    assert hist["[5,10)"] == 1
+    assert hist["[10,20)"] == 1
+    assert hist["[50,inf)"] == 1
     assert sum(hist.values()) == len(loads)
+
+
+def test_histogram_boundaries_half_open():
+    """A load exactly on an edge belongs to the bucket it opens.
+
+    Regression for the old ``"5-10"`` labels, which read as inclusive
+    while the counting was ``[lo, hi)``: a node with load 10 lands in
+    ``[10,20)`` and (consistently with the paper's strict ``> 10``
+    call-out) does not count as above threshold 10.
+    """
+    loads = {0: 5, 1: 10, 2: 20}
+    s = LoadStats.from_loads(loads, threshold=10)
+    hist = s.histogram(loads)
+    assert hist["[5,10)"] == 1
+    assert hist["[10,20)"] == 1
+    assert hist["[20,50)"] == 1
+    assert s.above_threshold == 1  # only the load-20 node exceeds 10

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.metrics.ratios import RatioStats, summarize_ratios
+from repro.core.costs import CostLedger
+from repro.metrics.ratios import RatioStats, summarize_ratios, per_operation_means
 
 
 def test_basic_stats():
@@ -26,3 +27,24 @@ def test_accepts_generators():
 def test_empty_rejected():
     with pytest.raises(ValueError, match="empty"):
         summarize_ratios([])
+
+
+def test_per_operation_means_excludes_noops():
+    ledger = CostLedger()
+    ledger.record_maintenance(10.0, 4.0, messages=5)
+    ledger.record_noop_move()
+    ledger.record_noop_move()
+    ledger.record_query(6.0, 3.0, messages=3)
+    means = per_operation_means(ledger)
+    # denominators count only effective operations, never no-ops
+    assert means["maintenance_cost_per_op"] == pytest.approx(10.0)
+    assert means["maintenance_messages_per_op"] == pytest.approx(5.0)
+    assert means["query_cost_per_op"] == pytest.approx(6.0)
+    assert means["maintenance_ops"] == 1
+    assert means["noop_moves"] == 2
+
+
+def test_per_operation_means_empty_ledger_safe():
+    means = per_operation_means(CostLedger())
+    assert means["maintenance_cost_per_op"] == 0.0
+    assert means["query_cost_per_op"] == 0.0

@@ -37,6 +37,33 @@ def test_figure_with_csv(tmp_path, capsys):
     assert "MOT-balanced" in content
 
 
+def test_perf_report_to_stdout(capsys):
+    import json
+
+    assert main(["perf", "--side", "6", "--objects", "3", "--moves", "10",
+                 "--queries", "5", "--distance-mode", "lazy"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["run"]["distance_mode"] == "lazy"
+    # oracle hit/miss pressure and per-operation timers must be present
+    assert report["oracle"]["row_cache_hits"] > 0
+    assert report["oracle"]["row_cache_misses"] > 0
+    assert report["timers"]["mot.move"]["count"] == 30
+    assert report["timers"]["mot.query"]["count"] == 5
+    assert "runner.move_phase" in report["timers"]
+    assert report["ledger"]["maintenance_ops"] + report["ledger"]["noop_moves"] == 30
+
+
+def test_perf_report_to_file(tmp_path, capsys):
+    import json
+
+    out_path = tmp_path / "perf.json"
+    assert main(["perf", "--side", "5", "--objects", "2", "--moves", "5",
+                 "--queries", "2", "--out", str(out_path)]) == 0
+    report = json.loads(out_path.read_text())
+    assert report["run"]["sensors"] == 25
+    assert "counters" in report and "timers" in report
+
+
 def test_unknown_figure_errors():
     with pytest.raises(ValueError, match="unknown figure"):
         main(["figure", "fig99"])

@@ -1,0 +1,85 @@
+"""Tests for the repro.perf instrumentation module."""
+
+import json
+
+from repro.perf import PERF, PerfRegistry, TimerStat, timed
+
+
+class TestCounters:
+    def test_incr_accumulates(self):
+        reg = PerfRegistry()
+        reg.incr("a")
+        reg.incr("a", 4)
+        assert reg.counter("a") == 5
+
+    def test_unknown_counter_is_zero(self):
+        assert PerfRegistry().counter("never") == 0
+
+    def test_disabled_registry_records_nothing(self):
+        reg = PerfRegistry(enabled=False)
+        reg.incr("a")
+        with reg.timer("t"):
+            pass
+        assert reg.counter("a") == 0
+        assert reg.timer_stat("t").count == 0
+
+
+class TestTimers:
+    def test_timer_counts_and_accumulates(self):
+        reg = PerfRegistry()
+        for _ in range(3):
+            with reg.timer("t"):
+                pass
+        stat = reg.timer_stat("t")
+        assert stat.count == 3
+        assert stat.total_s >= 0.0
+        assert stat.max_s >= stat.mean_s
+
+    def test_timer_records_on_exception(self):
+        reg = PerfRegistry()
+        try:
+            with reg.timer("t"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert reg.timer_stat("t").count == 1
+
+    def test_mean_of_empty_stat_is_zero(self):
+        assert TimerStat().mean_s == 0.0
+
+    def test_timed_decorator(self):
+        reg = PerfRegistry()
+
+        @timed("fn", registry=reg)
+        def fn(x):
+            return x + 1
+
+        assert fn(1) == 2
+        assert fn(2) == 3
+        assert reg.timer_stat("fn").count == 2
+
+
+class TestReport:
+    def test_report_is_json_ready(self):
+        reg = PerfRegistry()
+        reg.incr("c", 2)
+        with reg.timer("t"):
+            pass
+        report = json.loads(reg.to_json())
+        assert report["counters"]["c"] == 2
+        assert report["timers"]["t"]["count"] == 1
+        assert set(report["timers"]["t"]) == {"count", "total_s", "mean_s", "max_s"}
+
+    def test_reset_clears_everything(self):
+        reg = PerfRegistry()
+        reg.incr("c")
+        with reg.timer("t"):
+            pass
+        reg.reset()
+        assert reg.report() == {"counters": {}, "timers": {}}
+
+    def test_global_singleton_exists(self):
+        assert isinstance(PERF, PerfRegistry)
+        with PERF.timer("test.smoke"):
+            PERF.incr("test.smoke")
+        assert PERF.counter("test.smoke") >= 1
