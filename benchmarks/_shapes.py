@@ -26,7 +26,7 @@ def assert_mot_beats_stun(result: CostSweepResult, metric: str, from_size: int =
     """Figs. 4–7/12–15: MOT's ratio below STUN's on the larger networks."""
     mot = _series(result, metric, "MOT")
     stun = _series(result, metric, "STUN")
-    checked = [(n, m, s) for n, m, s in zip(result.sizes, mot, stun) if n >= from_size]
+    checked = [(n, m, s) for n, m, s in zip(result.sizes, mot, stun, strict=True) if n >= from_size]
     assert checked, "sweep contained no large networks"
     wins = sum(1 for _, m, s in checked if m < s)
     assert wins >= len(checked) - 1, (
@@ -39,7 +39,7 @@ def assert_mot_matches_zdat(result: CostSweepResult, metric: str, factor: float 
     """Figs. 4/5: 'MOT has a small overhead compared to Z-DAT variations'."""
     mot = _series(result, metric, "MOT")
     zdat = _series(result, metric, "Z-DAT")
-    for n, m, z in zip(result.sizes, mot, zdat):
+    for n, m, z in zip(result.sizes, mot, zdat, strict=True):
         assert m <= factor * z + 1.0, (
             f"MOT {metric} ratio {m:.2f} not within {factor}x of Z-DAT {z:.2f} at n={n}"
         )

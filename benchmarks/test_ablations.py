@@ -17,7 +17,6 @@ says it buys:
 
 from __future__ import annotations
 
-import random
 
 from benchmarks.conftest import run_once
 from repro.core.mot import MOTConfig, MOTTracker

@@ -6,12 +6,7 @@ regenerated per-algorithm series are attached to the benchmark report
 as ``extra_info``.
 """
 
-from benchmarks._shapes import (
-    assert_mot_beats_stun,
-    assert_mot_matches_zdat,
-    assert_mot_ratio_bounded,
-    attach_series,
-)
+from benchmarks._shapes import assert_mot_beats_stun, assert_mot_ratio_bounded, attach_series
 from benchmarks.conftest import run_once
 from repro.experiments.figures import fig13
 

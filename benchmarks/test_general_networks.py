@@ -9,7 +9,6 @@ blowup — and the overlay's membership overhead must stay O(log n).
 from __future__ import annotations
 
 import math
-import random
 
 from benchmarks.conftest import run_once
 from repro.core.mot import MOTTracker

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 
 from repro.baselines.stun import build_dab_tree
 from repro.baselines.zdat import build_zdat_tree

@@ -17,7 +17,7 @@ import math
 import random
 
 from benchmarks.conftest import run_once
-from repro.core.mot import MOTConfig, MOTTracker
+from repro.core.mot import MOTTracker
 from repro.core.mot_balanced import BalancedMOTTracker
 from repro.experiments.runner import execute_one_by_one, make_tracker
 from repro.graphs.generators import grid_network

@@ -35,7 +35,6 @@ def test_mot_stable_across_mobility_regimes(benchmark):
     for mobility, row in out.items():
         benchmark.extra_info[mobility] = {a: round(v, 2) for a, v in row.items()}
     mot = [out[m]["MOT"] for m in MOBILITIES]
-    stun = [out[m]["STUN"] for m in MOBILITIES]
     # MOT's spread across regimes stays within a small factor...
     assert max(mot) <= 2.5 * min(mot)
     # ...and MOT beats STUN in every regime — even hotspot, the regime

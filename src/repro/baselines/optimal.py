@@ -32,4 +32,7 @@ def optimal_total_maintenance(
     net: SensorNetwork, moves: Iterable[tuple[Node, Node]]
 ) -> float:
     """Sum of optimal costs over (old proxy, new proxy) pairs."""
-    return sum(net.distance(u, v) for u, v in moves)
+    pairs = list(moves)
+    if not pairs:
+        return 0.0
+    return float(net.pair_distances(pairs).sum())

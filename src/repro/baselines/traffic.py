@@ -64,7 +64,7 @@ class TrafficProfile:
                 profile.record_crossing(u, v)
             else:
                 path = net.shortest_path(u, v)
-                for a, b in zip(path, path[1:]):
+                for a, b in zip(path, path[1:], strict=False):
                     profile.record_crossing(a, b)
         return profile
 

@@ -74,10 +74,13 @@ class TrackingTree:
         for kids in self.children.values():
             kids.sort(key=net.index_of)
 
-        self._edge_cost: dict[Node, float] = {
-            v: (net.distance(v, p) if p is not None else 0.0)
-            for v, p in self.parent.items()
-        }
+        # one batched solve for every (child, parent) edge; the root has no
+        # parent edge and costs 0 by convention
+        child_parent = [(v, p) for v, p in self.parent.items() if p is not None]
+        costs = net.pair_distances(child_parent)
+        self._edge_cost: dict[Node, float] = {v: 0.0 for v in self.parent}
+        for (v, _), c in zip(child_parent, costs, strict=True):
+            self._edge_cost[v] = float(c)
 
     # ------------------------------------------------------------------
     def edge_cost(self, child: Node) -> float:

@@ -11,7 +11,10 @@ Commands:
 - ``perf [--side N] [--distance-mode M] [--out PATH]`` — run one MOT
   workload with instrumentation on and emit the JSON perf report
   (oracle hit/miss pressure, per-operation timers, ledger summary);
-- ``demo`` — a 30-second guided tour (the quickstart on one object).
+- ``demo [--seed N]`` — a 30-second guided tour (the quickstart on one
+  object);
+- ``lint [PATHS…] [--format json]`` — run the project's AST lint rules
+  (RPL001–RPL005, see :mod:`repro.staticcheck`) over source trees.
 """
 
 from __future__ import annotations
@@ -130,7 +133,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     net = grid_network(8, 8)
     tracker = MOTTracker(build_hierarchy(net, seed=1))
     tracker.publish("tiger", proxy=0)
-    rnd = random.Random(0)
+    rnd = random.Random(args.seed)
     cur = 0
     for _ in range(10):
         cur = rnd.choice(net.neighbors(cur))
@@ -141,6 +144,12 @@ def _cmd_demo(args: argparse.Namespace) -> int:
           f"(cost {res.cost:.0f}, optimal {res.optimal_cost:.0f})")
     print(f"maintenance cost ratio: {tracker.ledger.maintenance_cost_ratio:.2f}")
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.staticcheck import run
+
+    return run(args.paths or ["src"], fmt=args.format)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -181,7 +190,16 @@ def main(argv: list[str] | None = None) -> int:
     p_perf.set_defaults(fn=_cmd_perf)
 
     p_demo = sub.add_parser("demo", help="30-second guided tour")
+    p_demo.add_argument("--seed", type=int, default=0,
+                        help="seed of the demo's random walk")
     p_demo.set_defaults(fn=_cmd_demo)
+
+    p_lint = sub.add_parser("lint", help="run the RPL static-analysis rules")
+    p_lint.add_argument("paths", nargs="*", metavar="PATH",
+                        help="files or directories (default: src)")
+    p_lint.add_argument("--format", choices=("text", "json"), default="text",
+                        help="report format")
+    p_lint.set_defaults(fn=_cmd_lint)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -15,7 +15,7 @@ from repro.core.mot import MOTTracker, MOTConfig
 from repro.core.mot_balanced import BalancedMOTTracker
 from repro.core.fault_tolerant import FaultTolerantMOT
 from repro.core.operations import PublishResult, MoveResult, QueryResult
-from repro.core.costs import CostLedger
+from repro.core.costs import CostLedger, close_to
 
 __all__ = [
     "MOTTracker",
@@ -26,4 +26,5 @@ __all__ = [
     "MoveResult",
     "QueryResult",
     "CostLedger",
+    "close_to",
 ]

@@ -15,7 +15,22 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["CostLedger"]
+__all__ = ["CostLedger", "close_to"]
+
+#: default tolerance for :func:`close_to` — generous enough for sums of
+#: thousands of float64 edge weights, far below any real cost gap
+DEFAULT_TOLERANCE = 1e-9
+
+
+def close_to(a: float, b: float, tol: float = DEFAULT_TOLERANCE) -> bool:
+    """Whether two cost/distance values are equal up to float noise.
+
+    Combined absolute + relative test: ``|a - b| <= tol * max(1, |a|,
+    |b|)``. Costs in this package are sums of shortest-path distances —
+    never compare them to literals with ``==``/``!=`` (rule RPL004);
+    accumulated float error makes exact equality order-dependent.
+    """
+    return abs(a - b) <= tol * max(1.0, abs(a), abs(b))
 
 
 @dataclass

@@ -60,7 +60,7 @@ class RebuildPolicy:
         """Whether the cluster drifted past its growth threshold."""
         if not members:
             return True
-        radius = max(net.distance(leader, v) for v in members)
+        radius = float(net.distances_to_many([leader], list(members)).max())
         return radius > self.nominal_radius * self.max_radius_growth
 
 

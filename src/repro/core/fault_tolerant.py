@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from typing import Hashable
 
 from repro.core.mot import MOTConfig, MOTTracker
+from repro.core.operations import MoveResult, PublishResult, QueryResult
 from repro.hierarchy.structure import BaseHierarchy, HNode, build_hierarchy
 
 Node = Hashable
@@ -113,17 +114,17 @@ class FaultTolerantMOT(MOTTracker):
         if node in self._departed:
             raise ValueError(f"sensor {node!r} has departed and cannot {what}")
 
-    def publish(self, obj, proxy):
+    def publish(self, obj: ObjectId, proxy: Node) -> PublishResult:
         """Publish, refusing departed proxies."""
         self._check_live(proxy, "proxy an object")
         return super().publish(obj, proxy)
 
-    def move(self, obj, new_proxy):
+    def move(self, obj: ObjectId, new_proxy: Node) -> MoveResult:
         """Maintenance, refusing departed proxies."""
         self._check_live(new_proxy, "proxy an object")
         return super().move(obj, new_proxy)
 
-    def query(self, obj, source):
+    def query(self, obj: ObjectId, source: Node) -> QueryResult:
         """Query, refusing departed sources."""
         self._check_live(source, "issue a query")
         return super().query(obj, source)
@@ -179,9 +180,11 @@ class FaultTolerantMOT(MOTTracker):
         entries = 0
         cost = 0.0
         flagged = False
+        # phase 1: decide every relocation (old host read before rebinding)
+        relocations: list[tuple[HNode, Node, Node, int]] = []
         for hn in roles:
-            new_host = self._closest_live(self._phys(hn), exclude=node)
             old_host = self._phys(hn)
+            new_host = self._closest_live(old_host, exclude=node)
             self._role_host[hn] = new_host
             self._hosted_by.setdefault(new_host, set()).add(hn)
             self._hosted_by.get(node, set()).discard(hn)
@@ -189,11 +192,20 @@ class FaultTolerantMOT(MOTTracker):
                 len(s) for s in self._sdl.get(hn, {}).values()
             )
             entries += moved
-            cost += self.net.distance(old_host, new_host) * max(1, moved)
-            # §7 threshold: relocated too far from the role's center?
-            drift = self.net.distance(hn.node, new_host)
-            if drift > self.rebuild_radius_factor * (2.0**hn.level):
-                flagged = True
+            relocations.append((hn, old_host, new_host, moved))
+        # phase 2: two batched solves — transfer distances and §7 drift
+        # from each role's native center (was one distance() per role)
+        if relocations:
+            transfer = self.net.pair_distances(
+                [(old, new) for _, old, new, _ in relocations]
+            )
+            drifts = self.net.pair_distances(
+                [(hn.node, new) for hn, _, new, _ in relocations]
+            )
+            for k, (hn, _, _, moved) in enumerate(relocations):
+                cost += float(transfer[k]) * max(1, moved)
+                if float(drifts[k]) > self.rebuild_radius_factor * (2.0**hn.level):
+                    flagged = True
         if flagged:
             self.needs_rebuild = True
         self.churn_cost += cost

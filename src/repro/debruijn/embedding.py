@@ -88,11 +88,10 @@ class ClusterEmbedding:
         """
         a, b = self.label_of(src), self.label_of(dst)
         labels = debruijn_shortest_path(a, b, self.dimension)
-        hosts = [self.host(l) for l in labels]
-        cost = 0.0
-        for x, y in zip(hosts, hosts[1:]):
-            if x != y:
-                cost += self.net.distance(x, y)
+        hosts = [self.host(lab) for lab in labels]
+        # same-host consecutive hops contribute distance 0, so the batched
+        # profile needs no explicit x != y filter
+        cost = float(self.net.consecutive_distances(hosts).sum())
         return hosts, cost
 
     def route_cost(self, src: Node, dst: Node) -> float:

@@ -33,6 +33,7 @@ class CostExperiment:
     algorithms: tuple[str, ...] = PAPER_ALGORITHMS
     mode: Literal["one_by_one", "concurrent"] = "one_by_one"
     concurrent_batch: int = 10  # paper: max 10 concurrent ops per object
+    concurrent_shuffle_seed: int = 7  # seed of the concurrent object shuffle
     mobility: Literal["random_walk", "waypoint", "hotspot"] = "random_walk"
 
     def scaled(
@@ -55,6 +56,7 @@ class CostExperiment:
             algorithms=self.algorithms,
             mode=self.mode,
             concurrent_batch=self.concurrent_batch,
+            concurrent_shuffle_seed=self.concurrent_shuffle_seed,
             mobility=self.mobility,
         )
 

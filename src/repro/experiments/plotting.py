@@ -42,7 +42,7 @@ def ascii_series_chart(
     ymax = max(max(ys) for ys in series.values())
     ymax = ymax if ymax > 0 else 1.0
     grid = [[" "] * width for _ in range(height)]
-    for si, (name, ys) in enumerate(series.items()):
+    for si, (_name, ys) in enumerate(series.items()):
         mark = _MARKS[si % len(_MARKS)]
         for i, v in enumerate(ys):
             col = round(i * (width - 1) / (npts - 1))

@@ -213,7 +213,12 @@ def run_cost_sweep(exp: CostExperiment) -> CostSweepResult:
                     ledger = execute_one_by_one(tracker, wl)
                 else:
                     tracker = make_concurrent_tracker(alg, net, wl.traffic, seed=exp.seed + rep)
-                    ledger = execute_concurrent(tracker, wl, batch=exp.concurrent_batch)
+                    ledger = execute_concurrent(
+                        tracker,
+                        wl,
+                        batch=exp.concurrent_batch,
+                        shuffle_seed=exp.concurrent_shuffle_seed,
+                    )
                 maint[alg].append(ledger.maintenance_cost_ratio)
                 query[alg].append(ledger.query_cost_ratio)
         for alg in exp.algorithms:

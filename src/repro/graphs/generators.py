@@ -134,7 +134,7 @@ def random_geometric_network(
         diff = pts[:, None, :] - pts[None, :, :]
         dmat = np.sqrt((diff**2).sum(axis=2))
         ii, jj = np.nonzero((dmat <= radius) & (dmat > 0))
-        for i, j in zip(ii.tolist(), jj.tolist()):
+        for i, j in zip(ii.tolist(), jj.tolist(), strict=True):
             if i < j:
                 g.add_edge(i, j, weight=float(dmat[i, j]))
         if g.number_of_edges() > 0 and nx.is_connected(g):

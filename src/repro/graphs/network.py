@@ -8,6 +8,7 @@ algorithm in this package relies on:
   computed with :func:`scipy.sparse.csgraph.dijkstra`),
 - batched distance queries (:meth:`SensorNetwork.distances_to_many`,
   :meth:`SensorNetwork.pairwise_submatrix`,
+  :meth:`SensorNetwork.pair_distances`,
   :meth:`SensorNetwork.consecutive_distances`) that resolve many
   sources in one Dijkstra call — the hot path of hierarchy
   construction and the trackers,
@@ -167,8 +168,12 @@ class SensorNetwork:
             data["weight"] = w
 
         if normalize and self._graph.number_of_edges() > 0:
+            # function-level import: repro.core imports this module at
+            # package init, so a top-level import would be circular
+            from repro.core.costs import close_to
+
             min_w = min(d["weight"] for _, _, d in self._graph.edges(data=True))
-            if min_w != 1.0:
+            if not close_to(min_w, 1.0):
                 for _, _, d in self._graph.edges(data=True):
                     d["weight"] = d["weight"] / min_w
 
@@ -306,7 +311,9 @@ class SensorNetwork:
             )
         return self._ensure_distances()
 
-    def _sssp(self, indices, limit: float | None = None) -> np.ndarray:
+    def _sssp(
+        self, indices: int | Sequence[int] | np.ndarray, limit: float | None = None
+    ) -> np.ndarray:
         """Raw (possibly multi-source-batched, possibly pruned) Dijkstra."""
         kwargs = {} if limit is None else {"limit": float(limit)}
         out = dijkstra(self._adjacency(), directed=False, indices=indices, **kwargs)
@@ -423,21 +430,39 @@ class SensorNetwork:
         """Distances among a node subset, ``out[a, b] = dist(nodes[a], nodes[b])``."""
         return self.distances_to_many(nodes, nodes, limit=limit)
 
+    def pair_distances(self, pairs: Sequence[tuple[Node, Node]]) -> np.ndarray:
+        """``[dist(u, v) for u, v in pairs]`` resolved in one batched call.
+
+        The batched replacement for per-pair :meth:`distance` loops
+        (lint rule RPL001): unique first elements become Dijkstra
+        sources, unique second elements become target columns, so ``k``
+        pairs cost one multi-source solve over the distinct sources
+        instead of up to ``k`` independent row computations. Duplicate
+        pairs and repeated endpoints are free.
+        """
+        if not pairs:
+            return np.empty(0)
+        srcs = list(dict.fromkeys(u for u, _ in pairs))
+        tgts = list(dict.fromkeys(v for _, v in pairs))
+        spos = {u: k for k, u in enumerate(srcs)}
+        tpos = {v: k for k, v in enumerate(tgts)}
+        block = self.distances_to_many(srcs, tgts)
+        a = np.asarray([spos[u] for u, _ in pairs])
+        b = np.asarray([tpos[v] for _, v in pairs])
+        return block[a, b]
+
     def consecutive_distances(self, seq: Sequence[Node]) -> np.ndarray:
         """``[dist(seq[0], seq[1]), dist(seq[1], seq[2]), ...]`` in one batch.
 
         The distance profile of a message's physical visit sequence
-        (detection paths, spine walks). All unique sources resolve in a
-        single batched call; duplicates in ``seq`` are free.
+        (detection paths, spine walks). Delegates to
+        :meth:`pair_distances` over the consecutive pairs, so all unique
+        sources resolve in a single batched call; duplicates in ``seq``
+        are free.
         """
         if len(seq) < 2:
             return np.empty(0)
-        uniq = list(dict.fromkeys(seq))
-        pos = {v: k for k, v in enumerate(uniq)}
-        sub = self.pairwise_submatrix(uniq)
-        a = np.asarray([pos[v] for v in seq[:-1]])
-        b = np.asarray([pos[v] for v in seq[1:]])
-        return sub[a, b]
+        return self.pair_distances(list(zip(seq[:-1], seq[1:], strict=True)))
 
     def path_length(self, seq: Sequence[Node]) -> float:
         """Total length of the visit sequence ``seq`` (sum of hops)."""

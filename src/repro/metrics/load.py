@@ -55,7 +55,7 @@ class LoadStats:
         """
         edges = list(bins) + [float("inf")]
         out: dict[str, int] = {}
-        for lo, hi in zip(edges, edges[1:]):
+        for lo, hi in zip(edges, edges[1:], strict=False):
             label = f"[{lo},inf)" if hi == float("inf") else f"[{lo},{hi})"
             out[label] = sum(1 for v in loads.values() if lo <= v < hi)
         return out

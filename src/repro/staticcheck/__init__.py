@@ -1,0 +1,50 @@
+"""``repro.staticcheck`` — project-specific AST lint rules (``repro lint``).
+
+Generic linters cannot know that ``net.distance`` inside a loop is an
+O(n · Dijkstra) regression, that unseeded randomness invalidates the
+paper's cost-ratio tables, or that ``networkx`` shortest paths bypass
+the batched distance oracle. This package encodes those invariants as
+five fixture-tested AST rules (stdlib :mod:`ast` only, no third-party
+dependencies):
+
+========  ============================================================
+RPL001    per-pair ``*.distance(...)`` inside a loop / comprehension /
+          ``sum()``-style reduction — use the batched oracle API
+          (``distances_to_many`` / ``pairwise_submatrix`` /
+          ``consecutive_distances`` / ``pair_distances``)
+RPL002    unseeded randomness (``random.random()``, module-level
+          ``np.random.*``, ``random.Random()`` or ``default_rng()``
+          without an explicit seed) — thread a ``seed``/``rng`` param
+RPL003    cross-module access to private state (``obj._rows`` and
+          friends on a receiver other than ``self``/``cls``) — add or
+          use a public accessor instead
+RPL004    ``==`` / ``!=`` between distance/cost expressions and float
+          literals — use :func:`repro.core.costs.close_to`
+RPL005    ``networkx`` shortest-path / all-pairs calls outside
+          ``repro/graphs/network.py`` — the ``SensorNetwork`` oracle is
+          the single distance authority
+========  ============================================================
+
+A finding on one line is silenced with a same-line comment::
+
+    d = net.distance(u, v)  # repro-lint: disable=RPL001
+
+Suppressions that silence nothing are themselves reported (RPL000), so
+stale ones cannot accumulate. The CLI entry point is
+``python -m repro lint [paths…] [--format json]``; see
+:mod:`repro.staticcheck.runner` for the library interface.
+"""
+
+from repro.staticcheck.diagnostics import Diagnostic
+from repro.staticcheck.rules import ALL_CHECKERS, RULE_SUMMARIES
+from repro.staticcheck.runner import lint_file, lint_paths, lint_source, run
+
+__all__ = [
+    "ALL_CHECKERS",
+    "Diagnostic",
+    "RULE_SUMMARIES",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "run",
+]

@@ -1,0 +1,57 @@
+"""Diagnostic records and output rendering for ``repro lint``."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["Diagnostic", "render_human", "render_json"]
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One lint finding, anchored to a file position.
+
+    Ordering is (path, line, col, rule) so reports read top-to-bottom
+    per file regardless of which checker produced each finding.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format_human(self) -> str:
+        """``path:line:col: RPLxxx message`` — the clickable text form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def as_dict(self) -> dict[str, str | int]:
+        """JSON-ready view (keys match the human rendering fields)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+def render_human(diagnostics: Sequence[Diagnostic]) -> str:
+    """Sorted one-line-per-finding report plus a summary line."""
+    lines = [d.format_human() for d in sorted(diagnostics)]
+    n = len(diagnostics)
+    lines.append(f"found {n} problem{'' if n == 1 else 's'}" if n else "all checks passed")
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: Sequence[Diagnostic]) -> str:
+    """The report as a JSON document (stable key order, sorted findings)."""
+    return json.dumps(
+        {
+            "diagnostics": [d.as_dict() for d in sorted(diagnostics)],
+            "count": len(diagnostics),
+        },
+        indent=1,
+    )

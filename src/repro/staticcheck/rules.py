@@ -1,0 +1,386 @@
+"""The RPL rule checkers (see the package docstring for the catalogue).
+
+Every checker is an :class:`ast.NodeVisitor` over one parsed module.
+Checkers are lexical and deliberately conservative: they flag the
+patterns the project has actually regressed on, not every theoretical
+variant — a rule that cries wolf gets suppressed wholesale and protects
+nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.staticcheck.diagnostics import Diagnostic
+
+__all__ = ["ALL_CHECKERS", "RULE_SUMMARIES", "BaseChecker"]
+
+
+def _dotted_name(node: ast.expr) -> tuple[str, ...]:
+    """``a.b.c`` as ``("a", "b", "c")``; empty when not a plain name chain."""
+    parts: list[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return tuple(reversed(parts))
+    return ()
+
+
+def _has_seed_argument(call: ast.Call) -> bool:
+    """Whether a RNG constructor call passes any seed-like argument."""
+    return bool(call.args) or bool(call.keywords)
+
+
+class BaseChecker(ast.NodeVisitor):
+    """Shared reporting plumbing for all RPL rules."""
+
+    rule_id: str = ""
+    summary: str = ""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.diagnostics: list[Diagnostic] = []
+
+    @classmethod
+    def applies_to(cls, path: str) -> bool:
+        """Whether the rule runs on ``path`` at all (RPL005 exempts the oracle)."""
+        return True
+
+    def check_module(self, tree: ast.AST) -> None:
+        """Run the rule over one parsed module (default: a single visit)."""
+        self.visit(tree)
+
+    def report(self, node: ast.AST, message: str) -> None:
+        """Record one finding anchored at ``node``."""
+        self.diagnostics.append(
+            Diagnostic(
+                path=self.path,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0),
+                rule=self.rule_id,
+                message=message,
+            )
+        )
+
+
+class PerPairDistanceChecker(BaseChecker):
+    """RPL001 — per-pair ``*.distance(...)`` inside loops and reductions.
+
+    One ``distance`` call per iteration is one Dijkstra row per
+    iteration in lazy mode: the exact O(n · Dijkstra) pattern PR 1's
+    batched oracle API exists to kill. Comprehensions and generator
+    expressions (``sum(net.distance(u, v) for …)``) count as loops.
+    """
+
+    rule_id = "RPL001"
+    summary = "per-pair distance() call in a loop; use the batched oracle API"
+
+    _LOOPS = (ast.For, ast.AsyncFor, ast.While)
+    _COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+
+    def __init__(self, path: str) -> None:
+        super().__init__(path)
+        self._loop_depth = 0
+
+    def visit(self, node: ast.AST) -> None:
+        if isinstance(node, self._LOOPS + self._COMPREHENSIONS):
+            self._loop_depth += 1
+            self.generic_visit(node)
+            self._loop_depth -= 1
+        else:
+            super().visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            self._loop_depth > 0
+            and isinstance(func, ast.Attribute)
+            and func.attr == "distance"
+        ):
+            self.report(
+                node,
+                "per-pair distance() call inside a loop/comprehension; batch it "
+                "with distances_to_many / pairwise_submatrix / "
+                "consecutive_distances / pair_distances",
+            )
+        self.generic_visit(node)
+
+
+class UnseededRandomChecker(BaseChecker):
+    """RPL002 — randomness that is not reproducible from an explicit seed.
+
+    The paper's cost-ratio tables (§8) are only comparable across runs
+    and machines when every workload is replayable; module-level RNG
+    state and seedless generators silently break that.
+    """
+
+    rule_id = "RPL002"
+    summary = "unseeded randomness; thread an explicit seed/rng parameter"
+
+    #: stateful module-level functions of the stdlib ``random`` module
+    _STDLIB_STATEFUL = frozenset(
+        {
+            "random", "randint", "randrange", "getrandbits", "randbytes",
+            "choice", "choices", "shuffle", "sample", "uniform", "triangular",
+            "betavariate", "expovariate", "gammavariate", "gauss",
+            "lognormvariate", "normalvariate", "vonmisesvariate",
+            "paretovariate", "weibullvariate", "binomialvariate", "seed",
+        }
+    )
+    #: ``np.random`` attributes that are constructors, not the global RNG
+    _NUMPY_CONSTRUCTORS = frozenset(
+        {"default_rng", "RandomState", "Generator", "SeedSequence",
+         "PCG64", "PCG64DXSM", "Philox", "MT19937", "SFC64", "BitGenerator"}
+    )
+    #: constructors that must receive an explicit seed argument
+    _NEEDS_SEED = frozenset({"default_rng", "RandomState", "Random"})
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted_name(node.func)
+        if dotted:
+            self._check(node, dotted)
+        self.generic_visit(node)
+
+    def _check(self, node: ast.Call, dotted: tuple[str, ...]) -> None:
+        head, tail = dotted[0], dotted[-1]
+        if dotted[:-1] == ("random",):
+            # stdlib: random.random() etc. share hidden global state;
+            # random.Random() without a seed is just as irreproducible
+            if tail in self._STDLIB_STATEFUL:
+                self.report(
+                    node,
+                    f"random.{tail}() uses the global RNG; construct "
+                    "random.Random(seed) and thread it through",
+                )
+            elif tail == "Random" and not _has_seed_argument(node):
+                self.report(
+                    node,
+                    "random.Random() without a seed; pass an explicit seed",
+                )
+        elif len(dotted) == 3 and head in ("np", "numpy") and dotted[1] == "random":
+            if tail in self._NEEDS_SEED:
+                if not _has_seed_argument(node):
+                    self.report(
+                        node,
+                        f"{head}.random.{tail}() without a seed; pass an "
+                        "explicit seed",
+                    )
+            elif tail not in self._NUMPY_CONSTRUCTORS:
+                self.report(
+                    node,
+                    f"{head}.random.{tail}() uses numpy's global RNG; use "
+                    f"{head}.random.default_rng(seed) instead",
+                )
+        elif dotted == ("default_rng",) and not _has_seed_argument(node):
+            self.report(node, "default_rng() without a seed; pass an explicit seed")
+        elif dotted == ("Random",) and not _has_seed_argument(node):
+            self.report(node, "Random() without a seed; pass an explicit seed")
+
+
+class PrivateAccessChecker(BaseChecker):
+    """RPL003 — private state touched through a foreign object.
+
+    ``obj._rows`` / ``tracker._dl`` reached from another module welds
+    callers to representation details the owner is free to change (the
+    PR 1 LRU rework changed ``_rows``'s type, for instance). Access via
+    ``self``/``cls``/``super()`` is the owner's business and always
+    allowed, as is any private name the *current module* itself assigns
+    on ``self`` somewhere (the module co-owns that state — e.g.
+    ``CostLedger.merge`` reading ``other._maint_ratios``).
+    """
+
+    rule_id = "RPL003"
+    summary = "cross-module access to private state; use a public accessor"
+
+    #: namedtuple/dataclass protocol members that are private by spelling only
+    _SHARED_PROTOCOL = frozenset(
+        {"_replace", "_asdict", "_fields", "_make", "_field_defaults"}
+    )
+
+    def __init__(self, path: str) -> None:
+        super().__init__(path)
+        self._owned: set[str] = set()
+
+    @staticmethod
+    def _iter_owned_names(tree: ast.AST) -> Iterator[str]:
+        """Private attribute names this module defines (and may touch freely)."""
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Store):
+                if isinstance(node.value, ast.Name) and node.value.id in ("self", "cls"):
+                    yield node.attr
+            elif isinstance(node, ast.ClassDef):
+                for stmt in node.body:
+                    if isinstance(stmt, ast.AnnAssign) and isinstance(
+                        stmt.target, ast.Name
+                    ):
+                        yield stmt.target.id
+                    elif isinstance(stmt, ast.Assign):
+                        for tgt in stmt.targets:
+                            if isinstance(tgt, ast.Name):
+                                yield tgt.id
+                                if tgt.id == "__slots__" and isinstance(
+                                    stmt.value, (ast.Tuple, ast.List)
+                                ):
+                                    for elt in stmt.value.elts:
+                                        if isinstance(elt, ast.Constant) and isinstance(
+                                            elt.value, str
+                                        ):
+                                            yield elt.value
+
+    def check_module(self, tree: ast.AST) -> None:
+        """Two passes: collect owned names, then visit for foreign access."""
+        self._owned = set(self._iter_owned_names(tree))
+        self.visit(tree)
+
+    @staticmethod
+    def _receiver_is_owner(value: ast.expr) -> bool:
+        if isinstance(value, ast.Name) and value.id in ("self", "cls"):
+            return True
+        # super()._x — the parent class's state is the subclass's state
+        return (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id == "super"
+        )
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        attr = node.attr
+        if (
+            attr.startswith("_")
+            and not (attr.startswith("__") and attr.endswith("__"))
+            and attr not in self._SHARED_PROTOCOL
+            and attr not in self._owned
+            and not self._receiver_is_owner(node.value)
+        ):
+            self.report(
+                node,
+                f"access to private attribute {attr!r} on a foreign object; "
+                "use a public accessor on the owning class",
+            )
+        self.generic_visit(node)
+
+
+class FloatEqualityChecker(BaseChecker):
+    """RPL004 — exact equality against float literals / distance results.
+
+    Costs and distances are sums of floats; ``==`` on them is
+    platform-dependent noise. :func:`repro.core.costs.close_to` is the
+    sanctioned comparison.
+    """
+
+    rule_id = "RPL004"
+    summary = "float equality on costs/distances; use repro.core.costs.close_to"
+
+    #: oracle/cost methods whose results must never be compared exactly
+    _DISTANCE_CALLS = frozenset(
+        {
+            "distance", "distance_upper_bound", "path_length", "dpath_length",
+            "edge_cost", "path_cost", "total_edge_cost", "route_cost",
+            "optimal_move_cost", "optimal_query_cost", "optimal_total_maintenance",
+        }
+    )
+
+    @staticmethod
+    def _is_float_literal(node: ast.expr) -> bool:
+        if isinstance(node, ast.Constant) and isinstance(node.value, float):
+            return True
+        # -1.5 parses as UnaryOp(USub, Constant(1.5))
+        return (
+            isinstance(node, ast.UnaryOp)
+            and isinstance(node.op, (ast.USub, ast.UAdd))
+            and isinstance(node.operand, ast.Constant)
+            and isinstance(node.operand.value, float)
+        )
+
+    def _is_distance_call(self, node: ast.expr) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in self._DISTANCE_CALLS
+        )
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for i, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            pair = (operands[i], operands[i + 1])
+            if any(self._is_float_literal(x) for x in pair) or any(
+                self._is_distance_call(x) for x in pair
+            ):
+                self.report(
+                    node,
+                    "exact ==/!= on a float/distance expression; use "
+                    "repro.core.costs.close_to(a, b) instead",
+                )
+                break
+        self.generic_visit(node)
+
+
+class NetworkxDistanceChecker(BaseChecker):
+    """RPL005 — networkx shortest-path machinery outside the oracle.
+
+    ``repro/graphs/network.py`` is the single distance authority: it
+    caches, batches, prunes and instruments every shortest-path solve.
+    A stray ``nx.shortest_path_length`` elsewhere silently forks that
+    authority and dodges both the LRU and the perf counters.
+    """
+
+    rule_id = "RPL005"
+    summary = "networkx shortest-path call outside graphs/network.py"
+
+    #: the file allowed to talk to networkx about distances
+    _ORACLE_SUFFIX = "repro/graphs/network.py"
+
+    _NX_DISTANCE_FUNCS = frozenset(
+        {
+            "shortest_path", "shortest_path_length", "has_path",
+            "single_source_shortest_path", "single_source_shortest_path_length",
+            "single_source_dijkstra", "single_source_dijkstra_path",
+            "single_source_dijkstra_path_length", "multi_source_dijkstra",
+            "dijkstra_path", "dijkstra_path_length", "dijkstra_predecessor_and_distance",
+            "bellman_ford_path", "bellman_ford_path_length",
+            "all_pairs_shortest_path", "all_pairs_shortest_path_length",
+            "all_pairs_dijkstra", "all_pairs_dijkstra_path",
+            "all_pairs_dijkstra_path_length", "all_pairs_bellman_ford_path",
+            "all_pairs_bellman_ford_path_length", "floyd_warshall",
+            "floyd_warshall_numpy", "floyd_warshall_predecessor_and_distance",
+            "johnson", "astar_path", "astar_path_length",
+            "eccentricity", "diameter", "radius", "center", "periphery",
+        }
+    )
+
+    @classmethod
+    def applies_to(cls, path: str) -> bool:
+        return not path.replace("\\", "/").endswith(cls._ORACLE_SUFFIX)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted_name(node.func)
+        if (
+            len(dotted) >= 2
+            and dotted[0] in ("nx", "networkx")
+            and dotted[-1] in self._NX_DISTANCE_FUNCS
+        ):
+            self.report(
+                node,
+                f"networkx {dotted[-1]}() bypasses the SensorNetwork distance "
+                "oracle; route distance queries through repro.graphs.network",
+            )
+        self.generic_visit(node)
+
+
+#: every rule, in id order — the runner instantiates one of each per file
+ALL_CHECKERS: tuple[type[BaseChecker], ...] = (
+    PerPairDistanceChecker,
+    UnseededRandomChecker,
+    PrivateAccessChecker,
+    FloatEqualityChecker,
+    NetworkxDistanceChecker,
+)
+
+#: rule id → one-line summary (docs page and ``--format json`` metadata)
+RULE_SUMMARIES: dict[str, str] = {c.rule_id: c.summary for c in ALL_CHECKERS}

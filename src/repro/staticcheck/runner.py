@@ -1,0 +1,94 @@
+"""File discovery, checker execution and the ``repro lint`` entry point."""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Sequence, TextIO
+
+from repro.staticcheck.diagnostics import Diagnostic, render_human, render_json
+from repro.staticcheck.rules import ALL_CHECKERS
+from repro.staticcheck.suppressions import SuppressionTable
+
+__all__ = ["lint_source", "lint_file", "lint_paths", "run"]
+
+#: rule id for files the parser rejects (a syntax error is never clean)
+PARSE_ERROR_RULE = "RPL999"
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Diagnostic]:
+    """Lint one module given as text; the library-level workhorse.
+
+    Applies every rule whose :meth:`~repro.staticcheck.rules.BaseChecker.
+    applies_to` accepts ``path``, filters findings through the file's
+    same-line suppressions, and appends an RPL000 finding per
+    suppression that silenced nothing.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                path=path,
+                line=exc.lineno or 0,
+                col=exc.offset or 0,
+                rule=PARSE_ERROR_RULE,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    suppressions = SuppressionTable(source, path)
+    kept: list[Diagnostic] = []
+    for checker_cls in ALL_CHECKERS:
+        if not checker_cls.applies_to(path):
+            continue
+        checker = checker_cls(path)
+        checker.check_module(tree)
+        for diag in checker.diagnostics:
+            if not suppressions.is_suppressed(diag.line, diag.rule):
+                kept.append(diag)
+    kept.extend(suppressions.unused())
+    return kept
+
+
+def lint_file(path: Path | str) -> list[Diagnostic]:
+    """Lint one file on disk."""
+    p = Path(path)
+    return lint_source(p.read_text(encoding="utf-8"), str(p))
+
+
+def iter_python_files(paths: Sequence[Path | str]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list."""
+    seen: set[Path] = set()
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            seen.update(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            seen.add(p)
+        else:
+            raise FileNotFoundError(f"{p} is neither a directory nor a .py file")
+    return sorted(seen)
+
+
+def lint_paths(paths: Sequence[Path | str]) -> list[Diagnostic]:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    out: list[Diagnostic] = []
+    for p in iter_python_files(paths):
+        out.extend(lint_file(p))
+    return out
+
+
+def run(
+    paths: Sequence[Path | str],
+    fmt: str = "text",
+    stream: TextIO | None = None,
+) -> int:
+    """CLI driver: lint, print a report, return the exit code (0 = clean)."""
+    if fmt not in ("text", "json"):
+        raise ValueError(f"unknown format {fmt!r}; choose 'text' or 'json'")
+    stream = stream if stream is not None else sys.stdout
+    diagnostics = lint_paths(paths)
+    report = render_json(diagnostics) if fmt == "json" else render_human(diagnostics)
+    print(report, file=stream)
+    return 1 if diagnostics else 0

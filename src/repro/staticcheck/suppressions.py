@@ -1,0 +1,77 @@
+"""Same-line suppression comments for ``repro lint``.
+
+Syntax (one or more rule ids, comma-separated)::
+
+    d = net.distance(u, v)  # repro-lint: disable=RPL001
+    x = random.Random()     # repro-lint: disable=RPL002,RPL003
+
+A suppression silences findings of the listed rules **on its own line
+only**. Suppressions that silence nothing are reported as RPL000 so
+they cannot outlive the violation they were written for.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+from repro.staticcheck.diagnostics import Diagnostic
+
+__all__ = ["UNUSED_SUPPRESSION_RULE", "SuppressionTable"]
+
+#: rule id under which unused suppressions are reported
+UNUSED_SUPPRESSION_RULE = "RPL000"
+
+_DIRECTIVE = re.compile(r"#\s*repro-lint:\s*disable=([A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)")
+
+
+def _iter_comments(source: str) -> list[tuple[int, str]]:
+    """(line, text) of every real comment token — docstrings don't count."""
+    out: list[tuple[int, str]] = []
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                out.append((tok.start[0], tok.string))
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover - defensive
+        pass  # the AST pass reports the syntax problem; no suppressions apply
+    return out
+
+
+class SuppressionTable:
+    """Per-file map of line number → suppressed rule ids, with use tracking."""
+
+    def __init__(self, source: str, path: str) -> None:
+        self.path = path
+        self._rules_by_line: dict[int, set[str]] = {}
+        self._used: set[tuple[int, str]] = set()
+        for lineno, text in _iter_comments(source):
+            m = _DIRECTIVE.search(text)
+            if m:
+                rules = {r.strip() for r in m.group(1).split(",")}
+                self._rules_by_line.setdefault(lineno, set()).update(rules)
+
+    def is_suppressed(self, line: int, rule: str) -> bool:
+        """Whether ``rule`` is silenced on ``line``; marks the directive used."""
+        if rule in self._rules_by_line.get(line, ()):
+            self._used.add((line, rule))
+            return True
+        return False
+
+    def unused(self) -> list[Diagnostic]:
+        """RPL000 findings for every directive entry that silenced nothing."""
+        out = []
+        for line, rules in self._rules_by_line.items():
+            for rule in sorted(rules):
+                if (line, rule) not in self._used:
+                    out.append(
+                        Diagnostic(
+                            path=self.path,
+                            line=line,
+                            col=0,
+                            rule=UNUSED_SUPPRESSION_RULE,
+                            message=f"unused suppression of {rule}: nothing on this "
+                                    "line triggers it — remove the directive",
+                        )
+                    )
+        return out

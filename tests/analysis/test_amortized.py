@@ -1,6 +1,5 @@
 """Tests for the executable §4.1 analysis."""
 
-import random
 
 import pytest
 

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.baselines.stun import STUNTracker, build_dab_tree
 from repro.baselines.traffic import TrafficProfile

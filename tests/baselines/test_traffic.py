@@ -1,6 +1,5 @@
 """Tests for detection-rate traffic profiles (§1.3)."""
 
-import pytest
 
 from repro.baselines.traffic import TrafficProfile
 from repro.graphs.generators import grid_network

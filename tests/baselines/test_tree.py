@@ -17,7 +17,7 @@ def _star_parent(root=0):
 def _chain_parent(net):
     nodes = list(net.nodes)
     parent = {nodes[0]: None}
-    for a, b in zip(nodes, nodes[1:]):
+    for a, b in zip(nodes, nodes[1:], strict=False):
         parent[b] = a
     return parent
 

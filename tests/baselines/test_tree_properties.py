@@ -9,7 +9,6 @@ every published object.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.baselines.tree import TrackingTree, TreeTracker

@@ -8,7 +8,6 @@ cluster member.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.mot import MOTTracker

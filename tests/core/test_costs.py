@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.costs import CostLedger
+from repro.core.costs import CostLedger, close_to
 
 
 class TestLedger:
@@ -71,3 +71,27 @@ class TestLedger:
         assert a.maintenance_ops == 2
         assert a.max_maintenance_ratio == pytest.approx(4.0)
         assert a.publish_cost == 1.0
+
+
+class TestCloseTo:
+    def test_equal_and_near_equal(self):
+        assert close_to(1.0, 1.0)
+        assert close_to(0.1 + 0.2, 0.3)  # the canonical float-noise case
+        assert close_to(0.0, 0.0)
+
+    def test_distinct_values_differ(self):
+        assert not close_to(1.0, 1.0001)
+        assert not close_to(0.0, 1e-3)
+
+    def test_relative_scale_for_large_costs(self):
+        big = 1e12
+        assert close_to(big, big + big * 1e-12)
+        assert not close_to(big, big + 1e4)  # rel threshold is tol·|big| = 1e3
+
+    def test_custom_tolerance(self):
+        assert close_to(1.0, 1.5, tol=0.6)
+        assert not close_to(1.0, 1.5, tol=0.1)
+
+    def test_symmetry(self):
+        assert close_to(0.3, 0.1 + 0.2) == close_to(0.1 + 0.2, 0.3)
+        assert close_to(-1.0, -1.0)

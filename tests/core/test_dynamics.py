@@ -10,7 +10,6 @@ from repro.core.dynamics import (
     RebuildPolicy,
     amortized_adaptability,
 )
-from repro.graphs.generators import grid_network
 
 
 @pytest.fixture()

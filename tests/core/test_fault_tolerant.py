@@ -5,9 +5,8 @@ import random
 import pytest
 
 from repro.core.fault_tolerant import FaultTolerantMOT
-from repro.core.mot import MOTConfig
 from repro.graphs.generators import grid_network
-from repro.hierarchy.structure import HNode, build_hierarchy
+from repro.hierarchy.structure import build_hierarchy
 
 NET = grid_network(8, 8)
 
@@ -108,7 +107,6 @@ class TestRebuild:
         assert tracker.needs_rebuild
 
     def test_rebuild_replays_state(self, tracker):
-        rnd = random.Random(7)
         tracker.publish("a", 0)
         tracker.publish("b", 63)
         for v in (17, 18, 25):

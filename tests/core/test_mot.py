@@ -1,12 +1,11 @@
 """Unit tests for the MOT tracker (paper §3, Algorithm 1)."""
 
-import math
 import random
 
 import pytest
 
 from repro.core.mot import MOTConfig, MOTTracker
-from repro.graphs.generators import grid_network, line_network, ring_network
+from repro.graphs.generators import line_network, ring_network
 from repro.hierarchy.structure import HNode, build_hierarchy
 
 

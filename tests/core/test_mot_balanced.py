@@ -5,9 +5,8 @@ import statistics
 
 import pytest
 
-from repro.core.mot import MOTConfig, MOTTracker
+from repro.core.mot import MOTTracker
 from repro.core.mot_balanced import BalancedMOTTracker
-from repro.graphs.generators import grid_network
 from repro.hierarchy.structure import HNode, build_hierarchy
 
 
@@ -75,7 +74,6 @@ class TestCosts:
         hs = build_hierarchy(grid8, seed=1)
         plain = MOTTracker(hs)
         routed = BalancedMOTTracker(build_hierarchy(grid8, seed=1))
-        rnd = random.Random(6)
         for tr in (plain, routed):
             r = random.Random(6)
             tr.publish("o", 0)

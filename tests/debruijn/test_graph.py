@@ -30,9 +30,8 @@ class TestShortestPath:
             debruijn_shortest_path(0, 0, -1)
 
     def test_path_follows_edges(self):
-        g = DeBruijnGraph(4)
         path = debruijn_shortest_path(0b1010, 0b0111, 4)
-        for a, b in zip(path, path[1:]):
+        for a, b in zip(path, path[1:], strict=False):
             mask = (1 << 4) - 1
             assert b >> 1 == (a & (mask >> 1)) or b == ((a << 1) & mask) | (b & 1)
 
@@ -83,7 +82,7 @@ def test_path_valid_and_within_diameter(d, data):
     assert path[0] == src and path[-1] == dst
     assert len(path) - 1 <= d
     mask = size - 1
-    for a, b in zip(path, path[1:]):
+    for a, b in zip(path, path[1:], strict=False):
         assert b in (((a << 1) & mask), ((a << 1) & mask) | 1)
 
 

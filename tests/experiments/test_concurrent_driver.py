@@ -1,6 +1,5 @@
 """Tests for the concurrent execution driver (§8 schedule details)."""
 
-import pytest
 
 from repro.experiments.runner import (
     execute_concurrent,

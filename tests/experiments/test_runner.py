@@ -79,7 +79,7 @@ class TestSweeps:
         exp = LoadExperiment(grid_side=8, num_objects=20, after_moves=False)
         loads = run_load_experiment(exp)
         assert set(loads) == {"MOT-balanced", "STUN"}
-        for alg, load in loads.items():
+        for load in loads.values():
             assert len(load) == 64
             assert sum(load.values()) > 0
 

@@ -56,11 +56,30 @@ class TestBatchedQueries:
         assert net.oracle_stats["row_cache_size"] == 0
         assert net.oracle_stats["limited_sssp"] == 2
 
+    def test_pair_distances_matches_full(self, pair):
+        full, lazy = pair
+        pairs = [(0, 7), (35, 1), (7, 0), (2, 2)]
+        expect = [full.distance(u, v) for u, v in pairs]
+        assert lazy.pair_distances(pairs) == pytest.approx(expect)
+        assert full.pair_distances(pairs) == pytest.approx(expect)
+
+    def test_pair_distances_duplicates_free(self):
+        net = _grid_net(6, "lazy")
+        out = net.pair_distances([(0, 5), (0, 5), (0, 11)])
+        assert out[0] == out[1]
+        # one batched solve over the single distinct source
+        assert net.oracle_stats["rows_computed"] == 1
+        assert net.oracle_stats["batched_calls"] == 1
+
+    def test_pair_distances_empty(self, pair):
+        _, lazy = pair
+        assert lazy.pair_distances([]).size == 0
+
     def test_consecutive_distances(self, pair):
         full, lazy = pair
         seq = [0, 7, 7, 35, 1]
         out = lazy.consecutive_distances(seq)
-        expect = [full.distance(a, b) for a, b in zip(seq, seq[1:])]
+        expect = [full.distance(a, b) for a, b in zip(seq, seq[1:], strict=False)]
         assert out == pytest.approx(expect)
         assert lazy.path_length(seq) == pytest.approx(sum(expect))
 

@@ -1,6 +1,5 @@
 """Tests for doubling-dimension estimation (paper §2.2 footnote)."""
 
-import pytest
 
 from repro.graphs.doubling import estimate_doubling_dimension, greedy_half_radius_cover
 from repro.graphs.generators import grid_network, line_network, star_network

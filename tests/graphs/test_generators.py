@@ -5,16 +5,7 @@ import math
 import networkx as nx
 import pytest
 
-from repro.graphs.generators import (
-    erdos_renyi_network,
-    grid_network,
-    line_network,
-    paper_grid_sizes,
-    random_geometric_network,
-    random_tree_network,
-    ring_network,
-    star_network,
-)
+from repro.graphs.generators import erdos_renyi_network, grid_network, paper_grid_sizes, random_geometric_network, random_tree_network, ring_network, star_network
 
 
 class TestGrid:

@@ -1,6 +1,5 @@
 """Tests for the lazy distance-oracle mode (scaling past the paper's 1024)."""
 
-import networkx as nx
 import pytest
 
 from repro.graphs.generators import grid_network

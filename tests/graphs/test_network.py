@@ -1,12 +1,11 @@
 """Unit tests for the SensorNetwork model (paper §2.1)."""
 
-import math
 
 import networkx as nx
 import pytest
 
 from repro.graphs.network import SensorNetwork
-from repro.graphs.generators import grid_network, line_network
+from repro.graphs.generators import grid_network
 
 
 def _triangle(w12=1.0, w23=2.0, w13=10.0):
@@ -115,7 +114,7 @@ class TestDistances:
     def test_shortest_path_endpoints_and_length(self, grid8):
         path = grid8.shortest_path(0, 63)
         assert path[0] == 0 and path[-1] == 63
-        total = sum(grid8.edge_weight(a, b) for a, b in zip(path, path[1:]))
+        total = sum(grid8.edge_weight(a, b) for a, b in zip(path, path[1:], strict=False))
         assert total == pytest.approx(grid8.distance(0, 63))
 
 

@@ -52,7 +52,7 @@ class TestLevelsWithDeterministicMIS:
         net = grid_network(6, 6)
         ls = build_levels(net, mis_algorithm="deterministic")
         assert len(ls.levels[-1]) == 1
-        for lower, upper in zip(ls.levels, ls.levels[1:]):
+        for lower, upper in zip(ls.levels, ls.levels[1:], strict=False):
             assert set(upper) <= set(lower)
 
     def test_seed_independent(self):

@@ -24,7 +24,7 @@ class TestShape:
 
     def test_levels_are_nested(self, grid8):
         ls = build_levels(grid8, seed=1)
-        for lower, upper in zip(ls.levels, ls.levels[1:]):
+        for lower, upper in zip(ls.levels, ls.levels[1:], strict=False):
             assert set(upper) <= set(lower)
 
     def test_levels_shrink(self, grid8):

@@ -5,7 +5,6 @@ from __future__ import annotations
 import math
 
 import networkx as nx
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.graphs.network import SensorNetwork
@@ -20,7 +19,7 @@ def random_networks(draw):
     if not nx.is_connected(g):
         # connect components along a path for a valid SensorNetwork
         comps = [sorted(c)[0] for c in nx.connected_components(g)]
-        for a, b in zip(comps, comps[1:]):
+        for a, b in zip(comps, comps[1:], strict=False):
             g.add_edge(a, b)
     for _, _, d in g.edges(data=True):
         d["weight"] = 1.0

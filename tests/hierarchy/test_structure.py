@@ -5,7 +5,7 @@ import math
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.graphs.generators import grid_network, ring_network
+from repro.graphs.generators import grid_network
 from repro.hierarchy.structure import HNode, build_hierarchy
 
 

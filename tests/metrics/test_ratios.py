@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.costs import CostLedger
-from repro.metrics.ratios import RatioStats, summarize_ratios, per_operation_means
+from repro.metrics.ratios import summarize_ratios, per_operation_means
 
 
 def test_basic_stats():

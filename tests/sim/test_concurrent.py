@@ -65,7 +65,7 @@ class TestConcurrentMoves:
         for o, s in wl.starts.items():
             tr.publish(o, s)
         per_obj = {o: [m for m in wl.moves if m.obj == o] for o in wl.starts}
-        for o, moves in per_obj.items():
+        for moves in per_obj.values():
             for i in range(0, len(moves), batch):
                 t0 = tr.engine.now
                 for k, m in enumerate(moves[i : i + batch]):
@@ -87,7 +87,7 @@ class TestConcurrentMoves:
         rnd = random.Random(9)
         for _ in range(15):
             path.append(rnd.choice(NET.neighbors(path[-1])))
-        for i, node in enumerate(path[1:]):
+        for node in path[1:]:
             tr.submit_move(0.0, "o", node)
         tr.run(max_events=1_000_000)
         _drain_check(tr)
@@ -153,7 +153,7 @@ class TestConcurrentTrees:
         for o, s in wl.starts.items():
             tr.publish(o, s)
         per_obj = {o: [m for m in wl.moves if m.obj == o] for o in wl.starts}
-        for o, moves in per_obj.items():
+        for moves in per_obj.values():
             for i in range(0, len(moves), 10):
                 t0 = tr.engine.now
                 for k, m in enumerate(moves[i : i + 10]):

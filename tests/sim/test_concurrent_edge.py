@@ -1,6 +1,5 @@
 """Edge-case and failure-injection tests for the concurrent simulator."""
 
-import pytest
 
 from repro.graphs.generators import grid_network
 from repro.hierarchy.structure import build_hierarchy

@@ -12,7 +12,6 @@ For arbitrary interleavings of batched moves and overlapping queries:
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.graphs.generators import grid_network
@@ -65,7 +64,7 @@ def test_concurrent_protocol_invariants(script):
     for i, trail in trails.items():
         tr.publish(i, trail[0])
     for i, trail in trails.items():
-        for node, t in zip(trail[1:], schedules[i]):
+        for node, t in zip(trail[1:], schedules[i], strict=False):
             tr.submit_move(t, i, node)
     for obj, src_idx, t in queries:
         tr.submit_query(t, obj, NET.node_at(src_idx))

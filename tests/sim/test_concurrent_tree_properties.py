@@ -9,7 +9,6 @@ garbage, correct final locations, every query served a real position.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.baselines.tree import TrackingTree
@@ -47,7 +46,7 @@ def test_concurrent_tree_invariants(script, shortcuts):
     tr = ConcurrentTreeTracker(tree, query_shortcuts=shortcuts)
     tr.publish("o", trail[0])
     t = 0.0
-    for node, gap in zip(trail[1:], gaps):
+    for node, gap in zip(trail[1:], gaps, strict=False):
         t += gap
         tr.submit_move(t, "o", node)
     for src_idx, qt in queries:

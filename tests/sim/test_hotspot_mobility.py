@@ -14,7 +14,7 @@ class TestHotspotTrajectories:
         t = hotspot_trajectories(NET, 3, 30, seed=1)
         for path in t.values():
             assert len(path) == 31
-            for a, b in zip(path, path[1:]):
+            for a, b in zip(path, path[1:], strict=False):
                 assert NET.graph.has_edge(a, b)
 
     def test_traffic_concentrates_near_hotspots(self):
@@ -26,7 +26,7 @@ class TestHotspotTrajectories:
             moves = [
                 (a, b)
                 for path in trajs.values()
-                for a, b in zip(path, path[1:])
+                for a, b in zip(path, path[1:], strict=False)
             ]
             profile = TrafficProfile.from_moves(NET, moves)
             rates = sorted(profile.counts.values(), reverse=True)

@@ -17,7 +17,7 @@ class TestRandomWalk:
     def test_steps_are_adjacent(self):
         t = random_walk_trajectories(NET, 3, 30, seed=2)
         for path in t.values():
-            for a, b in zip(path, path[1:]):
+            for a, b in zip(path, path[1:], strict=False):
                 assert NET.graph.has_edge(a, b)
 
     def test_deterministic(self):
@@ -43,7 +43,7 @@ class TestWaypoint:
         t = waypoint_trajectories(NET, 3, 25, seed=3)
         for path in t.values():
             assert len(path) == 26
-            for a, b in zip(path, path[1:]):
+            for a, b in zip(path, path[1:], strict=False):
                 assert NET.graph.has_edge(a, b)
 
     def test_waypoint_more_directional_than_walk(self):

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.graphs.generators import grid_network
-from repro.sim.workload import MoveOp, Workload, make_workload
+from repro.sim.workload import make_workload
 
 NET = grid_network(5, 5)
 
@@ -22,7 +22,7 @@ class TestMakeWorkload:
             ms = wl.moves_of(obj)
             assert [m.seq for m in ms] == list(range(1, 31))
             assert ms[0].old == wl.starts[obj]
-            for a, b in zip(ms, ms[1:]):
+            for a, b in zip(ms, ms[1:], strict=False):
                 assert a.new == b.old
 
     def test_moves_are_adjacent_steps(self):

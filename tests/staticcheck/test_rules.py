@@ -1,0 +1,325 @@
+"""Per-rule fixture tests for the RPL checkers.
+
+Every rule gets four angles: a positive fixture (fires, with the right
+file:line), a negative fixture (stays silent on the batched/seeded/
+tolerant idiom), a suppressed fixture (same-line directive silences
+it), and an unused-suppression fixture (the directive itself is
+reported as RPL000).
+"""
+
+import textwrap
+
+from repro.staticcheck import lint_source
+from repro.staticcheck.runner import PARSE_ERROR_RULE
+from repro.staticcheck.suppressions import UNUSED_SUPPRESSION_RULE
+
+
+def rules_at(source, path="src/repro/fake.py"):
+    """[(rule, line), ...] for a dedented source snippet."""
+    diags = lint_source(textwrap.dedent(source), path)
+    return [(d.rule, d.line) for d in diags]
+
+
+# ----------------------------------------------------------------------
+# RPL001 — per-pair distance() in loops
+# ----------------------------------------------------------------------
+class TestRPL001:
+    def test_for_loop_fires(self):
+        src = """\
+        def total(net, pairs):
+            cost = 0.0
+            for u, v in pairs:
+                cost += net.distance(u, v)
+            return cost
+        """
+        assert ("RPL001", 4) in rules_at(src)
+
+    def test_comprehension_and_sum_fire(self):
+        src = """\
+        def totals(net, pairs, seq):
+            a = [net.distance(u, v) for u, v in pairs]
+            b = sum(net.distance(x, y) for x, y in zip(seq, seq[1:], strict=False))
+            return a, b
+        """
+        got = rules_at(src)
+        assert ("RPL001", 2) in got
+        assert ("RPL001", 3) in got
+
+    def test_while_loop_fires(self):
+        src = """\
+        def walk(net, frontier):
+            while frontier:
+                u, v = frontier.pop()
+                d = net.distance(u, v)
+        """
+        assert ("RPL001", 4) in rules_at(src)
+
+    def test_single_call_outside_loop_is_fine(self):
+        src = """\
+        def one(net, u, v):
+            return net.distance(u, v)
+        """
+        assert rules_at(src) == []
+
+    def test_batched_calls_inside_loops_are_fine(self):
+        src = """\
+        def batched(net, groups):
+            out = []
+            for pairs in groups:
+                out.append(net.pair_distances(pairs).sum())
+                out.append(net.distances_to_many([pairs[0][0]], None).max())
+            return out
+        """
+        assert rules_at(src) == []
+
+    def test_suppressed(self):
+        src = """\
+        def total(net, pairs):
+            cost = 0.0
+            for u, v in pairs:
+                cost += net.distance(u, v)  # repro-lint: disable=RPL001
+            return cost
+        """
+        assert rules_at(src) == []
+
+    def test_unused_suppression_reported(self):
+        src = """\
+        def one(net, u, v):
+            return net.distance(u, v)  # repro-lint: disable=RPL001
+        """
+        assert rules_at(src) == [(UNUSED_SUPPRESSION_RULE, 2)]
+
+
+# ----------------------------------------------------------------------
+# RPL002 — unseeded randomness
+# ----------------------------------------------------------------------
+class TestRPL002:
+    def test_module_level_random_functions_fire(self):
+        src = """\
+        import random
+        x = random.random()
+        y = random.choice([1, 2])
+        """
+        got = rules_at(src)
+        assert ("RPL002", 2) in got
+        assert ("RPL002", 3) in got
+
+    def test_seedless_rng_constructors_fire(self):
+        src = """\
+        import random
+        import numpy as np
+        r = random.Random()
+        g = np.random.default_rng()
+        """
+        got = rules_at(src)
+        assert ("RPL002", 3) in got
+        assert ("RPL002", 4) in got
+
+    def test_module_level_numpy_random_fires(self):
+        src = """\
+        import numpy as np
+        x = np.random.rand(3)
+        """
+        assert ("RPL002", 2) in rules_at(src)
+
+    def test_seeded_constructors_are_fine(self):
+        src = """\
+        import random
+        import numpy as np
+        r = random.Random(7)
+        g = np.random.default_rng(7)
+        v = r.random()
+        """
+        assert rules_at(src) == []
+
+    def test_suppressed_and_unused(self):
+        src = """\
+        import random
+        x = random.random()  # repro-lint: disable=RPL002
+        r = random.Random(3)  # repro-lint: disable=RPL002
+        """
+        assert rules_at(src) == [(UNUSED_SUPPRESSION_RULE, 3)]
+
+
+# ----------------------------------------------------------------------
+# RPL003 — cross-module private-state access
+# ----------------------------------------------------------------------
+class TestRPL003:
+    def test_foreign_private_access_fires(self):
+        src = """\
+        def peek(net):
+            return net._rows, net._dl
+        """
+        got = rules_at(src)
+        assert ("RPL003", 2) in got
+        assert len([r for r, _ in got if r == "RPL003"]) == 2
+
+    def test_self_access_is_fine(self):
+        src = """\
+        class Tracker:
+            def __init__(self):
+                self._cache = {}
+
+            def load(self):
+                return self._cache
+        """
+        assert rules_at(src) == []
+
+    def test_same_module_ownership_is_fine(self):
+        src = """\
+        class Ledger:
+            def __init__(self):
+                self._ratios = []
+
+            def merge(self, other):
+                self._ratios.extend(other._ratios)
+        """
+        assert rules_at(src) == []
+
+    def test_namedtuple_protocol_is_fine(self):
+        src = """\
+        def bump(record):
+            return record._replace(cost=0.0)
+        """
+        assert rules_at(src) == []
+
+    def test_suppressed(self):
+        src = """\
+        def peek(net):
+            return net._rows  # repro-lint: disable=RPL003
+        """
+        assert rules_at(src) == []
+
+
+# ----------------------------------------------------------------------
+# RPL004 — exact float equality on distances/costs
+# ----------------------------------------------------------------------
+class TestRPL004:
+    def test_float_literal_comparison_fires(self):
+        src = """\
+        def check(cost):
+            return cost == 1.5
+        """
+        assert ("RPL004", 2) in rules_at(src)
+
+    def test_distance_call_comparison_fires(self):
+        src = """\
+        def check(net, u, v, w):
+            if net.distance(u, v) != w:
+                return False
+        """
+        assert ("RPL004", 2) in rules_at(src)
+
+    def test_int_comparison_is_fine(self):
+        src = """\
+        def check(count):
+            return count == 3
+        """
+        assert rules_at(src) == []
+
+    def test_close_to_is_fine(self):
+        src = """\
+        from repro.core.costs import close_to
+
+        def check(cost):
+            return close_to(cost, 1.5)
+        """
+        assert rules_at(src) == []
+
+    def test_suppressed_and_unused(self):
+        src = """\
+        def check(cost, count):
+            a = cost == 1.5  # repro-lint: disable=RPL004
+            b = count == 3  # repro-lint: disable=RPL004
+            return a, b
+        """
+        assert rules_at(src) == [(UNUSED_SUPPRESSION_RULE, 3)]
+
+
+# ----------------------------------------------------------------------
+# RPL005 — networkx shortest paths outside graphs/network.py
+# ----------------------------------------------------------------------
+class TestRPL005:
+    def test_nx_shortest_path_fires(self):
+        src = """\
+        import networkx as nx
+
+        def hops(g, u, v):
+            return nx.shortest_path_length(g, u, v)
+        """
+        assert ("RPL005", 4) in rules_at(src, path="src/repro/baselines/fake.py")
+
+    def test_nx_diameter_fires(self):
+        src = """\
+        import networkx as nx
+
+        def span(g):
+            return nx.diameter(g)
+        """
+        assert ("RPL005", 4) in rules_at(src)
+
+    def test_exempt_in_network_module(self):
+        src = """\
+        import networkx as nx
+
+        def hops(g, u, v):
+            return nx.shortest_path(g, u, v)
+        """
+        assert rules_at(src, path="src/repro/graphs/network.py") == []
+
+    def test_oracle_api_is_fine(self):
+        src = """\
+        def hops(net, u, v):
+            return net.shortest_path(u, v)
+        """
+        assert rules_at(src) == []
+
+    def test_suppressed(self):
+        src = """\
+        import networkx as nx
+
+        def hops(g, u, v):
+            return nx.shortest_path(g, u, v)  # repro-lint: disable=RPL005
+        """
+        assert rules_at(src) == []
+
+
+# ----------------------------------------------------------------------
+# cross-cutting machinery
+# ----------------------------------------------------------------------
+class TestMachinery:
+    def test_syntax_error_reported_as_rpl999(self):
+        got = rules_at("def broken(:\n")
+        assert got and got[0][0] == PARSE_ERROR_RULE
+
+    def test_multi_rule_directive(self):
+        src = """\
+        import random
+
+        def noisy(net, pairs):
+            for u, v in pairs:
+                d = net.distance(u, v) * random.random()  # repro-lint: disable=RPL001,RPL002
+        """
+        assert rules_at(src) == []
+
+    def test_directive_in_docstring_is_not_a_suppression(self):
+        src = '''\
+        def documented():
+            """Example: x = 1  # repro-lint: disable=RPL001"""
+            return 0
+        '''
+        assert rules_at(src) == []
+
+    def test_diagnostics_are_sorted_and_positioned(self):
+        src = """\
+        import random
+
+        def f(net, pairs):
+            x = random.random()
+            for u, v in pairs:
+                d = net.distance(u, v)
+        """
+        diags = lint_source(textwrap.dedent(src), "src/repro/fake.py")
+        assert [d.rule for d in sorted(diags)] == ["RPL002", "RPL001"]
+        assert all(d.path == "src/repro/fake.py" for d in diags)
+        assert all(d.line > 0 and d.col >= 0 for d in diags)

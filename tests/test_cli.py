@@ -72,3 +72,43 @@ def test_unknown_figure_errors():
 def test_missing_command_exits():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_demo_seed_changes_walk(capsys):
+    assert main(["demo", "--seed", "0"]) == 0
+    first = capsys.readouterr().out
+    assert main(["demo", "--seed", "0"]) == 0
+    assert capsys.readouterr().out == first  # same seed, same tour
+
+
+def test_lint_flags_violation_with_position(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "def f(net, pairs):\n"
+        "    return [net.distance(u, v) for u, v in pairs]\n"
+    )
+    assert main(["lint", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert f"{bad}:2:" in out
+    assert "RPL001" in out
+    assert "found 1 problem" in out
+
+
+def test_lint_json_format(tmp_path, capsys):
+    import json
+
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\nx = random.random()\n")
+    assert main(["lint", str(bad), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["count"] == 1
+    (diag,) = payload["diagnostics"]
+    assert diag["rule"] == "RPL002"
+    assert diag["line"] == 2
+
+
+def test_lint_clean_file_exits_zero(tmp_path, capsys):
+    good = tmp_path / "good.py"
+    good.write_text("def f(net, pairs):\n    return net.pair_distances(pairs)\n")
+    assert main(["lint", str(good)]) == 0
+    assert "all checks passed" in capsys.readouterr().out

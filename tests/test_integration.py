@@ -4,20 +4,10 @@ These are the "does the whole reproduction hang together" checks: the
 paper's qualitative claims, verified on small-but-real configurations.
 """
 
-import random
 
 import pytest
 
-from repro import (
-    MOTTracker,
-    STUNTracker,
-    ZDATTracker,
-    BalancedMOTTracker,
-    build_hierarchy,
-    grid_network,
-    ring_network,
-)
-from repro.core.mot import MOTConfig
+from repro import grid_network, ring_network
 from repro.experiments.runner import execute_one_by_one, make_tracker
 from repro.sim.workload import make_workload
 

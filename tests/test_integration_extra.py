@@ -70,7 +70,7 @@ class TestStringNodeIds:
     def named_net(self):
         g = nx.Graph()
         names = [f"sensor-{c}" for c in "abcdefghij"]
-        for a, b in zip(names, names[1:]):
+        for a, b in zip(names, names[1:], strict=False):
             g.add_edge(a, b, weight=1.0)
         g.add_edge(names[0], names[5], weight=2.5)
         return SensorNetwork(g)
