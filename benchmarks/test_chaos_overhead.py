@@ -1,0 +1,52 @@
+"""Fault-injection overhead: the transport layer's cost on a clean network.
+
+Two things are worth watching here. First, the interception point must
+be near-free when no injector is attached — the perfect-network fast
+path in ``_transmit`` is the same charge-and-schedule the transport
+replaced, so attaching *no* faults should time like the seed. Second,
+the chaos run itself (loss + jitter + one crash window) shows what the
+retry machinery costs end to end.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import execute_concurrent, make_concurrent_tracker
+from repro.graphs.generators import grid_network
+from repro.sim.faults import CrashWindow, FaultPlan
+from repro.sim.workload import make_workload
+
+from .conftest import run_once
+
+NET = grid_network(12, 12)
+WL = make_workload(NET, num_objects=10, moves_per_object=60, num_queries=60, seed=1)
+
+
+def _run(plan):
+    tracker = make_concurrent_tracker("MOT", NET, WL.traffic, seed=1)
+    if plan is not None:
+        tracker.attach_faults(plan)
+    execute_concurrent(tracker, WL, batch=10, queries_per_batch=2, shuffle_seed=5)
+    return tracker
+
+
+def test_bench_concurrent_no_injector(benchmark):
+    tracker = run_once(benchmark, _run, None)
+    assert tracker.retries == 0
+
+
+def test_bench_concurrent_zero_fault_plan(benchmark):
+    # hook installed, every message judged, nothing dropped: the price
+    # of the interception point itself
+    tracker = run_once(benchmark, _run, FaultPlan(seed=1))
+    assert tracker.faults.dropped_loss == 0
+
+
+def test_bench_chaos_loss_and_crash(benchmark):
+    plan = FaultPlan(
+        seed=9, message_loss=0.15, delay_jitter=0.25,
+        crashes=(CrashWindow(NET.nodes[17], 10.0, 80.0),),
+    )
+    tracker = run_once(benchmark, _run, plan)
+    benchmark.extra_info["retries"] = tracker.retries
+    benchmark.extra_info["dropped"] = tracker.faults.dropped_loss
+    assert tracker.engine.pending == 0

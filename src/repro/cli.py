@@ -11,6 +11,11 @@ Commands:
 - ``perf [--side N] [--distance-mode M] [--out PATH]`` — run one MOT
   workload with instrumentation on and emit the JSON perf report
   (oracle hit/miss pressure, per-operation timers, ledger summary);
+- ``chaos [--loss P] [--jitter J] [--crashes K] …`` — run one workload
+  through the concurrent simulator under an injected fault plan
+  (message loss, delay jitter, node crashes) and emit the JSON chaos
+  report: delivery/retry statistics, failed operations, final-state
+  consistency audit, and the §7 churn bridge;
 - ``demo [--seed N]`` — a 30-second guided tour (the quickstart on one
   object);
 - ``lint [PATHS…] [--format json]`` — run the project's AST lint rules
@@ -125,6 +130,37 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.chaos import run_chaos
+    from repro.experiments.config import ChaosExperiment
+
+    exp = ChaosExperiment(
+        side=args.side,
+        num_objects=args.objects,
+        moves_per_object=args.moves,
+        num_queries=args.queries,
+        seed=args.seed,
+        algorithm=args.algorithm,
+        message_loss=args.loss,
+        delay_jitter=args.jitter,
+        num_crashes=args.crashes,
+        crash_duration=args.crash_duration,
+        fault_seed=args.fault_seed,
+    )
+    report = run_chaos(exp)
+    text = json.dumps(report.as_dict(), indent=1)
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text + "\n")
+        print(f"wrote {out}")
+    else:
+        print(text)
+    return 0 if report.consistency.ok else 1
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     import random
 
@@ -188,6 +224,29 @@ def main(argv: list[str] | None = None) -> int:
     p_perf.add_argument("--distance-mode", choices=("auto", "full", "lazy"), default="auto")
     p_perf.add_argument("--out", help="write the JSON report here instead of stdout")
     p_perf.set_defaults(fn=_cmd_perf)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="run one concurrent workload under fault injection, emit JSON report"
+    )
+    p_chaos.add_argument("--side", type=int, default=8)
+    p_chaos.add_argument("--objects", type=int, default=10)
+    p_chaos.add_argument("--moves", type=int, default=40)
+    p_chaos.add_argument("--queries", type=int, default=40)
+    p_chaos.add_argument("--seed", type=int, default=0, help="workload seed")
+    p_chaos.add_argument("--algorithm", default="MOT",
+                         choices=("MOT", "MOT-balanced", "STUN", "Z-DAT", "Z-DAT+shortcuts"))
+    p_chaos.add_argument("--loss", type=float, default=0.1,
+                         help="per-transmission message-loss probability")
+    p_chaos.add_argument("--jitter", type=float, default=0.25,
+                         help="uniform multiplicative latency jitter bound")
+    p_chaos.add_argument("--crashes", type=int, default=1,
+                         help="number of scheduled node crashes")
+    p_chaos.add_argument("--crash-duration", type=float, default=40.0,
+                         help="outage length per crash (0 = never restarts)")
+    p_chaos.add_argument("--fault-seed", type=int, default=1,
+                         help="seed of the fault plan (crash victims, loss, jitter)")
+    p_chaos.add_argument("--out", help="write the JSON report here instead of stdout")
+    p_chaos.set_defaults(fn=_cmd_chaos)
 
     p_demo = sub.add_parser("demo", help="30-second guided tour")
     p_demo.add_argument("--seed", type=int, default=0,

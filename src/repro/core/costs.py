@@ -43,6 +43,9 @@ class CostLedger:
     maintenance_ops: int = 0
     maintenance_messages: int = 0
     noop_moves: int = 0
+    rehome_cost: float = 0.0
+    rehome_optimal: float = 0.0
+    rehome_ops: int = 0
     query_cost: float = 0.0
     query_optimal: float = 0.0
     query_ops: int = 0
@@ -74,6 +77,17 @@ class CostLedger:
         """
         self.noop_moves += 1
 
+    def tag_rehome(self, cost: float, optimal: float) -> None:
+        """Tag an already-recorded maintenance op as churn-induced.
+
+        §7 rehomes a departing sensor's objects through ordinary
+        maintenance operations; tagging them lets
+        :attr:`maintenance_cost_ratio_excluding_rehomes` report the
+        mobility-only ratio next to the all-in one."""
+        self.rehome_cost += cost
+        self.rehome_optimal += optimal
+        self.rehome_ops += 1
+
     def record_query(self, cost: float, optimal: float, messages: int = 0) -> None:
         """Accumulate one query operation (cost, optimum, hop count)."""
         self.query_cost += cost
@@ -90,6 +104,17 @@ class CostLedger:
         if self.maintenance_optimal <= 0:
             return 1.0
         return self.maintenance_cost / self.maintenance_optimal
+
+    @property
+    def maintenance_cost_ratio_excluding_rehomes(self) -> float:
+        """Maintenance ratio over mobility-driven moves only (§7 split).
+
+        Equals :attr:`maintenance_cost_ratio` when no move was tagged
+        with :meth:`tag_rehome`; 1.0 when nothing but rehomes ran."""
+        optimal = self.maintenance_optimal - self.rehome_optimal
+        if optimal <= 0:
+            return 1.0
+        return (self.maintenance_cost - self.rehome_cost) / optimal
 
     @property
     def query_cost_ratio(self) -> float:
@@ -115,6 +140,9 @@ class CostLedger:
         self.maintenance_optimal += other.maintenance_optimal
         self.maintenance_ops += other.maintenance_ops
         self.noop_moves += other.noop_moves
+        self.rehome_cost += other.rehome_cost
+        self.rehome_optimal += other.rehome_optimal
+        self.rehome_ops += other.rehome_ops
         self.query_cost += other.query_cost
         self.query_optimal += other.query_optimal
         self.query_ops += other.query_ops

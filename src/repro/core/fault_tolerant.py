@@ -166,12 +166,17 @@ class FaultTolerantMOT(MOTTracker):
             raise RuntimeError("cannot remove the last live sensor")
 
         # 1. objects proxied here move to the closest live sensor —
-        #    ordinary maintenance operations, costed in the ledger
+        #    ordinary maintenance operations, costed in the ledger and
+        #    tagged as churn-induced so ratios can be split (the target
+        #    is the same for every object: one closest-live solve)
         rehomed: list[ObjectId] = []
-        for obj in [o for o, p in self._proxy.items() if p == node]:
+        to_rehome = [o for o, p in self._proxy.items() if p == node]
+        if to_rehome:
             target = self._closest_live(node, exclude=node)
-            self.move(obj, target)
-            rehomed.append(obj)
+            for obj in to_rehome:
+                res = self.move(obj, target)
+                self.ledger.tag_rehome(res.cost, res.optimal_cost)
+                rehomed.append(obj)
 
         self._departed.add(node)
 

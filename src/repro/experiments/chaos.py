@@ -1,0 +1,232 @@
+"""Chaos harness: the concurrent protocol under an injected fault plan.
+
+One :func:`run_chaos` call drives the full degraded-network story the
+ROADMAP's "production failure modes" goal asks for:
+
+1. a §8-shaped workload runs through a concurrent tracker whose engine
+   has a :class:`~repro.sim.faults.FaultInjector` attached — messages
+   drop, latencies jitter, sensors crash and restart mid-protocol while
+   the ack/retry transport keeps operations alive;
+2. the final state is audited against the sequential reference (true
+   proxies, spines, zero garbage, no parked queries, post-drain queries
+   answering exactly);
+3. the same crash schedule is replayed into
+   :class:`~repro.core.fault_tolerant.FaultTolerantMOT` — §7's
+   role-relocation path — so the report also accounts the churn cost
+   (role transfers, object rehoming, rebuild flags) of the identical
+   failure scenario, with rehome-tagged ledger splits.
+
+``python -m repro chaos`` renders the resulting :class:`ChaosReport`
+as JSON.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass, field
+
+from repro.core.fault_tolerant import FaultTolerantMOT
+from repro.experiments.config import ChaosExperiment
+from repro.experiments.runner import execute_concurrent, make_concurrent_tracker
+from repro.graphs.generators import grid_network
+from repro.sim.concurrent import ConcurrentTracker
+from repro.sim.faults import CrashWindow, FaultPlan, crash_schedule_events
+from repro.sim.workload import Workload, make_workload
+
+__all__ = ["ChaosReport", "ConsistencyCheck", "build_fault_plan", "run_chaos"]
+
+
+@dataclass(frozen=True)
+class ConsistencyCheck:
+    """Final-state audit of one chaos run against the sequential reference."""
+
+    true_proxies_match: bool  # tracker ground truth == workload trail ends
+    spines_at_true_proxy: bool  # every spine bottoms out at the true proxy
+    waiting_queries: int  # queries still parked after the drain (must be 0)
+    garbage_entries: int  # off-spine DL entries after the drain (must be 0)
+    post_drain_queries_exact: bool  # fresh queries return the exact position
+
+    @property
+    def ok(self) -> bool:
+        """Whether every invariant held."""
+        return (
+            self.true_proxies_match
+            and self.spines_at_true_proxy
+            and self.waiting_queries == 0
+            and self.garbage_entries == 0
+            and self.post_drain_queries_exact
+        )
+
+
+@dataclass
+class ChaosReport:
+    """Everything one chaos run measured (JSON-ready via :meth:`as_dict`)."""
+
+    experiment: ChaosExperiment
+    plan: FaultPlan
+    delivery: dict[str, int]
+    retries: int
+    transmit_failures: int
+    repairs: int
+    failed_ops: list[tuple[str, str, int]]
+    fallback_queries: int
+    moves_submitted: int
+    moves_completed: int
+    queries_submitted: int
+    queries_completed: int
+    maintenance_cost_ratio: float
+    query_cost_ratio: float
+    consistency: ConsistencyCheck
+    churn: dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """The report as a JSON-ready dict."""
+        out = asdict(self)
+        out["plan"] = {
+            "seed": self.plan.seed,
+            "message_loss": self.plan.message_loss,
+            "delay_jitter": self.plan.delay_jitter,
+            "crashes": [
+                {"node": repr(w.node), "start": w.start, "end": w.end}
+                for w in self.plan.crashes
+            ],
+        }
+        out["consistency"]["ok"] = self.consistency.ok
+        return out
+
+
+def build_fault_plan(exp: ChaosExperiment, net) -> FaultPlan:
+    """The experiment's :class:`FaultPlan` over ``net``.
+
+    Crash victims are sampled without replacement from ``fault_seed``
+    (at most ``n - 2`` of them, so the network never empties) and their
+    outage windows are staggered so the run sees distinct failures
+    rather than one mass outage. ``crash_duration == 0`` marks the
+    victims as never restarting.
+    """
+    rng = random.Random(exp.fault_seed)
+    num = min(exp.num_crashes, max(net.n - 2, 0))
+    victims = rng.sample(list(net.nodes), num) if num else []
+    crashes = []
+    for k, node in enumerate(victims):
+        start = 5.0 + k * (exp.crash_duration + 15.0)
+        end = start + exp.crash_duration if exp.crash_duration > 0 else None
+        crashes.append(CrashWindow(node=node, start=start, end=end))
+    return FaultPlan(
+        seed=exp.fault_seed,
+        message_loss=exp.message_loss,
+        delay_jitter=exp.delay_jitter,
+        crashes=tuple(crashes),
+    )
+
+
+def check_consistency(
+    tracker: ConcurrentTracker, workload: Workload, probe_source=None
+) -> ConsistencyCheck:
+    """Audit a drained tracker against the workload's sequential outcome."""
+    expected = dict(workload.starts)
+    for m in workload.moves:
+        expected[m.obj] = m.new
+    true_ok = tracker.true_proxy == expected
+    spine_ok = all(
+        tracker.physical(tracker.spine_of(obj)[0]) == expected[obj] for obj in expected
+    )
+    waiting = tracker.waiting_queries
+    garbage = len(tracker.garbage_entries())
+    source = probe_source if probe_source is not None else workload.net.nodes[0]
+    before = len(tracker.query_results)
+    for obj in expected:
+        tracker.submit_query(tracker.engine.now, obj, source)
+    tracker.run()
+    post_ok = all(
+        r.proxy == expected[r.obj] for r in tracker.query_results[before:]
+    )
+    return ConsistencyCheck(
+        true_proxies_match=true_ok,
+        spines_at_true_proxy=spine_ok,
+        waiting_queries=waiting,
+        garbage_entries=garbage,
+        post_drain_queries_exact=post_ok,
+    )
+
+
+def replay_churn(net, plan: FaultPlan, workload: Workload, seed: int = 0) -> dict[str, float]:
+    """Replay the plan's crash schedule through §7's relocation path.
+
+    Crashes become announced departures, restarts become arrivals; the
+    tracker rehomes proxied objects (rehome-tagged in the ledger) and
+    transfers ``HS`` roles. Returns the churn accounting of the bridge.
+    """
+    from repro.hierarchy.structure import build_hierarchy
+
+    tracker = FaultTolerantMOT(build_hierarchy(net, seed=seed))
+    for obj, start in workload.starts.items():
+        tracker.publish(obj, start)
+    roles = entries = rehomed = 0
+    for ev in crash_schedule_events(plan):
+        if ev.kind == "crash":
+            report = tracker.handle_departure(ev.node)
+            roles += report.roles_transferred
+            entries += report.entries_transferred
+            rehomed += len(report.objects_rehomed)
+        else:
+            tracker.handle_arrival(ev.node)
+    ledger = tracker.ledger
+    return {
+        "departures": float(len(tracker.departure_reports)),
+        "roles_transferred": float(roles),
+        "entries_transferred": float(entries),
+        "objects_rehomed": float(rehomed),
+        "churn_cost": tracker.churn_cost,
+        "rehome_cost": ledger.rehome_cost,
+        "rehome_ops": float(ledger.rehome_ops),
+        "maintenance_cost_ratio": ledger.maintenance_cost_ratio,
+        "maintenance_cost_ratio_excluding_rehomes": (
+            ledger.maintenance_cost_ratio_excluding_rehomes
+        ),
+        "needs_rebuild": float(tracker.needs_rebuild),
+    }
+
+
+def run_chaos(exp: ChaosExperiment) -> ChaosReport:
+    """Run one chaos experiment end to end (see module docstring)."""
+    net = grid_network(exp.side, exp.side)
+    wl = make_workload(
+        net,
+        num_objects=exp.num_objects,
+        moves_per_object=exp.moves_per_object,
+        num_queries=exp.num_queries,
+        seed=exp.seed,
+    )
+    plan = build_fault_plan(exp, net)
+    tracker = make_concurrent_tracker(exp.algorithm, net, wl.traffic, seed=exp.seed)
+    injector = tracker.attach_faults(plan)
+    execute_concurrent(
+        tracker,
+        wl,
+        batch=exp.batch,
+        queries_per_batch=exp.queries_per_batch,
+        shuffle_seed=exp.shuffle_seed,
+    )
+    queries_completed = len(tracker.query_results)
+    moves_completed = len(tracker.move_results)
+    consistency = check_consistency(tracker, wl)
+    churn = replay_churn(net, plan, wl, seed=exp.seed) if plan.crashes else {}
+    return ChaosReport(
+        experiment=exp,
+        plan=plan,
+        delivery=injector.stats(),
+        retries=tracker.retries,
+        transmit_failures=tracker.transmit_failures,
+        repairs=tracker.repairs,
+        failed_ops=list(tracker.failed_ops),
+        fallback_queries=tracker.fallback_queries,
+        moves_submitted=len(wl.moves),
+        moves_completed=moves_completed,
+        queries_submitted=len(wl.queries),
+        queries_completed=queries_completed,
+        maintenance_cost_ratio=tracker.ledger.maintenance_cost_ratio,
+        query_cost_ratio=tracker.ledger.query_cost_ratio,
+        consistency=consistency,
+        churn=churn,
+    )

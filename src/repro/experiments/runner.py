@@ -217,6 +217,7 @@ def run_cost_sweep(exp: CostExperiment) -> CostSweepResult:
                         tracker,
                         wl,
                         batch=exp.concurrent_batch,
+                        queries_per_batch=exp.concurrent_queries_per_batch,
                         shuffle_seed=exp.concurrent_shuffle_seed,
                     )
                 maint[alg].append(ledger.maintenance_cost_ratio)

@@ -5,7 +5,15 @@ Every run-shaped question the ROADMAP's scaling work keeps asking —
 latency go?* — funnels through this module. It deliberately stays tiny:
 
 - **counters** are plain integer accumulators keyed by dotted names
-  (``"oracle.row_miss"``, ``"balanced.embedding_built"``);
+  (``"oracle.row_miss"``, ``"balanced.embedding_built"``); the
+  fault-injection transport charges the ``faults.*`` family —
+  ``faults.sent`` / ``faults.delivered`` / ``faults.dropped_loss`` /
+  ``faults.dropped_crash`` (per-transmission verdicts from the
+  injector), ``faults.retries`` (retransmissions after a timeout),
+  ``faults.transmit_failures`` (hops abandoned after the retry cap),
+  ``faults.failed_inserts`` / ``faults.failed_deletes`` (operations
+  reported failed to the caller) and ``faults.repairs`` (out-of-band
+  structure repairs after a terminal failure);
 - **timers** accumulate count / total / max wall-clock seconds per
   dotted name (``"mot.move"``) via a context manager or the
   :func:`timed` decorator.

@@ -11,9 +11,13 @@
 - :mod:`repro.sim.concurrent_mot` / :mod:`repro.sim.concurrent_tree` —
   adapters running MOT's hierarchy and the baselines' trees through
   that protocol.
+- :mod:`repro.sim.faults` — seeded, deterministic fault injection
+  (message loss, delay jitter, crash windows, link degradation) hooked
+  into the engine's delivery-interception point.
 """
 
 from repro.sim.engine import Engine
+from repro.sim.faults import CrashWindow, FaultInjector, FaultPlan
 from repro.sim.mobility import random_walk_trajectories, waypoint_trajectories
 from repro.sim.workload import Workload, make_workload
 from repro.sim.concurrent import ConcurrentTracker
@@ -23,6 +27,9 @@ from repro.sim.concurrent_tree import ConcurrentTreeTracker
 
 __all__ = [
     "Engine",
+    "CrashWindow",
+    "FaultInjector",
+    "FaultPlan",
     "random_walk_trajectories",
     "waypoint_trajectories",
     "Workload",

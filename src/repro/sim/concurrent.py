@@ -39,6 +39,24 @@ per-hop distance.
 Costs are charged per operation: every message hop adds the graph
 distance between the physical sensors involved, and message latency
 equals that distance (unit-speed network, §4.1.2).
+
+**Faults and retries.** With a :class:`repro.sim.faults.FaultInjector`
+attached (see :meth:`ConcurrentTracker.attach_faults`), every radio hop
+is judged by the injector and may be lost or delayed. The tracker then
+runs a stop-and-wait ack/retransmit discipline per hop: the sender arms
+a retransmit timer with capped exponential backoff and resends until
+the hop is delivered or :attr:`~ConcurrentTracker.MAX_RETRIES` is
+exhausted. Every transmission attempt — delivered or lost — pays the
+hop's distance into the operation's cost (lost packets still burn
+radio energy). Acks are modelled reliable: a real receiver would
+deduplicate retransmissions by the operation's sequence number, so the
+simulation executes the deduplicated equivalent directly. A hop whose
+retries are exhausted reports its operation **failed**
+(:attr:`~ConcurrentTracker.failed_ops`) and repairs the object's
+routing state out of band (tombstoned, notify-waking, zero-garbage) so
+the simulation stays analyzable — the repair stands in for the
+re-publish fallback a deployment would run, and is counted separately
+(``faults.repairs``) rather than charged as operation cost.
 """
 
 from __future__ import annotations
@@ -49,7 +67,9 @@ from typing import Callable, Hashable
 from repro.core.costs import CostLedger
 from repro.core.operations import MoveResult, QueryResult
 from repro.graphs.network import SensorNetwork
+from repro.perf import PERF
 from repro.sim.engine import Engine
+from repro.sim.faults import FaultInjector, FaultPlan
 from repro.sim.periods import PeriodSchedule
 
 Node = Hashable
@@ -88,6 +108,7 @@ class _MoveState:
     outstanding: int = 0
     insert_done: bool = False
     finished: bool = False
+    failed: bool = False  # some hop exhausted its retry budget
     # fragment written so far: [(station, seq)], bottom-up, marker first
     created: list[tuple[Station, float]] = field(default_factory=list)
 
@@ -128,6 +149,10 @@ class ConcurrentTracker:
     engine:
         Supply a shared :class:`~repro.sim.engine.Engine` to co-simulate
         several trackers; a fresh one is created otherwise.
+    faults:
+        A :class:`~repro.sim.faults.FaultPlan` or live
+        :class:`~repro.sim.faults.FaultInjector` to attach to the engine
+        (see :meth:`attach_faults`); ``None`` keeps the perfect network.
     """
 
     #: safety valve: a query performing more chases/waits than this is
@@ -137,6 +162,17 @@ class ConcurrentTracker:
     #: exists to turn a protocol bug into a flagged measurement instead
     #: of a hang.
     MAX_QUERY_WAITS = 5000
+
+    #: transmission attempts per hop before the operation is reported
+    #: failed (only consulted when a fault injector is attached). With
+    #: loss p, a hop fails terminally with probability p^(MAX_RETRIES+1)
+    #: — ~8e-10 at the 20% loss ceiling the chaos suite certifies.
+    MAX_RETRIES = 12
+    #: retransmit timer floor (time units); the timer for attempt k is
+    #: ``min(2^(k-1), RETRY_BACKOFF_CAP) * max(2 * hop latency, RETRY_MIN_RTO)``
+    RETRY_MIN_RTO = 1.0
+    #: cap of the exponential backoff multiplier
+    RETRY_BACKOFF_CAP = 32.0
 
     def __init__(
         self,
@@ -149,6 +185,7 @@ class ConcurrentTracker:
         periods: PeriodSchedule | None = None,
         station_level: Callable[[Station], int] | None = None,
         probe_cost: Callable[[Station, ObjectId], float] | None = None,
+        faults: FaultInjector | FaultPlan | None = None,
     ) -> None:
         if periods is not None and station_level is None:
             raise ValueError("period-synchronized mode needs a station_level map")
@@ -191,6 +228,22 @@ class ConcurrentTracker:
         self.overlap_adjusted_optimal: list[float] = []
         self.fallback_queries = 0
 
+        # fault-injection transport state (inert on a perfect network)
+        self.faults: FaultInjector | None = None
+        #: retransmissions performed (attempts beyond the first)
+        self.retries = 0
+        #: hops whose retry budget was exhausted
+        self.transmit_failures = 0
+        #: out-of-band state repairs performed after terminal failures
+        self.repairs = 0
+        #: explicitly failed operations: ``(kind, obj, seq)`` with kind
+        #: in {"insert", "delete"} — the acceptance contract's "every
+        #: submitted operation eventually completes or is explicitly
+        #: reported failed"
+        self.failed_ops: list[tuple[str, ObjectId, int]] = []
+        if faults is not None:
+            self.attach_faults(faults)
+
     # ------------------------------------------------------------------
     # low-level state helpers
     # ------------------------------------------------------------------
@@ -220,6 +273,76 @@ class ConcurrentTracker:
         arrival = self.engine.now + base
         release = self.periods.defer(self.station_level(station), arrival)
         return max(base, release - self.engine.now)
+
+    # ------------------------------------------------------------------
+    # lossy transport (ack/timeout/retry; inert without an injector)
+    # ------------------------------------------------------------------
+    def attach_faults(self, faults: FaultInjector | FaultPlan) -> FaultInjector:
+        """Install a fault-injection layer on this tracker's engine.
+
+        Accepts a plan (a fresh injector is built from it) or an
+        already-live injector. Trackers co-simulating on a shared engine
+        share the injector — the hook lives on the engine. Returns the
+        injector so callers can read its trace and statistics.
+        """
+        injector = faults.injector() if isinstance(faults, FaultPlan) else faults
+        injector.attach(self.engine)
+        self.faults = injector
+        return injector
+
+    def _retry_timeout(self, attempt: int, base_delay: float) -> float:
+        """Capped exponential backoff before retransmission ``attempt``."""
+        backoff = min(2.0 ** (attempt - 1), self.RETRY_BACKOFF_CAP)
+        return backoff * max(2.0 * base_delay, self.RETRY_MIN_RTO)
+
+    def _transmit(
+        self,
+        src: Node,
+        dst: Node,
+        base_delay: float,
+        charge: Callable[[float], None],
+        arrive: Callable[[], None],
+        on_fail: Callable[[], None],
+        station: Station | None = None,
+    ) -> None:
+        """Send one message hop, retrying on injected loss.
+
+        ``charge`` books the hop's distance into the owning operation
+        (once per transmission attempt). ``station`` marks maintenance
+        hops, whose scheduling additionally defers to the §4.1.2 period
+        boundary of the target level. ``on_fail`` fires (at most once)
+        when the retry budget is exhausted.
+        """
+        defer = (
+            (lambda latency: self._maint_delay(station, latency))
+            if station is not None
+            else None
+        )
+        if self.engine.fault_hook is None or src == dst:
+            # perfect network / local handoff: exactly the pre-fault path
+            charge(base_delay)
+            self.engine.schedule(defer(base_delay) if defer else base_delay, arrive)
+            return
+        attempt = 0
+
+        def try_once() -> None:
+            nonlocal attempt
+            attempt += 1
+            if attempt > 1:
+                self.retries += 1
+                PERF.incr("faults.retries")
+            charge(base_delay)
+            latency = self.engine.schedule_message(src, dst, base_delay, arrive, defer=defer)
+            if latency is not None:
+                return  # delivered; the (reliable) ack disarms the timer
+            if attempt > self.MAX_RETRIES:
+                self.transmit_failures += 1
+                PERF.incr("faults.transmit_failures")
+                on_fail()
+                return
+            self.engine.schedule(self._retry_timeout(attempt, base_delay), try_once)
+
+        try_once()
 
     def _entry(self, station: Station, obj: ObjectId) -> Entry | None:
         return self._entries.get(station, {}).get(obj)
@@ -376,8 +499,9 @@ class ConcurrentTracker:
         station = path[idx]
         phys = self.physical(station)
         delay = self._dist(prev_phys, phys)
-        st.cost += delay
-        sched_delay = self._maint_delay(station, delay)
+
+        def charge(d: float) -> None:
+            st.cost += d
 
         def arrive() -> None:
             obj, seq = st.obj, float(st.seq)
@@ -423,7 +547,10 @@ class ConcurrentTracker:
                     st.created.append((station, seq))
                 self._insert_hop(st, path, idx + 1, phys, station)
 
-        self.engine.schedule(sched_delay, arrive)
+        self._transmit(
+            prev_phys, phys, delay, charge, arrive,
+            on_fail=lambda: self._insert_failed(st), station=station,
+        )
 
     def _spawn_recorded_delete(
         self,
@@ -454,14 +581,20 @@ class ConcurrentTracker:
         station, owner_seq = todo[idx]
         phys = self.physical(station)
         delay = self._dist(from_phys, phys)
-        st.cost += delay
+
+        def charge(d: float) -> None:
+            st.cost += d
 
         def arrive() -> None:
             st.cost += self._probe(station, st.obj)
             self._erase_if_seq(station, st.obj, seq=owner_seq, tomb_seq=tomb_seq, fwd=fwd)
             self._delete_hop(st, todo, idx + 1, phys, fwd, tomb_seq)
 
-        self.engine.schedule(self._maint_delay(station, delay), arrive)
+        self._transmit(
+            from_phys, phys, delay, charge, arrive,
+            on_fail=lambda: self._delete_failed(st, todo, idx, fwd, tomb_seq),
+            station=station,
+        )
 
     def _message_done(self, st: _MoveState) -> None:
         st.outstanding -= 1
@@ -480,6 +613,85 @@ class ConcurrentTracker:
                     peak_level=0, optimal_cost=optimal,
                 )
             )
+
+    # ------------------------------------------------------------------
+    # terminal transmit failures (retry budget exhausted)
+    # ------------------------------------------------------------------
+    def _insert_failed(self, st: _MoveState) -> None:
+        """An insert climb hop failed terminally: report and repair.
+
+        The move is recorded in :attr:`failed_ops`; the object's routing
+        state is then repaired out of band (see the module docstring) so
+        queries never hang on a chain the dead climb will never finish.
+        """
+        obj, seq = st.obj, float(st.seq)
+        st.failed = True
+        self.failed_ops.append(("insert", obj, st.seq))
+        PERF.incr("faults.failed_inserts")
+        if self._spine_seq[obj] < seq:
+            self._repair_spine(st)
+        else:
+            # a newer operation owns the spine; our fragment is garbage
+            self._scrub(st.obj, list(st.created), tomb_seq=seq, fwd=self._true_proxy[obj])
+        st.insert_done = True
+        self._message_done(st)
+
+    def _delete_failed(
+        self,
+        st: _MoveState,
+        todo: list[tuple[Station, float]],
+        idx: int,
+        fwd: Node,
+        tomb_seq: float,
+    ) -> None:
+        """A delete walk hop failed terminally: scrub the rest locally."""
+        st.failed = True
+        self.failed_ops.append(("delete", st.obj, st.seq))
+        PERF.incr("faults.failed_deletes")
+        self._scrub(st.obj, list(reversed(todo[idx:])), tomb_seq=tomb_seq, fwd=fwd)
+        self._message_done(st)
+
+    def _scrub(
+        self,
+        obj: ObjectId,
+        segment: list[tuple[Station, float]],
+        tomb_seq: float,
+        fwd: Node,
+    ) -> None:
+        """Out-of-band erasure of ``segment`` (bottom-up list): every
+        entry still owned by its recorded writer is removed, tombstoned
+        with ``fwd``, and waiting queries are notified. No messages, no
+        cost — counted in :attr:`repairs`."""
+        self.repairs += 1
+        PERF.incr("faults.repairs")
+        for station, owner_seq in reversed(segment):
+            self._erase_if_seq(station, obj, seq=owner_seq, tomb_seq=tomb_seq, fwd=fwd)
+
+    def _repair_spine(self, st: _MoveState) -> None:
+        """Authoritative repair after a failed insert that still owns the
+        newest sequence number: install the full chain of the object's
+        true position and erase the superseded spine, exactly the state
+        a successful splice + chasing delete would have converged to."""
+        obj, seq = st.obj, float(st.seq)
+        self.repairs += 1
+        PERF.incr("faults.repairs")
+        path = self.climb_path(st.new)
+        on_path = set(path)
+        old_spine = list(self._spine[obj])
+        prev_station: Station | None = None
+        for station in path:
+            self._set_entry(
+                station,
+                obj,
+                Entry(seq=seq, down=prev_station, hint=st.new, present=True),
+            )
+            if prev_station is not None:
+                self._register_sdl(st.new, station, obj)
+            prev_station = station
+        self._set_spine(obj, [(s, seq) for s in path], seq)
+        for station, owner_seq in reversed(old_spine):
+            if station not in on_path:
+                self._erase_if_seq(station, obj, seq=owner_seq, tomb_seq=seq, fwd=st.new)
 
     # ------------------------------------------------------------------
     # queries
@@ -509,7 +721,9 @@ class ConcurrentTracker:
         station = path[idx]
         phys = self.physical(station)
         delay = self._dist(prev_phys, phys)
-        q.cost += delay
+
+        def charge(d: float) -> None:
+            q.cost += d
 
         def arrive() -> None:
             q.cost += self._probe(station, q.obj)
@@ -518,25 +732,32 @@ class ConcurrentTracker:
                 if self.query_shortcuts:
                     # shortcut tree: the ancestor answers with the proxy id
                     hint = entry.hint
-                    d = self._dist(phys, hint)
-                    q.cost += d
-                    self.engine.schedule(
-                        d,
-                        lambda: self._query_descend_arrive(q, self.climb_path(hint)[0]),
-                    )
+                    self._query_jump(q, phys, hint, self.climb_path(hint)[0])
                     return
                 self._query_follow_down(q, station, entry, phys)
                 return
             kids = self._sdl.get(station, {}).get(q.obj)
             if kids:
                 child = min(kids, key=repr)
-                d = self._dist(phys, self.physical(child))
-                q.cost += d
-                self.engine.schedule(d, lambda: self._query_descend_arrive(q, child))
+                self._query_jump(q, phys, self.physical(child), child)
                 return
             self._query_climb_hop(q, path, idx + 1, phys)
 
-        self.engine.schedule(delay, arrive)
+        self._transmit(
+            prev_phys, phys, delay, charge, arrive,
+            on_fail=lambda: self._query_fallback(q, station),
+        )
+
+    def _query_jump(self, q: _QueryState, from_phys: Node, to_phys: Node, station: Station) -> None:
+        """One query descent/forwarding hop onto ``station``."""
+        self._transmit(
+            from_phys,
+            to_phys,
+            self._dist(from_phys, to_phys),
+            charge=lambda d: setattr(q, "cost", q.cost + d),
+            arrive=lambda: self._query_descend_arrive(q, station),
+            on_fail=lambda: self._query_fallback(q, station),
+        )
 
     def _query_follow_down(
         self, q: _QueryState, station: Station, entry: Entry, phys: Node
@@ -548,9 +769,7 @@ class ConcurrentTracker:
                 self._wait(q, station)  # stale proxy: wait for the delete
             return
         nxt = entry.down
-        d = self._dist(phys, self.physical(nxt))
-        q.cost += d
-        self.engine.schedule(d, lambda: self._query_descend_arrive(q, nxt))
+        self._query_jump(q, phys, self.physical(nxt), nxt)
 
     def _query_descend_arrive(self, q: _QueryState, station: Station) -> None:
         if q.finished:
@@ -573,9 +792,7 @@ class ConcurrentTracker:
                 # is gone again: wait for the next delete
                 self._wait(q, station)
                 return
-            d = self._dist(phys, tomb.fwd)
-            q.cost += d
-            self.engine.schedule(d, lambda: self._query_descend_arrive(q, fwd_bottom))
+            self._query_jump(q, phys, tomb.fwd, fwd_bottom)
             return
         self._wait(q, station)
 
@@ -636,3 +853,23 @@ class ConcurrentTracker:
     def spine_of(self, obj: ObjectId) -> list[Station]:
         """The object's live root chain, bottom-up (testing/introspection)."""
         return [s for s, _ in self._spine[obj]]
+
+    @property
+    def waiting_queries(self) -> int:
+        """Queries parked at a station waiting for a delete message.
+
+        Zero after a full drain — a positive value after
+        :meth:`run` returns means the protocol deadlocked a query."""
+        return sum(len(qs) for per_obj in self._waiting.values() for qs in per_obj.values())
+
+    def garbage_entries(self) -> list[tuple[Station, ObjectId]]:
+        """Detection-list entries not on their object's live spine.
+
+        Empty after a full drain (the zero-garbage invariant); the chaos
+        suite asserts this holds under loss and crashes too."""
+        return [
+            (station, obj)
+            for station, bucket in self._entries.items()
+            for obj in bucket
+            if station not in self._spine_index[obj]
+        ]

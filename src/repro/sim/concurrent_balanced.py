@@ -17,6 +17,7 @@ from repro.debruijn.embedding import ClusterEmbedding
 from repro.hierarchy.structure import BaseHierarchy, HNode
 from repro.sim.concurrent_mot import ConcurrentMOT
 from repro.sim.engine import Engine
+from repro.sim.faults import FaultInjector, FaultPlan
 from repro.sim.periods import PeriodSchedule
 
 Node = Hashable
@@ -33,12 +34,14 @@ class ConcurrentBalancedMOT(ConcurrentMOT):
         engine: Engine | None = None,
         use_special_parents: bool = True,
         periods: PeriodSchedule | bool | None = None,
+        faults: FaultInjector | FaultPlan | None = None,
     ) -> None:
         super().__init__(
             hierarchy,
             engine=engine,
             use_special_parents=use_special_parents,
             periods=periods,
+            faults=faults,
         )
         self._embeddings: dict[HNode, ClusterEmbedding] = {}
         self._obj_key: dict[ObjectId, int] = {}

@@ -14,6 +14,7 @@ from typing import Hashable
 from repro.hierarchy.structure import BaseHierarchy, HNode
 from repro.sim.concurrent import ConcurrentTracker
 from repro.sim.engine import Engine
+from repro.sim.faults import FaultInjector, FaultPlan
 from repro.sim.periods import PeriodSchedule
 
 Node = Hashable
@@ -30,6 +31,7 @@ class ConcurrentMOT(ConcurrentTracker):
         engine: Engine | None = None,
         use_special_parents: bool = True,
         periods: PeriodSchedule | bool | None = None,
+        faults: FaultInjector | FaultPlan | None = None,
     ) -> None:
         self.hs = hierarchy
         if periods is True:
@@ -58,4 +60,5 @@ class ConcurrentMOT(ConcurrentTracker):
             engine=engine,
             periods=periods,
             station_level=(lambda station: station.level) if periods else None,
+            faults=faults,
         )

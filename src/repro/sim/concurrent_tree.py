@@ -14,6 +14,7 @@ from typing import Hashable
 from repro.baselines.tree import TrackingTree
 from repro.sim.concurrent import ConcurrentTracker
 from repro.sim.engine import Engine
+from repro.sim.faults import FaultInjector, FaultPlan
 
 Node = Hashable
 
@@ -28,6 +29,7 @@ class ConcurrentTreeTracker(ConcurrentTracker):
         tree: TrackingTree,
         query_shortcuts: bool = False,
         engine: Engine | None = None,
+        faults: FaultInjector | FaultPlan | None = None,
     ) -> None:
         self.tree = tree
 
@@ -41,4 +43,5 @@ class ConcurrentTreeTracker(ConcurrentTracker):
             special_parent=None,
             query_shortcuts=query_shortcuts,
             engine=engine,
+            faults=faults,
         )

@@ -8,14 +8,24 @@ schedules each message hop with ``delay = dist_G(from, to)``.
 
 Events firing at equal times run in schedule order (a monotone
 sequence number breaks ties), so simulations are fully deterministic.
+
+Message hops (as opposed to plain timers) go through
+:meth:`Engine.schedule_message`, the delivery-interception point of the
+fault-injection layer: an installed :attr:`Engine.fault_hook` may drop
+a message or stretch its latency (see :mod:`repro.sim.faults`). With no
+hook installed the engine is the perfect network the paper assumes.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable
+from typing import Callable, Hashable
 
 __all__ = ["Engine"]
+
+#: relative slack for ``schedule_at``: an absolute time computed as
+#: "now + accumulated float delays" can land a few ulps below ``now``
+_PAST_EPS = 1e-9
 
 
 class Engine:
@@ -26,6 +36,11 @@ class Engine:
         self._seq = 0
         self.now: float = 0.0
         self.events_processed: int = 0
+        #: delivery interception point: ``hook(src, dst, delay)`` returns
+        #: the effective latency of one message hop, or ``None`` to drop
+        #: it. Installed by :meth:`repro.sim.faults.FaultInjector.attach`;
+        #: ``None`` means every message is delivered at its base latency.
+        self.fault_hook: Callable[[Hashable, Hashable, float], float | None] | None = None
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> None:
         """Run ``callback`` ``delay`` time units from now (``delay ≥ 0``)."""
@@ -35,8 +50,47 @@ class Engine:
         self._seq += 1
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
-        """Run ``callback`` at absolute ``time`` (≥ now)."""
-        self.schedule(time - self.now, callback)
+        """Run ``callback`` at absolute ``time`` (≥ now).
+
+        Tiny float-negative deltas are clamped to "now": an absolute
+        time equal to ``now`` but computed along a different float path
+        can underflow a few ulps below zero and must not be rejected.
+        """
+        delay = time - self.now
+        if -_PAST_EPS * max(1.0, abs(self.now)) <= delay < 0.0:
+            delay = 0.0
+        self.schedule(delay, callback)
+
+    def schedule_message(
+        self,
+        src: Hashable,
+        dst: Hashable,
+        delay: float,
+        callback: Callable[[], None],
+        defer: Callable[[float], float] | None = None,
+    ) -> float | None:
+        """Schedule one message hop ``src → dst`` with base latency ``delay``.
+
+        The installed :attr:`fault_hook` (if any) judges the
+        transmission: it may drop the message (nothing is scheduled and
+        ``None`` is returned, so the sender can arm a retransmit timer)
+        or return a stretched latency (jitter/degradation). ``defer``
+        maps the effective latency to the final scheduling delay (the
+        §4.1.2 period mechanism defers maintenance hops to level
+        boundaries). A hop with ``src == dst`` is a local handoff — two
+        roles hosted on one physical sensor — and never touches the
+        radio, so it bypasses the hook.
+
+        Returns the effective latency, or ``None`` if the hop was dropped.
+        """
+        latency = delay
+        if self.fault_hook is not None and src != dst:
+            verdict = self.fault_hook(src, dst, delay)
+            if verdict is None:
+                return None
+            latency = verdict
+        self.schedule(defer(latency) if defer is not None else latency, callback)
+        return latency
 
     @property
     def pending(self) -> int:
@@ -46,20 +100,21 @@ class Engine:
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
         """Drain the queue (optionally stopping at time ``until``).
 
-        ``max_events`` is a runaway-protocol guard; exceeding it raises
-        :class:`RuntimeError` rather than looping forever.
+        ``max_events`` is a runaway-protocol guard: exactly
+        ``max_events`` callbacks are executed, and :class:`RuntimeError`
+        is raised only if more events are still pending at that point.
         """
         processed = 0
         while self._queue:
             t, _, cb = self._queue[0]
             if until is not None and t > until:
                 break
+            if max_events is not None and processed >= max_events:
+                raise RuntimeError(f"exceeded {max_events} events; protocol livelock?")
             heapq.heappop(self._queue)
             self.now = t
             cb()
             self.events_processed += 1
             processed += 1
-            if max_events is not None and processed > max_events:
-                raise RuntimeError(f"exceeded {max_events} events; protocol livelock?")
         if until is not None and self.now < until:
             self.now = until

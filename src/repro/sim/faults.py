@@ -1,0 +1,222 @@
+"""Seeded, deterministic fault injection for the discrete-event layer.
+
+The paper's concurrent analysis (§4.1.2) runs on a perfect synchronous
+network; real sensor radios drop packets, stretch latencies, and crash
+mid-protocol (Awerbuch–Peleg [4] and STUN [18] both assume lossy
+links). This module makes those failure modes a first-class, replayable
+experiment input:
+
+- :class:`FaultPlan` — a frozen description of the failure scenario:
+  i.i.d. message-loss probability, per-hop delay jitter, scheduled node
+  crash/restart windows, and per-link degradation factors. A plan
+  carries its own ``seed``; two runs of the same plan over the same
+  workload produce **bit-identical traces** (rule RPL002 extends to
+  these entry points — construct plans with an explicit seed).
+- :class:`CrashWindow` — one node's outage interval ``[start, end)``
+  (``end=None`` means the node never restarts). While crashed, a node's
+  radio is down: every message it would send or receive is lost. Local
+  sensing is not modelled as failing — the "node fully dies and its
+  roles must relocate" story is §7's churn path, bridged by
+  :func:`crash_schedule_events` into
+  :class:`repro.core.fault_tolerant.FaultTolerantMOT`.
+- :class:`FaultInjector` — the live judge. It installs itself as the
+  :attr:`~repro.sim.engine.Engine.fault_hook` delivery-interception
+  point and rules on every radio hop in event order, so its RNG stream
+  (and therefore the whole simulation) is deterministic per seed. Every
+  verdict is appended to :attr:`FaultInjector.trace` and mirrored into
+  :data:`repro.perf.PERF` counters (``faults.sent``,
+  ``faults.dropped_loss``, ``faults.dropped_crash``,
+  ``faults.delivered``).
+
+The matching sender-side ack/timeout/retry machinery lives in
+:class:`repro.sim.concurrent.ConcurrentTracker`; the chaos experiment
+harness on top is :mod:`repro.experiments.chaos`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.perf import PERF
+from repro.sim.engine import Engine
+
+Node = Hashable
+
+__all__ = ["CrashWindow", "FaultPlan", "FaultInjector", "crash_schedule_events"]
+
+
+@dataclass(frozen=True)
+class CrashWindow:
+    """One node's outage: radio down during ``[start, end)``."""
+
+    node: Node
+    start: float
+    end: float | None = None  # None: the node never restarts
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError("crash start must be >= 0")
+        if self.end is not None and self.end <= self.start:
+            raise ValueError("crash end must be after start")
+
+    def covers(self, time: float) -> bool:
+        """Whether the node is down at ``time``."""
+        return time >= self.start and (self.end is None or time < self.end)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A replayable failure scenario for one simulation run.
+
+    Parameters
+    ----------
+    seed:
+        Seeds the injector's RNG. Always pass it explicitly — the lint
+        rule RPL002 flags plans built without one, because an implicit
+        seed makes chaos results non-replayable.
+    message_loss:
+        Probability in ``[0, 1)`` that any single radio transmission is
+        lost (i.i.d. per transmission, so retransmissions reroll).
+    delay_jitter:
+        Uniform multiplicative latency stretch: a delivered hop of base
+        latency ``d`` arrives after ``d * (1 + U(0, delay_jitter))``.
+        Latency only — communication *cost* stays the graph distance.
+    crashes:
+        Scheduled :class:`CrashWindow` outages.
+    degraded_links:
+        ``(u, v, factor)`` triples: hops between ``u`` and ``v`` (either
+        direction) take ``factor`` times their base latency.
+    """
+
+    seed: int = 0
+    message_loss: float = 0.0
+    delay_jitter: float = 0.0
+    crashes: tuple[CrashWindow, ...] = ()
+    degraded_links: tuple[tuple[Node, Node, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.message_loss < 1.0:
+            raise ValueError("message_loss must be in [0, 1)")
+        if self.delay_jitter < 0.0:
+            raise ValueError("delay_jitter must be >= 0")
+        for u, v, factor in self.degraded_links:
+            if factor < 1.0:
+                raise ValueError(f"link ({u!r}, {v!r}) degradation factor must be >= 1")
+
+    # ------------------------------------------------------------------
+    def is_crashed(self, node: Node, time: float) -> bool:
+        """Whether ``node``'s radio is down at ``time``."""
+        return any(w.node == node and w.covers(time) for w in self.crashes)
+
+    def crashed_nodes(self) -> frozenset[Node]:
+        """Every node that crashes at some point under this plan."""
+        return frozenset(w.node for w in self.crashes)
+
+    def injector(self) -> "FaultInjector":
+        """A fresh live injector for this plan."""
+        return FaultInjector(self)
+
+
+class FaultInjector:
+    """Judges every radio transmission of one simulation run.
+
+    Install with :meth:`attach`; the injector becomes the engine's
+    :attr:`~repro.sim.engine.Engine.fault_hook` and is consulted once
+    per transmission attempt, in event order. Determinism: the engine's
+    event order is deterministic, so the RNG stream — and the full
+    :attr:`trace` — is a pure function of the plan.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._rng = random.Random(plan.seed)
+        self._degraded: dict[frozenset, float] = {
+            frozenset((u, v)): factor for u, v, factor in plan.degraded_links
+        }
+        self._engine: Engine | None = None
+        self.sent = 0
+        self.delivered = 0
+        self.dropped_loss = 0
+        self.dropped_crash = 0
+        #: every verdict: ``(time, src, dst, outcome, latency)`` with
+        #: outcome in {"ok", "loss", "crash"} (latency 0.0 on drops)
+        self.trace: list[tuple[float, Node, Node, str, float]] = []
+
+    # ------------------------------------------------------------------
+    def attach(self, engine: Engine) -> "FaultInjector":
+        """Install this injector as ``engine``'s delivery hook."""
+        if self._engine is not None and self._engine is not engine:
+            raise ValueError("injector is already attached to another engine")
+        self._engine = engine
+        engine.fault_hook = self._hook
+        return self
+
+    def _hook(self, src: Node, dst: Node, delay: float) -> float | None:
+        assert self._engine is not None
+        return self.judge(src, dst, delay, self._engine.now)
+
+    # ------------------------------------------------------------------
+    def judge(self, src: Node, dst: Node, delay: float, now: float) -> float | None:
+        """Rule on one transmission: effective latency, or ``None`` if lost."""
+        self.sent += 1
+        PERF.incr("faults.sent")
+        plan = self.plan
+        if plan.is_crashed(src, now) or plan.is_crashed(dst, now):
+            self.dropped_crash += 1
+            PERF.incr("faults.dropped_crash")
+            self.trace.append((now, src, dst, "crash", 0.0))
+            return None
+        if plan.message_loss > 0.0 and self._rng.random() < plan.message_loss:
+            self.dropped_loss += 1
+            PERF.incr("faults.dropped_loss")
+            self.trace.append((now, src, dst, "loss", 0.0))
+            return None
+        latency = delay * self._degraded.get(frozenset((src, dst)), 1.0)
+        if plan.delay_jitter > 0.0:
+            latency *= 1.0 + self._rng.uniform(0.0, plan.delay_jitter)
+        self.delivered += 1
+        PERF.incr("faults.delivered")
+        self.trace.append((now, src, dst, "ok", latency))
+        return latency
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        """JSON-ready delivery statistics."""
+        return {
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "dropped_loss": self.dropped_loss,
+            "dropped_crash": self.dropped_crash,
+        }
+
+
+@dataclass(frozen=True)
+class _CrashEvent:
+    """One membership event of a crash schedule, in time order."""
+
+    time: float
+    node: Node
+    kind: str  # "crash" | "restart"
+    window: CrashWindow = field(compare=False, hash=False, repr=False, default=None)  # type: ignore[assignment]
+
+
+def crash_schedule_events(plan: FaultPlan) -> list[_CrashEvent]:
+    """The plan's crash/restart events as a time-ordered churn script.
+
+    This is the bridge into §7's role-relocation path: replay the
+    returned events against a
+    :class:`repro.core.fault_tolerant.FaultTolerantMOT` (crash →
+    :meth:`handle_departure`, restart → :meth:`handle_arrival`) to
+    account the churn cost of the same failure scenario the concurrent
+    simulator ran under. Ties break crash-before-restart so a
+    zero-length gap never "restarts" a node that has not departed yet.
+    """
+    events: list[_CrashEvent] = []
+    for w in plan.crashes:
+        events.append(_CrashEvent(time=w.start, node=w.node, kind="crash", window=w))
+        if w.end is not None:
+            events.append(_CrashEvent(time=w.end, node=w.node, kind="restart", window=w))
+    events.sort(key=lambda e: (e.time, 0 if e.kind == "crash" else 1))
+    return events

@@ -138,6 +138,11 @@ class UnseededRandomChecker(BaseChecker):
     )
     #: constructors that must receive an explicit seed argument
     _NEEDS_SEED = frozenset({"default_rng", "RandomState", "Random"})
+    #: project fault-injection entry points whose RNG must be explicitly
+    #: seeded — FaultPlan defaults ``seed=0``, which is deterministic but
+    #: silently shares one stream across every unlabelled plan; chaos
+    #: results are only replayable/citable with the seed spelled out
+    _PROJECT_SEEDED = frozenset({"FaultPlan"})
 
     def visit_Call(self, node: ast.Call) -> None:
         dotted = _dotted_name(node.func)
@@ -145,8 +150,21 @@ class UnseededRandomChecker(BaseChecker):
             self._check(node, dotted)
         self.generic_visit(node)
 
+    @staticmethod
+    def _passes_seed(call: ast.Call) -> bool:
+        """Whether a project entry point pins its seed (kw or leading positional)."""
+        return bool(call.args) or any(kw.arg == "seed" for kw in call.keywords)
+
     def _check(self, node: ast.Call, dotted: tuple[str, ...]) -> None:
         head, tail = dotted[0], dotted[-1]
+        if tail in self._PROJECT_SEEDED:
+            if not self._passes_seed(node):
+                self.report(
+                    node,
+                    f"{tail}(...) without an explicit seed; pass seed=... so the "
+                    "fault-injection run is replayable",
+                )
+            return
         if dotted[:-1] == ("random",):
             # stdlib: random.random() etc. share hidden global state;
             # random.Random() without a seed is just as irreproducible

@@ -25,6 +25,28 @@ class TestDeparture:
         assert new_proxy != 27
         assert NET.distance(27, new_proxy) == 1.0  # closest live sensor
 
+    def test_rehomes_tagged_in_ledger(self, tracker):
+        tracker.publish("a", 27)
+        tracker.publish("b", 27)
+        tracker.handle_departure(27)
+        ledger = tracker.ledger
+        assert ledger.rehome_ops == 2
+        assert ledger.rehome_cost > 0
+        assert ledger.rehome_optimal > 0
+        # rehome charges are part of the headline maintenance totals …
+        assert ledger.maintenance_cost >= ledger.rehome_cost
+        # … but never exceed them
+        assert ledger.rehome_optimal <= ledger.maintenance_optimal
+
+    def test_ratio_excluding_rehomes_isolates_churn(self, tracker):
+        tracker.publish("o", 27)
+        tracker.handle_departure(27)
+        ledger = tracker.ledger
+        # publish has no maintenance cost, so after the departure every
+        # maintenance charge is a rehome — the exclusion leaves nothing
+        assert ledger.maintenance_cost == pytest.approx(ledger.rehome_cost)
+        assert ledger.maintenance_cost_ratio_excluding_rehomes == 1.0
+
     def test_roles_transferred_with_entries(self, tracker):
         tracker.publish("o", 0)
         # find an internal node on the object's spine and kill its host

@@ -93,6 +93,16 @@ class TestSweeps:
         assert before["STUN"] != after["STUN"]
 
 
+    def test_concurrent_sweep_honors_queries_per_batch(self):
+        base = dict(grid_sizes=((4, 4),), num_objects=3, moves_per_object=15,
+                    num_queries=12, reps=1, algorithms=("MOT",), mode="concurrent")
+        serial = run_cost_sweep(CostExperiment(**base, concurrent_queries_per_batch=1))
+        packed = run_cost_sweep(CostExperiment(**base, concurrent_queries_per_batch=6))
+        # interleaving more in-flight queries per batch changes what each
+        # query observes mid-move, so the measured ratios must differ
+        assert serial.series("query", "MOT") != packed.series("query", "MOT")
+
+
 class TestScaled:
     def test_scaled_preserves_sizes(self):
         exp = CostExperiment()
@@ -101,3 +111,12 @@ class TestScaled:
         assert small.num_objects == 10
         assert small.moves_per_object == 50
         assert small.reps == 2
+
+    def test_scaled_carries_query_knobs(self):
+        exp = CostExperiment(concurrent_queries_per_batch=5)
+        small = exp.scaled(num_objects=4, num_queries=17)
+        assert small.num_queries == 17
+        assert small.concurrent_queries_per_batch == 5
+        # unspecified knobs keep the parent's values
+        same = exp.scaled(num_objects=4)
+        assert same.num_queries == exp.num_queries

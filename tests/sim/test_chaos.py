@@ -1,0 +1,140 @@
+"""Chaos property suite: the concurrent protocol under injected faults.
+
+Marked ``chaos`` so CI can run it as its own job; everything here is
+sized to stay fast (grids of a few dozen sensors).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.chaos import build_fault_plan, check_consistency, run_chaos
+from repro.experiments.config import ChaosExperiment
+from repro.experiments.runner import execute_concurrent, make_concurrent_tracker
+from repro.graphs.generators import grid_network
+from repro.sim.faults import CrashWindow, FaultPlan
+from repro.sim.workload import make_workload
+
+pytestmark = pytest.mark.chaos
+
+
+def _run(plan, *, algorithm="MOT", side=6, objects=6, moves=15, queries=15, seed=2):
+    net = grid_network(side, side)
+    wl = make_workload(net, num_objects=objects, moves_per_object=moves,
+                       num_queries=queries, seed=seed)
+    tracker = make_concurrent_tracker(algorithm, net, wl.traffic, seed=seed)
+    if plan is not None:
+        tracker.attach_faults(plan)
+    execute_concurrent(tracker, wl, batch=8, queries_per_batch=2, shuffle_seed=5)
+    return tracker, wl
+
+
+class TestChaosProperties:
+    @pytest.mark.parametrize("algorithm", ["MOT", "STUN", "Z-DAT"])
+    def test_loss_and_crashes_leave_consistent_state(self, algorithm):
+        # the acceptance scenario: loss at the 20% bound, jitter, and two
+        # crash windows that both end — every op must finish, the drained
+        # state must match the sequential reference, zero garbage remains
+        plan = FaultPlan(
+            seed=9,
+            message_loss=0.2,
+            delay_jitter=0.3,
+            crashes=(CrashWindow(7, 10.0, 60.0), CrashWindow(22, 90.0, 150.0)),
+        )
+        tracker, wl = _run(plan, algorithm=algorithm)
+        assert tracker.engine.pending == 0
+        assert len(tracker.move_results) + len(tracker.failed_ops) >= len(wl.moves)
+        assert len(tracker.query_results) == len(wl.queries)
+        check = check_consistency(tracker, wl)
+        assert check.ok, check
+
+    def test_all_ops_complete_or_reported_failed(self):
+        plan = FaultPlan(seed=4, message_loss=0.2, delay_jitter=0.25)
+        tracker, wl = _run(plan)
+        moves_accounted = len(tracker.move_results) + sum(
+            1 for kind, _, _ in tracker.failed_ops if kind in ("insert", "delete")
+        )
+        assert moves_accounted >= len(wl.moves)
+        assert len(tracker.query_results) == len(wl.queries)
+        assert tracker.retries > 0  # the plan actually exercised the transport
+
+    def test_same_seed_is_bit_identical(self):
+        plan = FaultPlan(
+            seed=13, message_loss=0.15, delay_jitter=0.2,
+            crashes=(CrashWindow(11, 20.0, 70.0),),
+        )
+        a, _ = _run(plan)
+        b, _ = _run(plan)
+        assert a.faults.trace == b.faults.trace
+        assert a.ledger == b.ledger
+        assert [(r.obj, r.proxy, r.cost) for r in a.query_results] == \
+               [(r.obj, r.proxy, r.cost) for r in b.query_results]
+        assert a.retries == b.retries
+        assert a.failed_ops == b.failed_ops
+
+    def test_zero_fault_plan_is_transparent(self):
+        # attaching an all-zero plan must not perturb the simulation at
+        # all: same ledger, same results as a plain no-injector run
+        faulty, _ = _run(FaultPlan(seed=1))
+        clean, _ = _run(None)
+        assert faulty.ledger == clean.ledger
+        assert [(r.obj, r.proxy, r.cost) for r in faulty.query_results] == \
+               [(r.obj, r.proxy, r.cost) for r in clean.query_results]
+        assert faulty.retries == 0 and faulty.transmit_failures == 0
+        assert faulty.faults.dropped_loss == 0
+
+    def test_permanent_crash_reports_failures_but_stays_consistent(self):
+        # a sensor that never restarts forces terminal transmit failures;
+        # the ops must be reported failed and the out-of-band repair must
+        # still leave a consistent, garbage-free, query-serving structure
+        net = grid_network(6, 6)
+        wl = make_workload(net, num_objects=6, moves_per_object=25,
+                           num_queries=20, seed=3)
+        hot = max(set(m.new for m in wl.moves), key=[m.new for m in wl.moves].count)
+        plan = FaultPlan(seed=2, message_loss=0.1,
+                         crashes=(CrashWindow(hot, 3.0, None),))
+        tracker = make_concurrent_tracker("MOT", net, wl.traffic, seed=3)
+        tracker.attach_faults(plan)
+        execute_concurrent(tracker, wl, batch=8, queries_per_batch=2, shuffle_seed=5)
+        assert tracker.transmit_failures > 0
+        assert tracker.failed_ops
+        assert tracker.repairs > 0
+        assert tracker.engine.pending == 0
+        assert tracker.waiting_queries == 0
+        assert len(tracker.garbage_entries()) == 0
+        assert len(tracker.query_results) == len(wl.queries)
+        # spines still bottom out at the ground-truth proxy everywhere
+        for obj, proxy in tracker.true_proxy.items():
+            assert tracker.physical(tracker.spine_of(obj)[0]) == proxy
+
+
+class TestRunChaos:
+    def test_report_end_to_end(self):
+        exp = ChaosExperiment(side=6, num_objects=5, moves_per_object=15,
+                              num_queries=15, seed=1, message_loss=0.15,
+                              num_crashes=2, crash_duration=30.0, fault_seed=4)
+        report = run_chaos(exp)
+        assert report.consistency.ok
+        assert report.moves_completed + len(report.failed_ops) >= report.moves_submitted
+        assert report.delivery["sent"] == (
+            report.delivery["delivered"]
+            + report.delivery["dropped_loss"]
+            + report.delivery["dropped_crash"]
+        )
+        assert report.churn["departures"] == 2.0
+        d = report.as_dict()
+        assert d["consistency"]["ok"] is True
+        assert {w["start"] for w in d["plan"]["crashes"]} == {5.0, 50.0}
+
+    def test_same_experiment_same_report(self):
+        exp = ChaosExperiment(side=6, num_objects=4, moves_per_object=10,
+                              num_queries=10, message_loss=0.1, num_crashes=1)
+        r1, r2 = run_chaos(exp), run_chaos(exp)
+        assert dataclasses.asdict(r1) == dataclasses.asdict(r2)
+
+    def test_build_fault_plan_caps_victims(self):
+        net = grid_network(2, 2)
+        exp = ChaosExperiment(side=2, num_crashes=10, crash_duration=0.0)
+        plan = build_fault_plan(exp, net)
+        assert len(plan.crashes) == 2  # n - 2
+        assert all(w.end is None for w in plan.crashes)

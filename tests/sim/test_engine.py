@@ -51,6 +51,35 @@ class TestScheduling:
         e.run()
         assert seen == [5.0]
 
+    def test_schedule_at_now_runs_immediately(self):
+        e = Engine()
+        e.schedule(1.0, lambda: None)
+        e.run()
+        seen = []
+        e.schedule_at(e.now, lambda: seen.append(e.now))
+        e.run()
+        assert seen == [1.0]
+
+    def test_schedule_at_clamps_float_negative_delta(self):
+        e = Engine()
+        e.schedule(0.1 + 0.2, lambda: None)
+        e.run()
+        # an absolute time equal to now but computed along a different
+        # float path lands a few ulps below it; must not raise
+        target = 0.3  # e.now is 0.30000000000000004
+        assert target < e.now
+        seen = []
+        e.schedule_at(target, lambda: seen.append(e.now))
+        e.run()
+        assert seen == [pytest.approx(0.3)]
+
+    def test_schedule_at_genuinely_past_still_rejected(self):
+        e = Engine()
+        e.schedule(5.0, lambda: None)
+        e.run()
+        with pytest.raises(ValueError):
+            e.schedule_at(4.0, lambda: None)
+
 
 class TestRunControls:
     def test_run_until_stops_and_sets_clock(self):
@@ -75,9 +104,67 @@ class TestRunControls:
         with pytest.raises(RuntimeError, match="livelock"):
             e.run(max_events=100)
 
+    def test_max_events_executes_exactly_k_callbacks(self):
+        e = Engine()
+        seen = []
+        for i in range(10):
+            e.schedule(float(i), lambda i=i: seen.append(i))
+        with pytest.raises(RuntimeError, match="exceeded 4 events"):
+            e.run(max_events=4)
+        assert seen == [0, 1, 2, 3]
+        assert e.events_processed == 4
+        assert e.pending == 6
+
+    def test_max_events_equal_to_queue_size_completes(self):
+        e = Engine()
+        seen = []
+        for i in range(5):
+            e.schedule(float(i), lambda i=i: seen.append(i))
+        e.run(max_events=5)  # exactly enough: drains without raising
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_run_until_with_empty_queue_advances_clock(self):
+        e = Engine()
+        e.run(until=7.5)
+        assert e.now == 7.5
+        assert e.events_processed == 0
+
     def test_events_processed_counter(self):
         e = Engine()
         for _ in range(3):
             e.schedule(0.1, lambda: None)
         e.run()
         assert e.events_processed == 3
+
+
+class TestMessageInterception:
+    def test_no_hook_is_transparent(self):
+        e = Engine()
+        seen = []
+        assert e.schedule_message("a", "b", 2.0, lambda: seen.append(e.now)) == 2.0
+        e.run()
+        assert seen == [2.0]
+
+    def test_hook_can_drop_and_stretch(self):
+        e = Engine()
+        e.fault_hook = lambda src, dst, delay: None if dst == "dead" else delay * 2
+        seen = []
+        assert e.schedule_message("a", "dead", 1.0, lambda: seen.append("x")) is None
+        assert e.schedule_message("a", "b", 1.0, lambda: seen.append(e.now)) == 2.0
+        e.run()
+        assert seen == [2.0]
+
+    def test_local_handoff_bypasses_hook(self):
+        e = Engine()
+        e.fault_hook = lambda src, dst, delay: None  # drops everything
+        seen = []
+        assert e.schedule_message("a", "a", 0.0, lambda: seen.append("ok")) == 0.0
+        e.run()
+        assert seen == ["ok"]
+
+    def test_defer_maps_latency_to_schedule_delay(self):
+        e = Engine()
+        seen = []
+        e.schedule_message("a", "b", 1.0, lambda: seen.append(e.now), defer=lambda d: d + 3.0)
+        e.run()
+        assert seen == [4.0]

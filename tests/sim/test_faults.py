@@ -1,0 +1,111 @@
+"""Unit tests for the fault-injection layer (plans, injector, bridge)."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.faults import CrashWindow, FaultPlan, crash_schedule_events
+
+
+class TestFaultPlan:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(seed=1, message_loss=1.0)
+        with pytest.raises(ValueError):
+            FaultPlan(seed=1, message_loss=-0.1)
+        with pytest.raises(ValueError):
+            FaultPlan(seed=1, delay_jitter=-1.0)
+        with pytest.raises(ValueError):
+            FaultPlan(seed=1, degraded_links=((0, 1, 0.5),))
+        with pytest.raises(ValueError):
+            CrashWindow(node=0, start=5.0, end=5.0)
+
+    def test_crash_windows(self):
+        plan = FaultPlan(
+            seed=1,
+            crashes=(CrashWindow(7, 10.0, 20.0), CrashWindow(3, 15.0, None)),
+        )
+        assert not plan.is_crashed(7, 9.9)
+        assert plan.is_crashed(7, 10.0)
+        assert plan.is_crashed(7, 19.9)
+        assert not plan.is_crashed(7, 20.0)  # [start, end)
+        assert plan.is_crashed(3, 1e9)  # never restarts
+        assert plan.crashed_nodes() == frozenset({7, 3})
+
+    def test_crash_schedule_events_ordered(self):
+        plan = FaultPlan(
+            seed=0,
+            crashes=(CrashWindow(1, 10.0, 30.0), CrashWindow(2, 5.0, None),
+                     CrashWindow(3, 10.0, 10.5)),
+        )
+        events = crash_schedule_events(plan)
+        assert [(e.time, e.node, e.kind) for e in events] == [
+            (5.0, 2, "crash"),
+            (10.0, 1, "crash"),
+            (10.0, 3, "crash"),
+            (10.5, 3, "restart"),
+            (30.0, 1, "restart"),
+        ]
+
+
+class TestFaultInjector:
+    def test_lossless_plan_delivers_at_base_latency(self):
+        inj = FaultPlan(seed=1).injector()
+        assert inj.judge(0, 1, 3.0, now=0.0) == 3.0
+        assert inj.stats() == {
+            "sent": 1, "delivered": 1, "dropped_loss": 0, "dropped_crash": 0,
+        }
+
+    def test_loss_is_deterministic_per_seed(self):
+        def verdicts(seed):
+            inj = FaultPlan(seed=seed, message_loss=0.5, delay_jitter=0.2).injector()
+            return [inj.judge(0, 1, 2.0, now=float(t)) for t in range(50)], inj.trace
+
+        v1, t1 = verdicts(11)
+        v2, t2 = verdicts(11)
+        v3, _ = verdicts(12)
+        assert v1 == v2 and t1 == t2
+        assert v3 != v1
+        assert any(v is None for v in v1) and any(v is not None for v in v1)
+
+    def test_crash_drops_both_directions(self):
+        inj = FaultPlan(seed=1, crashes=(CrashWindow(5, 0.0, 10.0),)).injector()
+        assert inj.judge(5, 1, 1.0, now=2.0) is None  # crashed sender
+        assert inj.judge(1, 5, 1.0, now=2.0) is None  # crashed receiver
+        assert inj.judge(1, 5, 1.0, now=10.0) == 1.0  # restarted
+        assert inj.dropped_crash == 2
+
+    def test_degraded_links_stretch_latency_both_ways(self):
+        inj = FaultPlan(seed=1, degraded_links=((0, 1, 3.0),)).injector()
+        assert inj.judge(0, 1, 2.0, now=0.0) == 6.0
+        assert inj.judge(1, 0, 2.0, now=0.0) == 6.0
+        assert inj.judge(0, 2, 2.0, now=0.0) == 2.0  # other links untouched
+
+    def test_jitter_bounds(self):
+        inj = FaultPlan(seed=3, delay_jitter=0.5).injector()
+        for _ in range(100):
+            latency = inj.judge(0, 1, 2.0, now=0.0)
+            assert 2.0 <= latency <= 3.0
+
+    def test_attach_installs_engine_hook(self):
+        engine = Engine()
+        inj = FaultPlan(seed=1, crashes=(CrashWindow(9, 0.0, None),)).injector()
+        inj.attach(engine)
+        assert engine.fault_hook is not None
+        assert engine.schedule_message(1, 9, 1.0, lambda: None) is None
+        assert engine.schedule_message(1, 2, 1.0, lambda: None) == 1.0
+        with pytest.raises(ValueError):
+            inj.attach(Engine())  # one injector, one engine
+
+    def test_hook_uses_engine_clock(self):
+        engine = Engine()
+        inj = FaultPlan(seed=1, crashes=(CrashWindow(9, 5.0, None),)).injector()
+        inj.attach(engine)
+        outcomes = []
+
+        def probe():
+            outcomes.append(engine.schedule_message(1, 9, 1.0, lambda: None))
+
+        engine.schedule(1.0, probe)  # before the crash
+        engine.schedule(6.0, probe)  # during the crash
+        engine.run()
+        assert outcomes[0] == 1.0 and outcomes[1] is None

@@ -140,6 +140,28 @@ class TestRPL002:
         """
         assert rules_at(src) == [(UNUSED_SUPPRESSION_RULE, 3)]
 
+    def test_unseeded_fault_plan_fires(self):
+        src = """\
+        from repro.sim.faults import FaultPlan
+        plan = FaultPlan(message_loss=0.1)
+        """
+        assert ("RPL002", 2) in rules_at(src)
+
+    def test_seeded_fault_plan_is_fine(self):
+        src = """\
+        from repro.sim import faults
+        a = faults.FaultPlan(seed=3, message_loss=0.1)
+        b = faults.FaultPlan(7)
+        """
+        assert rules_at(src) == []
+
+    def test_unseeded_fault_plan_suppressible(self):
+        src = """\
+        from repro.sim.faults import FaultPlan
+        plan = FaultPlan()  # repro-lint: disable=RPL002
+        """
+        assert rules_at(src) == []
+
 
 # ----------------------------------------------------------------------
 # RPL003 — cross-module private-state access

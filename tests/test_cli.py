@@ -64,6 +64,36 @@ def test_perf_report_to_file(tmp_path, capsys):
     assert "counters" in report and "timers" in report
 
 
+def test_chaos_report_to_stdout(capsys):
+    import json
+
+    assert main(["chaos", "--side", "6", "--objects", "4", "--moves", "12",
+                 "--queries", "8", "--loss", "0.15", "--crashes", "1"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["consistency"]["ok"] is True
+    assert report["plan"]["message_loss"] == 0.15
+    assert len(report["plan"]["crashes"]) == 1
+    assert report["delivery"]["sent"] >= report["delivery"]["delivered"]
+    assert report["moves_submitted"] == 48
+    assert report["queries_completed"] == 8
+    # the §7 churn bridge replayed the same crash schedule
+    assert report["churn"]["departures"] == 1.0
+
+
+def test_chaos_report_to_file(tmp_path, capsys):
+    import json
+
+    out_path = tmp_path / "runs" / "chaos.json"
+    assert main(["chaos", "--side", "5", "--objects", "3", "--moves", "8",
+                 "--queries", "5", "--crashes", "0", "--loss", "0.1",
+                 "--out", str(out_path)]) == 0
+    assert "wrote" in capsys.readouterr().out
+    report = json.loads(out_path.read_text())
+    assert report["experiment"]["side"] == 5
+    assert report["plan"]["crashes"] == []
+    assert report["churn"] == {}
+
+
 def test_unknown_figure_errors():
     with pytest.raises(ValueError, match="unknown figure"):
         main(["figure", "fig99"])
