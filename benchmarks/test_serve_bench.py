@@ -1,0 +1,43 @@
+"""Service-layer throughput: the serve-bench run as a benchmark.
+
+What the wall time buys: the whole acceptance-scale run — 256-node
+grid, 64 objects, open-loop replay through 4 shards, consistency audit
+included — in one measured call. The extra_info carries the *virtual*
+side of the story (achieved throughput on the service clock, rejection
+counts, p99), so a wall-time regression can be told apart from a
+queueing-behaviour regression: the former moves the benchmark, the
+latter moves the attached numbers.
+"""
+
+from __future__ import annotations
+
+from repro.serve import ServeBenchConfig, run_serve_bench
+
+from .conftest import run_once
+
+ACCEPTANCE = ServeBenchConfig(
+    nodes=256, num_objects=64, moves_per_object=20, num_queries=200,
+    shards=4, rate=500.0, seed=7,
+)
+
+OVERLOADED = ServeBenchConfig(
+    nodes=256, num_objects=64, moves_per_object=20, num_queries=200,
+    shards=2, rate=4000.0, seed=7, queue_capacity=8, batch_size=8,
+    service_time_base_s=2e-3,
+)
+
+
+def test_bench_serve_acceptance_run(benchmark):
+    report = run_once(benchmark, run_serve_bench, ACCEPTANCE)
+    benchmark.extra_info["throughput_ops_s"] = report["achieved_throughput_ops_s"]
+    benchmark.extra_info["p99_ms"] = report["latency_ms"]["all"]["p99_ms"]
+    assert report["audit"]["ok"]
+    assert report["loadgen"]["rejected"]["total"] == 0
+
+
+def test_bench_serve_overloaded_run(benchmark):
+    report = run_once(benchmark, run_serve_bench, OVERLOADED)
+    benchmark.extra_info["rejected_queue"] = report["loadgen"]["rejected"]["queue"]
+    benchmark.extra_info["throughput_ops_s"] = report["achieved_throughput_ops_s"]
+    assert report["audit"]["ok"]
+    assert report["loadgen"]["rejected"]["queue"] > 0

@@ -16,10 +16,30 @@ Commands:
   (message loss, delay jitter, node crashes) and emit the JSON chaos
   report: delivery/retry statistics, failed operations, final-state
   consistency audit, and the §7 churn bridge;
+- ``serve-bench [--nodes N] [--shards S] [--rate R] …`` — run one
+  load-generated workload through the :mod:`repro.serve` online
+  tracking service (sharded workers, batching, backpressure) and emit
+  the JSON report: latency percentiles, achieved throughput,
+  rejection/coalescing counts, and the consistency audit against the
+  sequential reference MOT;
+- ``serve-demo [--seed N]`` — a guided tour of the service layer
+  (sharding, a coalesced query, an ``Overloaded`` rejection);
 - ``demo [--seed N]`` — a 30-second guided tour (the quickstart on one
   object);
 - ``lint [PATHS…] [--format json]`` — run the project's AST lint rules
-  (RPL001–RPL005, see :mod:`repro.staticcheck`) over source trees.
+  (RPL001–RPL006, see :mod:`repro.staticcheck`) over source trees.
+
+``python -m repro --version`` prints the installed package version
+(falling back to the source tree's ``repro.__version__``).
+
+Exit codes (uniform across subcommands):
+
+- ``0`` — success: the command ran and every gated check passed;
+- ``1`` — a check failed: lint findings (``lint``), a failed
+  consistency audit (``chaos``, ``serve-bench``);
+- ``2`` — usage error: unknown subcommand/flag (argparse) or an
+  invalid argument value caught by the command itself (e.g. an unknown
+  figure name).
 """
 
 from __future__ import annotations
@@ -31,12 +51,28 @@ from pathlib import Path
 __all__ = ["main"]
 
 
+def _version() -> str:
+    """Installed package version, falling back to the source tree's."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except PackageNotFoundError:
+        import repro
+
+        return repro.__version__
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     from repro.experiments.export import cost_sweep_to_csv, loads_to_csv, write_csv
     from repro.experiments.figures import run_figure
 
     scale = 1.0 if args.full else args.scale
-    result = run_figure(args.name, scale=scale)
+    try:
+        result = run_figure(args.name, scale=scale)
+    except ValueError as exc:
+        print(f"repro figure: {exc}", file=sys.stderr)
+        return 2
     print(result)
     if args.csv:
         if result.cost_result is not None:
@@ -161,6 +197,95 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.consistency.ok else 1
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve.bench import ServeBenchConfig, run_serve_bench
+
+    try:
+        cfg = ServeBenchConfig(
+            nodes=args.nodes,
+            num_objects=args.objects,
+            moves_per_object=args.moves,
+            num_queries=args.queries,
+            shards=args.shards,
+            rate=args.rate,
+            seed=args.seed,
+            batch_size=args.batch,
+            queue_capacity=args.queue_capacity,
+            rate_limit=args.rate_limit,
+            service_time_base_s=args.service_time_ms * 1e-3,
+            clock=args.clock,
+        )
+    except ValueError as exc:
+        print(f"repro serve-bench: {exc}", file=sys.stderr)
+        return 2
+    report = run_serve_bench(cfg)
+    text = json.dumps(report, indent=1)
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text + "\n")
+        print(f"wrote {out}")
+    else:
+        print(text)
+    return 0 if report["audit"]["ok"] else 1
+
+
+def _cmd_serve_demo(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro import grid_network
+    from repro.serve import (
+        Overloaded,
+        QueryRequest,
+        ServiceClient,
+        ServiceConfig,
+        TrackingService,
+        shard_index,
+    )
+
+    net = grid_network(8, 8)
+    config = ServiceConfig(shards=2, batch_size=4, queue_capacity=4)
+    service = TrackingService(net, config, seed=args.seed)
+
+    async def tour() -> None:
+        async with service:
+            client = ServiceClient(service)
+            for name, start in (("tiger", 0), ("heron", 63)):
+                resp = await client.publish(name, net.node_at(start))
+                print(f"published {name!r} at sensor {net.node_at(start)} "
+                      f"-> shard {shard_index(name, config.shards)} "
+                      f"(cost {resp.cost:.0f})")
+            await client.move("tiger", net.node_at(9))
+            # two duplicate in-flight queries: submitted back to back so
+            # the shard drains them in one batch and answers once
+            f1 = service.submit_nowait(QueryRequest("tiger", net.node_at(63)))
+            f2 = service.submit_nowait(QueryRequest("tiger", net.node_at(63)))
+            r1, r2 = await f1, await f2
+            print(f"two concurrent queries for 'tiger': both answered "
+                  f"proxy={r1.proxy}; second coalesced={r2.coalesced}")
+            # overfill one shard's bounded queue to show backpressure
+            rejected = 0
+            for k in range(32):
+                try:
+                    service.submit_nowait(QueryRequest("tiger", net.node_at(k % 64)))
+                except Overloaded as exc:
+                    if rejected == 0:
+                        print(f"backpressure: {exc.reason} rejection, "
+                              f"retry after {exc.retry_after_s:.3f}s")
+                    rejected += 1
+            print(f"admitted {32 - rejected} of 32 burst queries, "
+                  f"rejected {rejected} (queue capacity "
+                  f"{config.queue_capacity}); draining gracefully...")
+    asyncio.run(tour())
+    m = service.metrics
+    print(f"drained: {m.total_completed} ops completed, "
+          f"{m.queries_coalesced} queries coalesced, "
+          f"{m.total_rejected} rejected")
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     import random
 
@@ -194,6 +319,10 @@ def main(argv: list[str] | None = None) -> int:
         prog="repro",
         description="Reproduction of 'Near-Optimal Location Tracking Using "
                     "Sensor Networks' (MOT, IJNC 2015)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {_version()}",
+        help="print the package version and exit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -247,6 +376,38 @@ def main(argv: list[str] | None = None) -> int:
                          help="seed of the fault plan (crash victims, loss, jitter)")
     p_chaos.add_argument("--out", help="write the JSON report here instead of stdout")
     p_chaos.set_defaults(fn=_cmd_chaos)
+
+    p_sb = sub.add_parser(
+        "serve-bench",
+        help="drive the online tracking service under load, emit JSON report",
+    )
+    p_sb.add_argument("--nodes", type=int, default=256,
+                      help="sensor count (rounded to the nearest square grid)")
+    p_sb.add_argument("--objects", type=int, default=64)
+    p_sb.add_argument("--moves", type=int, default=20, help="moves per object")
+    p_sb.add_argument("--queries", type=int, default=200)
+    p_sb.add_argument("--shards", type=int, default=4, help="tracker shard workers")
+    p_sb.add_argument("--rate", type=float, default=500.0,
+                      help="offered load in ops/s (open-loop Poisson arrivals)")
+    p_sb.add_argument("--seed", type=int, default=7,
+                      help="workload + arrival-process seed")
+    p_sb.add_argument("--batch", type=int, default=16,
+                      help="max ops a shard drains per wakeup")
+    p_sb.add_argument("--queue-capacity", type=int, default=64,
+                      help="bounded per-shard queue (Overloaded beyond)")
+    p_sb.add_argument("--rate-limit", type=float, default=None,
+                      help="admission token-bucket rate in ops/s (default: off)")
+    p_sb.add_argument("--service-time-ms", type=float, default=1.0,
+                      help="virtual per-op service time in milliseconds")
+    p_sb.add_argument("--clock", choices=("virtual", "wall"), default="virtual",
+                      help="virtual = deterministic replay; wall = real latencies")
+    p_sb.add_argument("--out", help="write the JSON report here instead of stdout")
+    p_sb.set_defaults(fn=_cmd_serve_bench)
+
+    p_sd = sub.add_parser("serve-demo", help="guided tour of the service layer")
+    p_sd.add_argument("--seed", type=int, default=0,
+                      help="seed of the service's hierarchy build")
+    p_sd.set_defaults(fn=_cmd_serve_demo)
 
     p_demo = sub.add_parser("demo", help="30-second guided tour")
     p_demo.add_argument("--seed", type=int, default=0,

@@ -1,0 +1,107 @@
+"""Service sweep: latency/throughput/backpressure vs shards × load.
+
+One :func:`run_service_sweep` call maps the service layer's operating
+envelope: for every (shard count, offered rate) cell it replays the
+same virtual-clock ``serve-bench`` run (:mod:`repro.serve.bench`) and
+collects the numbers that characterise a queueing system —
+
+- latency percentiles (p50/p95/p99) and achieved throughput,
+- admission-control outcomes (rate/queue rejections),
+- batching effectiveness (mean batch size, coalesced queries),
+- the consistency audit (sharded answers vs the sequential reference).
+
+The expected shape is classic: while offered load sits below the
+service capacity ``shards / service_time_base_s`` the achieved
+throughput tracks the offered rate and latency stays near the service
+time; past saturation, queues fill, the queue-rejection path carries
+the overflow, and more shards move the knee proportionally to the
+right. ``ServiceSweepReport.ok`` is the gate CI cares about: every
+cell's audit must be clean regardless of where it sits on that curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+from repro.experiments.config import ServiceExperiment
+from repro.serve.bench import ServeBenchConfig, run_serve_bench
+
+__all__ = ["ServiceSweepReport", "run_service_sweep"]
+
+
+@dataclass
+class ServiceSweepReport:
+    """All cells of one shards × rate sweep (JSON-ready via :meth:`as_dict`)."""
+
+    experiment: ServiceExperiment
+    #: one row per (shards, rate) cell, in sweep order
+    cells: list[dict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every cell's consistency audit passed."""
+        return all(cell["audit_ok"] for cell in self.cells)
+
+    def cell(self, shards: int, rate: float) -> dict:
+        """The row of one (shards, rate) combination."""
+        for row in self.cells:
+            if row["shards"] == shards and row["rate"] == rate:
+                return row
+        raise KeyError((shards, rate))
+
+    def as_dict(self) -> dict:
+        """JSON-ready view."""
+        return {
+            "experiment": asdict(self.experiment),
+            "ok": self.ok,
+            "cells": list(self.cells),
+        }
+
+
+def _cell_row(shards: int, rate: float, report: dict) -> dict:
+    lat = report["latency_ms"]["all"]
+    lg = report["loadgen"]
+    service = report["service"]
+    return {
+        "shards": shards,
+        "rate": rate,
+        "offered": lg["offered"],
+        "admitted": lg["admitted"],
+        "rejected_rate": lg["rejected"]["rate"],
+        "rejected_queue": lg["rejected"]["queue"],
+        "completed": lg["completed"],
+        "throughput_ops_s": report["achieved_throughput_ops_s"],
+        "p50_ms": lat["p50_ms"],
+        "p95_ms": lat["p95_ms"],
+        "p99_ms": lat["p99_ms"],
+        "queries_coalesced": service["queries"]["coalesced"],
+        "batches": service["batches"],
+        "trace_digest": lg["trace_digest"],
+        "audit_ok": report["audit"]["ok"],
+        "audit_mismatches": (
+            report["audit"]["proxy_mismatches"] + report["audit"]["cost_mismatches"]
+        ),
+    }
+
+
+def run_service_sweep(exp: ServiceExperiment | None = None) -> ServiceSweepReport:
+    """Run every (shards, rate) cell and collect the envelope (see module docs)."""
+    exp = exp or ServiceExperiment()
+    report = ServiceSweepReport(experiment=exp)
+    for shards in exp.shard_counts:
+        for rate in exp.rates:
+            cfg = ServeBenchConfig(
+                nodes=exp.side * exp.side,
+                num_objects=exp.num_objects,
+                moves_per_object=exp.moves_per_object,
+                num_queries=exp.num_queries,
+                shards=shards,
+                rate=rate,
+                seed=exp.seed,
+                batch_size=exp.batch_size,
+                queue_capacity=exp.queue_capacity,
+                service_time_base_s=exp.service_time_base_s,
+                mobility=exp.mobility,
+            )
+            report.cells.append(_cell_row(shards, rate, run_serve_bench(cfg)))
+    return report

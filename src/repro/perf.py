@@ -15,8 +15,13 @@ latency go?* — funnels through this module. It deliberately stays tiny:
   reported failed to the caller) and ``faults.repairs`` (out-of-band
   structure repairs after a terminal failure);
 - **timers** accumulate count / total / max wall-clock seconds per
-  dotted name (``"mot.move"``) via a context manager or the
-  :func:`timed` decorator.
+  dotted name (``"mot.move"``) via a context manager, the :func:`timed`
+  decorator, or :meth:`PerfRegistry.observe` for durations measured
+  elsewhere (the service layer folds its virtual-clock latencies in
+  this way). Each timer also keeps a bounded reservoir of samples so
+  the report can quote p50/p95/p99 — exact up to
+  :data:`TimerStat.RESERVOIR_CAP` observations, a seeded uniform
+  reservoir beyond (deterministic for a fixed observation sequence).
 
 A process-wide singleton :data:`PERF` is what the library instruments;
 :meth:`PerfRegistry.report` renders everything as a JSON-ready dict that
@@ -31,7 +36,8 @@ Typical shape of a report::
       "counters": {"oracle.row_miss": 412, "oracle.row_hit": 96341, ...},
       "timers": {
         "mot.move": {"count": 1000, "total_s": 0.84,
-                      "mean_s": 0.00084, "max_s": 0.012},
+                      "mean_s": 0.00084, "max_s": 0.012,
+                      "p50_s": 0.0007, "p95_s": 0.0019, "p99_s": 0.0071},
         ...
       }
     }
@@ -41,9 +47,10 @@ from __future__ import annotations
 
 import functools
 import json
+import random
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Iterator, TypeVar
 
 __all__ = ["PerfRegistry", "TimerStat", "PERF", "timed"]
@@ -53,11 +60,26 @@ F = TypeVar("F", bound=Callable)
 
 @dataclass
 class TimerStat:
-    """Accumulated wall-clock statistics of one named timer."""
+    """Accumulated wall-clock statistics of one named timer.
+
+    Besides count/total/max the stat keeps a bounded sample reservoir
+    for percentile queries: the first :data:`RESERVOIR_CAP` observations
+    are kept verbatim (percentiles are then exact); past the cap,
+    classic reservoir sampling (Vitter's algorithm R, driven by a
+    fixed-seed RNG so replaying the same observation sequence yields
+    the same reservoir) keeps a uniform sample.
+    """
+
+    #: sample-reservoir bound: exact percentiles up to this many adds
+    RESERVOIR_CAP = 2048
 
     count: int = 0
     total_s: float = 0.0
     max_s: float = 0.0
+    samples: list[float] = field(default_factory=list, repr=False)
+    _rng: random.Random = field(
+        default_factory=lambda: random.Random(0x7E5CA1E), repr=False, compare=False
+    )
 
     def add(self, dt: float) -> None:
         """Fold one observation of ``dt`` seconds into the stat."""
@@ -65,19 +87,65 @@ class TimerStat:
         self.total_s += dt
         if dt > self.max_s:
             self.max_s = dt
+        if len(self.samples) < self.RESERVOIR_CAP:
+            self.samples.append(dt)
+        else:
+            k = self._rng.randrange(self.count)
+            if k < self.RESERVOIR_CAP:
+                self.samples[k] = dt
 
     @property
     def mean_s(self) -> float:
         """Average seconds per observation (0.0 before any observation)."""
         return self.total_s / self.count if self.count else 0.0
 
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile ``p`` in [0, 100] over the reservoir.
+
+        Exact while ``count <= RESERVOIR_CAP``; a uniform-sample
+        estimate beyond. 0.0 before any observation.
+        """
+        if not self.samples:
+            return 0.0
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        ordered = sorted(self.samples)
+        rank = max(1, -(-len(ordered) * p // 100))  # ceil without floats
+        return ordered[int(rank) - 1]
+
+    @property
+    def p50_s(self) -> float:
+        """Median seconds per observation."""
+        return self.percentile(50.0)
+
+    @property
+    def p95_s(self) -> float:
+        """95th-percentile seconds per observation."""
+        return self.percentile(95.0)
+
+    @property
+    def p99_s(self) -> float:
+        """99th-percentile seconds per observation."""
+        return self.percentile(99.0)
+
     def as_dict(self) -> dict[str, float]:
         """JSON-ready view of the stat."""
+        ordered = sorted(self.samples)
+
+        def at(p: float) -> float:
+            if not ordered:
+                return 0.0
+            rank = max(1, -(-len(ordered) * p // 100))
+            return ordered[int(rank) - 1]
+
         return {
             "count": self.count,
             "total_s": self.total_s,
             "mean_s": self.mean_s,
             "max_s": self.max_s,
+            "p50_s": at(50.0),
+            "p95_s": at(95.0),
+            "p99_s": at(99.0),
         }
 
 
@@ -96,6 +164,21 @@ class PerfRegistry:
         """Add ``n`` to counter ``name`` (no-op when disabled)."""
         if self.enabled:
             self._counters[name] = self._counters.get(name, 0) + n
+
+    def observe(self, name: str, dt: float) -> None:
+        """Fold an externally measured duration of ``dt`` seconds into
+        timer ``name`` (no-op when disabled).
+
+        The service layer measures request latencies against its own
+        (possibly virtual) clock and records them here, so they land in
+        the same report as context-manager timings.
+        """
+        if not self.enabled:
+            return
+        stat = self._timers.get(name)
+        if stat is None:
+            stat = self._timers[name] = TimerStat()
+        stat.add(dt)
 
     @contextmanager
     def timer(self, name: str) -> Iterator[None]:

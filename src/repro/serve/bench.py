@@ -1,0 +1,160 @@
+"""`serve-bench` — one measured service run with a consistency audit.
+
+The driver behind ``python -m repro serve-bench``: build a grid
+network, generate a §8-shaped workload, interleave it into a seeded
+open-loop arrival trace, replay it against a sharded
+:class:`TrackingService`, and emit a JSON-ready report:
+
+- latency p50/p95/p99 per operation kind and overall,
+- achieved throughput vs offered rate,
+- admission-control outcomes (rate/queue rejections with counts),
+- batching/coalescing behaviour (batch-size histogram, coalesced
+  queries, prefetched pairs),
+- the **consistency audit** — every answer replayed against a
+  sequential reference MOT (:mod:`repro.serve.audit`); the CLI exit
+  code is gated on ``audit.ok``.
+
+Under the default virtual clock the entire report is deterministic:
+two runs with the same configuration are byte-identical (the property
+``tests/serve/test_loadgen.py`` locks in).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from dataclasses import asdict, dataclass
+
+from repro.graphs.generators import grid_network
+from repro.perf import TimerStat
+from repro.serve.audit import audit_service
+from repro.serve.clock import VirtualClock, WallClock
+from repro.serve.loadgen import LoadgenResult, arrival_trace, replay, trace_digest
+from repro.serve.service import ServiceConfig, TrackingService
+from repro.sim.workload import make_workload
+
+__all__ = ["ServeBenchConfig", "run_serve_bench"]
+
+
+@dataclass(frozen=True)
+class ServeBenchConfig:
+    """Parameters of one ``serve-bench`` run."""
+
+    nodes: int = 256  # rounded to the nearest square grid
+    num_objects: int = 64
+    moves_per_object: int = 20
+    num_queries: int = 200
+    shards: int = 4
+    rate: float = 500.0  # offered load, ops/s
+    seed: int = 7
+    batch_size: int = 16
+    queue_capacity: int = 64
+    rate_limit: float | None = None  # admission token-bucket (None = off)
+    burst: float = 16.0
+    service_time_base_s: float = 1e-3
+    service_time_per_cost_s: float = 0.0
+    clock: str = "virtual"  # "virtual" (deterministic) or "wall"
+    mobility: str = "random_walk"
+
+    def __post_init__(self) -> None:
+        if self.nodes < 4:
+            raise ValueError("nodes must be >= 4")
+        if self.rate <= 0:
+            raise ValueError("rate must be positive")
+        if self.clock not in ("virtual", "wall"):
+            raise ValueError('clock must be "virtual" or "wall"')
+
+    @property
+    def grid_side(self) -> int:
+        """Side of the (nearest-square) grid realising ``nodes``."""
+        return max(2, round(math.sqrt(self.nodes)))
+
+    def service_config(self) -> ServiceConfig:
+        """The :class:`ServiceConfig` this bench drives."""
+        return ServiceConfig(
+            shards=self.shards,
+            batch_size=self.batch_size,
+            queue_capacity=self.queue_capacity,
+            rate_limit=self.rate_limit,
+            burst=self.burst,
+            service_time_base_s=self.service_time_base_s,
+            service_time_per_cost_s=self.service_time_per_cost_s,
+        )
+
+
+def _latency_ms(stat: TimerStat) -> dict[str, float]:
+    d = stat.as_dict()
+    return {
+        "count": d["count"],
+        "mean_ms": d["mean_s"] * 1e3,
+        "max_ms": d["max_s"] * 1e3,
+        "p50_ms": d["p50_s"] * 1e3,
+        "p95_ms": d["p95_s"] * 1e3,
+        "p99_ms": d["p99_s"] * 1e3,
+    }
+
+
+async def _drive(
+    service: TrackingService, workload, trace
+) -> LoadgenResult:
+    await service.start()
+    return await replay(service, workload, trace)
+
+
+def run_serve_bench(cfg: ServeBenchConfig | None = None) -> dict:
+    """Run one bench and return the JSON-ready report (see module docs)."""
+    cfg = cfg or ServeBenchConfig()
+    side = cfg.grid_side
+    net = grid_network(side, side)
+    workload = make_workload(
+        net,
+        num_objects=cfg.num_objects,
+        moves_per_object=cfg.moves_per_object,
+        num_queries=cfg.num_queries,
+        seed=cfg.seed,
+        mobility=cfg.mobility,  # type: ignore[arg-type]
+    )
+    trace = arrival_trace(workload, cfg.rate, seed=cfg.seed)
+    clock = VirtualClock() if cfg.clock == "virtual" else WallClock()
+    service = TrackingService(
+        net, cfg.service_config(), seed=cfg.seed, clock=clock
+    )
+    result = asyncio.run(_drive(service, workload, trace))
+
+    overall = TimerStat()
+    for resp in result.responses:
+        overall.add(resp.latency_s)
+    audit = audit_service(service)
+    ledger = service.merged_ledger()
+    metrics = service.metrics
+
+    return {
+        "config": asdict(cfg),
+        "network": {
+            "nodes": net.n,
+            "grid_side": side,
+            "distance_mode": net.distance_mode,
+        },
+        "loadgen": {
+            "offered_rate_ops_s": cfg.rate,
+            "trace_digest": trace_digest(trace),
+            **result.as_dict(),
+        },
+        "latency_ms": {
+            "all": _latency_ms(overall),
+            **{
+                kind: _latency_ms(stat)
+                for kind, stat in sorted(metrics.latency.items())
+            },
+        },
+        "achieved_throughput_ops_s": result.throughput_ops_s,
+        "service": metrics.as_dict(),
+        "ledger": {
+            "maintenance_cost_ratio": ledger.maintenance_cost_ratio,
+            "query_cost_ratio": ledger.query_cost_ratio,
+            "maintenance_ops": ledger.maintenance_ops,
+            "noop_moves": ledger.noop_moves,
+            "query_ops": ledger.query_ops,
+        },
+        "audit": audit.as_dict(),
+    }

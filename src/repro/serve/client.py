@@ -1,0 +1,63 @@
+"""`ServiceClient` — the caller-facing API of the tracking service.
+
+A thin, typed façade over :meth:`TrackingService.submit`: one async
+method per operation, each returning the op's
+:class:`~repro.serve.protocol.OpResponse` or raising
+:class:`~repro.serve.protocol.Overloaded` when admission control pushes
+back. ``retrying`` wraps a call with bounded retry-after-honouring
+retries for callers that prefer waiting over failing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Hashable
+
+from repro.serve.protocol import (
+    MoveRequest,
+    OpResponse,
+    Overloaded,
+    PublishRequest,
+    QueryRequest,
+)
+from repro.serve.service import TrackingService
+
+Node = Hashable
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Async client of one (in-process) :class:`TrackingService`."""
+
+    def __init__(self, service: TrackingService) -> None:
+        self.service = service
+
+    async def publish(self, obj: str, proxy: Node) -> OpResponse:
+        """Register ``obj`` at ``proxy`` (one-time)."""
+        return await self.service.submit(PublishRequest(obj, proxy))
+
+    async def move(self, obj: str, new_proxy: Node) -> OpResponse:
+        """Report that ``obj`` moved to ``new_proxy``."""
+        return await self.service.submit(MoveRequest(obj, new_proxy))
+
+    async def query(self, obj: str, source: Node) -> OpResponse:
+        """Ask where ``obj`` is, from sensor ``source``."""
+        return await self.service.submit(QueryRequest(obj, source))
+
+    async def retrying(self, req, attempts: int = 3) -> OpResponse:
+        """Submit ``req``, honouring up to ``attempts - 1`` retry-after
+        backoffs before letting the final :class:`Overloaded` escape."""
+        for remaining in range(attempts - 1, -1, -1):
+            try:
+                return await self.service.submit(req)
+            except Overloaded as exc:
+                if remaining == 0:
+                    raise
+                if self.service.clock.virtual:
+                    # a virtual clock only moves with new arrivals; real
+                    # sleeping would deadlock the replay, so just yield
+                    await asyncio.sleep(0)
+                else:
+                    await asyncio.sleep(exc.retry_after_s)
+        raise AssertionError("unreachable")

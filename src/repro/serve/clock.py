@@ -1,0 +1,107 @@
+"""Service clocks: wall time for live runs, virtual time for replays.
+
+Every timestamp the service takes (arrival, service start, completion)
+comes from one of these clocks, so the whole latency/backpressure story
+can run in two modes:
+
+- :class:`WallClock` — real elapsed seconds; latencies are genuine
+  wall-clock measurements and shard workers pace themselves with real
+  ``asyncio`` sleeps.
+- :class:`VirtualClock` — a logical clock advanced *only* by the load
+  generator's arrival process. Shard workers model service time
+  explicitly (see :class:`repro.serve.shard.TrackerShard`) and block on
+  :meth:`wait_until` until the clock catches up, which reproduces
+  queueing dynamics — backlogs, bounded-queue rejections, batch
+  formation — **deterministically**: the same seed yields bit-identical
+  latency reports across runs (the property
+  ``tests/serve/test_loadgen.py`` pins down).
+
+Both expose the same three-method surface (``now`` / ``advance`` /
+``wait_until``) plus ``release`` for graceful drain, so shards never
+branch on the mode except through ``virtual``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import time
+
+__all__ = ["VirtualClock", "WallClock"]
+
+
+class VirtualClock:
+    """Logical clock driven by whoever generates arrivals.
+
+    ``advance`` never goes backwards; ``wait_until`` parks the caller
+    until the clock reaches the deadline (or :meth:`release` frees all
+    waiters for drain). Wakeups happen in deadline order, ties broken
+    by wait order, so scheduling is deterministic.
+    """
+
+    virtual = True
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._seq = 0
+        self._waiters: list[tuple[float, int, asyncio.Future]] = []
+        self._released = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance(self, t: float) -> None:
+        """Move the clock forward to ``t`` and wake every due waiter."""
+        if t > self._now:
+            self._now = t
+        self._wake_due()
+
+    def release(self) -> None:
+        """Drain mode: wake everyone now and never park anyone again."""
+        self._released = True
+        self._wake_due()
+
+    def _wake_due(self) -> None:
+        while self._waiters and (
+            self._released or self._waiters[0][0] <= self._now
+        ):
+            _, _, fut = heapq.heappop(self._waiters)
+            if not fut.done():
+                fut.set_result(None)
+
+    async def wait_until(self, t: float) -> None:
+        """Park until the clock reaches ``t`` (no-op once released)."""
+        if self._released or t <= self._now:
+            return
+        fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._seq += 1
+        heapq.heappush(self._waiters, (t, self._seq, fut))
+        await fut
+
+
+class WallClock:
+    """Real elapsed time since construction, in seconds."""
+
+    virtual = False
+
+    def __init__(self) -> None:
+        self._t0 = time.perf_counter()
+
+    @property
+    def now(self) -> float:
+        """Seconds elapsed since the clock was created."""
+        return time.perf_counter() - self._t0
+
+    def advance(self, t: float) -> None:
+        """Wall time advances by itself; nothing to do."""
+
+    def release(self) -> None:
+        """Wall time has no parked waiters; nothing to do."""
+
+    async def wait_until(self, t: float) -> None:
+        """Sleep until wall time ``t`` (already-past deadlines return)."""
+        dt = t - self.now
+        if dt > 0:
+            await asyncio.sleep(dt)

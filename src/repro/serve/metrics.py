@@ -1,0 +1,145 @@
+"""Service-side accounting: latency, queue depth, batching, admissions.
+
+Everything measurable about one service run funnels through a single
+:class:`ServiceMetrics` instance. Distributions reuse
+:class:`repro.perf.TimerStat` (count/total/max + reservoir
+percentiles), so ``p50/p95/p99`` come for free and behave identically
+to every other timer in the project; the headline counters are also
+mirrored into the process-wide :data:`repro.perf.PERF` registry under
+the ``serve.*`` family so ``python -m repro serve-bench`` reports and
+generic perf dumps agree.
+
+Units: latency stats are service-clock **seconds** (virtual or wall);
+queue-depth and batch-size stats reuse the TimerStat machinery but are
+dimensionless counts (the report strips the ``_s`` suffix for them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.perf import PERF, TimerStat
+
+__all__ = ["ServiceMetrics"]
+
+
+def _count_stat_dict(stat: TimerStat) -> dict[str, float]:
+    """A TimerStat re-labelled for dimensionless observations."""
+    d = stat.as_dict()
+    return {
+        "observations": d["count"],
+        "mean": d["mean_s"],
+        "max": d["max_s"],
+        "p50": d["p50_s"],
+        "p95": d["p95_s"],
+        "p99": d["p99_s"],
+    }
+
+
+@dataclass
+class ServiceMetrics:
+    """Counters and distributions of one :class:`TrackingService` run."""
+
+    admitted: dict[str, int] = field(default_factory=dict)  # per op kind
+    completed: dict[str, int] = field(default_factory=dict)
+    failed: int = 0  # ops whose future carried an exception
+    rejected_rate: int = 0
+    rejected_queue: int = 0
+    queries_executed: int = 0
+    queries_coalesced: int = 0
+    batches: int = 0
+    prefetch_pairs: int = 0
+    latency: dict[str, TimerStat] = field(default_factory=dict)  # per op kind
+    queue_depth: TimerStat = field(default_factory=TimerStat)  # at admission
+    batch_size: TimerStat = field(default_factory=TimerStat)
+    batch_size_hist: dict[int, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # recording (called by the service / shards)
+    # ------------------------------------------------------------------
+    def record_admission(self, kind: str, depth: int) -> None:
+        """One request passed admission control onto a queue of ``depth``."""
+        self.admitted[kind] = self.admitted.get(kind, 0) + 1
+        self.queue_depth.add(float(depth))
+        PERF.incr("serve.admitted")
+
+    def record_rejection(self, reason: str) -> None:
+        """One request bounced by admission control (``rate``/``queue``)."""
+        if reason == "rate":
+            self.rejected_rate += 1
+        else:
+            self.rejected_queue += 1
+        PERF.incr(f"serve.rejected.{reason}")
+
+    def record_batch(self, size: int, prefetch_pairs: int) -> None:
+        """One shard wakeup drained ``size`` operations."""
+        self.batches += 1
+        self.prefetch_pairs += prefetch_pairs
+        self.batch_size.add(float(size))
+        self.batch_size_hist[size] = self.batch_size_hist.get(size, 0) + 1
+        PERF.incr("serve.batches")
+
+    def record_completion(self, kind: str, latency_s: float, coalesced: bool) -> None:
+        """One operation finished with ``latency_s`` on the service clock."""
+        self.completed[kind] = self.completed.get(kind, 0) + 1
+        stat = self.latency.get(kind)
+        if stat is None:
+            stat = self.latency[kind] = TimerStat()
+        stat.add(latency_s)
+        if kind == "query":
+            if coalesced:
+                self.queries_coalesced += 1
+                PERF.incr("serve.queries_coalesced")
+            else:
+                self.queries_executed += 1
+        PERF.observe(f"serve.latency.{kind}", latency_s)
+
+    def record_failure(self) -> None:
+        """One admitted operation raised instead of completing."""
+        self.failed += 1
+        PERF.incr("serve.failed")
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    @property
+    def total_admitted(self) -> int:
+        """Admitted operations across all kinds."""
+        return sum(self.admitted.values())
+
+    @property
+    def total_completed(self) -> int:
+        """Completed operations across all kinds."""
+        return sum(self.completed.values())
+
+    @property
+    def total_rejected(self) -> int:
+        """Rejections across both admission-control reasons."""
+        return self.rejected_rate + self.rejected_queue
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot of every counter and distribution."""
+        return {
+            "admitted": dict(sorted(self.admitted.items())),
+            "completed": dict(sorted(self.completed.items())),
+            "failed": self.failed,
+            "rejected": {
+                "rate": self.rejected_rate,
+                "queue": self.rejected_queue,
+                "total": self.total_rejected,
+            },
+            "queries": {
+                "executed": self.queries_executed,
+                "coalesced": self.queries_coalesced,
+            },
+            "batches": self.batches,
+            "prefetch_pairs": self.prefetch_pairs,
+            "latency_s": {
+                kind: stat.as_dict() for kind, stat in sorted(self.latency.items())
+            },
+            "queue_depth": _count_stat_dict(self.queue_depth),
+            "batch_size": _count_stat_dict(self.batch_size),
+            "batch_size_hist": {
+                str(k): v for k, v in sorted(self.batch_size_hist.items())
+            },
+        }

@@ -1,0 +1,261 @@
+"""`TrackingService` — the in-process front door of the MOT structure.
+
+One service instance owns:
+
+- a hierarchy built **once** over the shared :class:`SensorNetwork`,
+- ``shards`` :class:`~repro.serve.shard.TrackerShard` workers, each
+  with its own :class:`~repro.core.mot.MOTTracker` over that hierarchy
+  (objects are hash-partitioned with a stable CRC32, so placement does
+  not depend on ``PYTHONHASHSEED``),
+- admission control: a token-bucket rate limiter over the whole
+  service plus a bounded per-shard queue, both rejecting with
+  :class:`~repro.serve.protocol.Overloaded` and a ``retry_after`` hint,
+- a :class:`~repro.serve.metrics.ServiceMetrics` sink.
+
+Shutdown is graceful: :meth:`stop` releases the clock, drains every
+queue to empty, resolves every admitted future, then retires the
+workers — no admitted operation is ever dropped.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import zlib
+from dataclasses import dataclass
+from typing import Hashable, Union
+
+from repro.core.costs import CostLedger
+from repro.core.mot import MOTConfig, MOTTracker
+from repro.graphs.network import SensorNetwork
+from repro.hierarchy.structure import build_hierarchy
+from repro.serve.clock import VirtualClock, WallClock
+from repro.serve.metrics import ServiceMetrics
+from repro.serve.protocol import (
+    OpResponse,
+    Overloaded,
+    PublishRequest,
+    Request,
+    kind_of,
+)
+from repro.serve.shard import TrackerShard
+
+Node = Hashable
+
+__all__ = ["ServiceConfig", "TokenBucket", "TrackingService", "shard_index"]
+
+
+def shard_index(obj: str, shards: int) -> int:
+    """Stable shard of ``obj``: CRC32 partition, hash-seed independent."""
+    return zlib.crc32(str(obj).encode("utf-8")) % shards
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunable knobs of one :class:`TrackingService`.
+
+    - ``shards`` — worker count; objects are CRC32-partitioned.
+    - ``batch_size`` — max operations one shard drains per wakeup.
+    - ``queue_capacity`` — max admitted-but-unserviced ops per shard;
+      beyond it, submits are rejected ``Overloaded("queue")``.
+    - ``rate_limit`` — service-wide admitted ops/s through a token
+      bucket of ``burst`` tokens (``None`` disables the limiter).
+    - ``exempt_publish`` — publishes skip the rate limiter (they are
+      one-time registrations, not steady-state traffic); the queue
+      bound still applies.
+    - ``service_time_base_s`` / ``service_time_per_cost_s`` — the
+      virtual-clock service model: each executed op occupies its shard
+      for ``base + per_cost · message cost`` seconds. Ignored under a
+      wall clock, where real compute time is the service time.
+    """
+
+    shards: int = 4
+    batch_size: int = 16
+    queue_capacity: int = 64
+    rate_limit: float | None = None
+    burst: float = 16.0
+    exempt_publish: bool = True
+    service_time_base_s: float = 1e-3
+    service_time_per_cost_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        if self.rate_limit is not None and self.rate_limit <= 0:
+            raise ValueError("rate_limit must be positive (or None)")
+        if self.burst < 1:
+            raise ValueError("burst must be >= 1")
+        if self.service_time_base_s < 0 or self.service_time_per_cost_s < 0:
+            raise ValueError("service-time parameters must be >= 0")
+
+
+class TokenBucket:
+    """Deterministic token-bucket limiter over service-clock time."""
+
+    def __init__(self, rate: float, burst: float, start: float = 0.0) -> None:
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self._last = start
+
+    def try_admit(self, t: float) -> float:
+        """Take one token at time ``t``; returns 0.0 on success, else
+        the ``retry_after`` seconds until a token accrues."""
+        if t > self._last:
+            self.tokens = min(self.burst, self.tokens + (t - self._last) * self.rate)
+            self._last = t
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
+class TrackingService:
+    """Sharded, batching, backpressured front end over MOT trackers."""
+
+    def __init__(
+        self,
+        net: SensorNetwork,
+        config: ServiceConfig | None = None,
+        seed: int = 0,
+        clock: Union[VirtualClock, WallClock, None] = None,
+        mot_config: MOTConfig | None = None,
+    ) -> None:
+        self.net = net
+        self.config = config or ServiceConfig()
+        self.seed = seed
+        # Default to wall time: a live service must never wait for
+        # someone to advance a virtual clock. The deterministic
+        # VirtualClock is opt-in for loadgen/bench replays, whose
+        # arrival process is the clock's driver.
+        self.clock = clock if clock is not None else WallClock()
+        self.mot_config = mot_config or MOTConfig()
+        self.metrics = ServiceMetrics()
+        #: the one hierarchy every shard tracker (and the audit
+        #: reference) shares — MOT state is per-tracker, the overlay is
+        #: read-only, and identical overlays make costs comparable
+        self.hierarchy = build_hierarchy(
+            net,
+            seed=seed,
+            parent_set_radius_factor=self.mot_config.parent_set_radius_factor,
+            special_parent_gap=self.mot_config.special_parent_gap,
+            use_parent_sets=self.mot_config.use_parent_sets,
+        )
+        self.shards = [
+            TrackerShard(
+                shard_id=i,
+                tracker=MOTTracker(self.hierarchy, self.mot_config),
+                clock=self.clock,
+                metrics=self.metrics,
+                batch_size=self.config.batch_size,
+                service_time_base_s=self.config.service_time_base_s,
+                service_time_per_cost_s=self.config.service_time_per_cost_s,
+            )
+            for i in range(self.config.shards)
+        ]
+        self._bucket = (
+            TokenBucket(self.config.rate_limit, self.config.burst, self.clock.now)
+            if self.config.rate_limit is not None
+            else None
+        )
+        self._started = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Spawn every shard worker."""
+        if self._closed:
+            raise RuntimeError("service is closed")
+        for shard in self.shards:
+            shard.start()
+        self._started = True
+
+    async def stop(self) -> None:
+        """Graceful drain: finish every admitted op, then retire workers."""
+        if not self._started or self._closed:
+            self._closed = True
+            return
+        self._closed = True
+        self.clock.release()
+        for shard in self.shards:
+            await shard.stop()
+
+    async def __aenter__(self) -> "TrackingService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def shard_of(self, obj: str) -> TrackerShard:
+        """The shard that owns ``obj``."""
+        return self.shards[shard_index(obj, len(self.shards))]
+
+    def submit_nowait(self, req: Request) -> asyncio.Future:
+        """Admit + enqueue one request; the open-loop entry point.
+
+        Raises :class:`Overloaded` synchronously when admission control
+        rejects; otherwise returns the future of the op's
+        :class:`OpResponse`.
+        """
+        if not self._started or self._closed:
+            raise RuntimeError("service is not running")
+        t = self.clock.now
+        kind = kind_of(req)
+        if self._bucket is not None and not (
+            self.config.exempt_publish and isinstance(req, PublishRequest)
+        ):
+            retry = self._bucket.try_admit(t)
+            if retry > 0.0:
+                self.metrics.record_rejection("rate")
+                raise Overloaded("rate", retry)
+        shard = self.shard_of(req.obj)
+        if shard.depth >= self.config.queue_capacity:
+            self.metrics.record_rejection("queue")
+            retry = max(shard.busy_until - t, self.config.service_time_base_s)
+            raise Overloaded("queue", retry)
+        self.metrics.record_admission(kind, shard.depth)
+        return shard.submit(req, t)
+
+    async def submit(self, req: Request) -> OpResponse:
+        """Admit one request and wait for its completion."""
+        return await self.submit_nowait(req)
+
+    def submit_warmup(self, req: Request) -> asyncio.Future:
+        """Enqueue ``req`` bypassing admission control entirely.
+
+        Registering the object catalogue before the timed run opens is
+        service bring-up, not offered load: it must neither consume
+        rate tokens nor bounce off a queue bound sized for steady-state
+        traffic. The load generator uses this for its warm-up
+        publishes; everything after bring-up goes through
+        :meth:`submit_nowait`.
+        """
+        if not self._started or self._closed:
+            raise RuntimeError("service is not running")
+        shard = self.shard_of(req.obj)
+        self.metrics.record_admission(kind_of(req), shard.depth)
+        return shard.submit(req, self.clock.now)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def merged_ledger(self) -> CostLedger:
+        """All shard trackers' cost ledgers folded into one."""
+        total = CostLedger()
+        for shard in self.shards:
+            total.merge(shard.tracker.ledger)
+        return total
+
+    @property
+    def total_depth(self) -> int:
+        """Admitted-but-unserviced operations across all shards."""
+        return sum(shard.depth for shard in self.shards)

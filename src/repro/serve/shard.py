@@ -1,0 +1,288 @@
+"""`TrackerShard` — one worker coroutine owning one MOT instance.
+
+The service hash-partitions objects across shards; each shard runs a
+single ``asyncio`` worker that drains its queue in batches of up to
+``batch_size`` operations per wakeup and applies them to its own
+:class:`~repro.core.mot.MOTTracker` built over the *shared* hierarchy.
+Because every MOT operation on an object touches only that object's
+spine/DL entries, a shard holding a subset of the objects answers
+queries bit-identically to a sequential tracker holding all of them —
+the property the consistency audit (:mod:`repro.serve.audit`) checks.
+
+Per wakeup the shard:
+
+1. gates on the service clock in virtual mode (it may not run ahead of
+   the arrival process — that is what makes queues fill and admission
+   control reject deterministically);
+2. drains up to ``batch_size`` queued ops preserving FIFO order (so
+   per-object operation order is preserved);
+3. **prefetches** the batch's move endpoints through the oracle's
+   batched ``pair_distances`` API — one multi-source Dijkstra warms the
+   row cache for every optimal-cost lookup the moves are about to do;
+4. applies the ops in order, **coalescing** duplicate queries: queries
+   for the same ``(object, epoch)`` — same object, no intervening move
+   — execute one spine walk and fan the answer out to every waiter;
+5. stamps completions: in virtual mode each op is charged an explicit
+   service time (``base + per_cost · cost``) on top of the shard's
+   busy horizon, in wall mode completions are real clock readings.
+
+All applied operations land in ``oplog``/``query_log`` so the audit
+can replay them against the sequential reference.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Hashable, Union
+
+from repro.core.mot import MOTTracker
+from repro.serve.clock import VirtualClock, WallClock
+from repro.serve.metrics import ServiceMetrics
+from repro.serve.protocol import (
+    MoveRequest,
+    OpResponse,
+    PublishRequest,
+    QueryRequest,
+    Request,
+    kind_of,
+)
+
+Node = Hashable
+
+__all__ = ["TrackerShard", "QueryRecord"]
+
+#: queue sentinel that stops the worker after the queue fully drains
+_STOP = object()
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """One answered query, as the audit will replay it."""
+
+    obj: str
+    epoch: int
+    source: Node
+    proxy: Node
+    cost: float
+    coalesced: bool
+
+
+@dataclass
+class _Admitted:
+    """One queued operation: the request, its stamp, and its waiter."""
+
+    req: Request
+    arrival_t: float
+    future: asyncio.Future
+
+
+class TrackerShard:
+    """One queue + one worker + one MOT instance (see module docstring)."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        tracker: MOTTracker,
+        clock: Union[VirtualClock, WallClock],
+        metrics: ServiceMetrics,
+        batch_size: int,
+        service_time_base_s: float,
+        service_time_per_cost_s: float,
+    ) -> None:
+        self.shard_id = shard_id
+        self.tracker = tracker
+        self.clock = clock
+        self.metrics = metrics
+        self.batch_size = batch_size
+        self.service_time_base_s = service_time_base_s
+        self.service_time_per_cost_s = service_time_per_cost_s
+
+        #: admitted-but-unserviced operations (the bounded-queue gauge)
+        self.depth = 0
+        #: virtual-mode service horizon: when this shard frees up
+        self.busy_until = 0.0
+        #: per-object applied-move count (the audit's version number)
+        self.epochs: dict[str, int] = {}
+        #: applied ops per object: [("publish", proxy), ("move", new), ...]
+        self.oplog: dict[str, list[tuple[str, Node]]] = {}
+        #: every answered query in execution order
+        self.query_log: list[QueryRecord] = []
+
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._worker: asyncio.Task | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the worker task (requires a running event loop)."""
+        if self._worker is None:
+            self._worker = asyncio.create_task(
+                self._run(), name=f"tracker-shard-{self.shard_id}"
+            )
+
+    def submit(self, req: Request, arrival_t: float) -> asyncio.Future:
+        """Enqueue an admitted request; resolves to its :class:`OpResponse`.
+
+        Admission control is the service's job — by the time a request
+        reaches the shard it has already been accepted, so the queue
+        itself is unbounded and ``depth`` is the gauge the service
+        checks against ``queue_capacity``.
+        """
+        fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        self.depth += 1
+        self._queue.put_nowait(_Admitted(req, arrival_t, fut))
+        return fut
+
+    async def stop(self) -> None:
+        """Drain the queue completely, then retire the worker."""
+        await self._queue.join()
+        if self._worker is not None:
+            self._queue.put_nowait(_STOP)
+            await self._worker
+            self._worker = None
+
+    # ------------------------------------------------------------------
+    # worker
+    # ------------------------------------------------------------------
+    async def _run(self) -> None:
+        while True:
+            item = await self._queue.get()
+            if item is _STOP:
+                self._queue.task_done()
+                return
+            # Virtual mode: the shard may not service ops before the
+            # arrival clock reaches its busy horizon — while it waits
+            # here, the queue fills and admission control pushes back.
+            if self.clock.virtual and self.busy_until > self.clock.now:
+                await self.clock.wait_until(self.busy_until)
+            batch = [item]
+            stopping = False
+            while len(batch) < self.batch_size:
+                try:
+                    nxt = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if nxt is _STOP:
+                    self._queue.task_done()
+                    stopping = True
+                    break
+                batch.append(nxt)
+            self._apply_batch(batch)
+            for _ in batch:
+                self._queue.task_done()
+            if stopping:
+                return
+
+    # ------------------------------------------------------------------
+    # batch application (synchronous: no awaits between ops)
+    # ------------------------------------------------------------------
+    def _apply_batch(self, batch: list[_Admitted]) -> None:
+        virtual = self.clock.virtual
+        start = max(self.busy_until, self.clock.now) if virtual else self.clock.now
+        prefetched = self._prefetch_moves(batch)
+        answered: dict[tuple[str, int], tuple[Node, float]] = {}
+        elapsed = 0.0
+        for item in batch:
+            kind = kind_of(item.req)
+            try:
+                proxy, cost, epoch, coalesced = self._apply_one(item.req, answered)
+            except Exception as exc:  # noqa: BLE001 — failures belong to the caller
+                if virtual:
+                    elapsed += self.service_time_base_s
+                self.depth -= 1
+                self.metrics.record_failure()
+                if not item.future.done():
+                    item.future.set_exception(exc)
+                continue
+            if virtual:
+                if not coalesced:
+                    elapsed += (
+                        self.service_time_base_s + self.service_time_per_cost_s * cost
+                    )
+                completion = start + elapsed
+            else:
+                completion = self.clock.now
+            resp = OpResponse(
+                kind=kind,
+                obj=item.req.obj,
+                proxy=proxy,
+                cost=cost,
+                epoch=epoch,
+                coalesced=coalesced,
+                arrival_t=item.arrival_t,
+                completion_t=completion,
+            )
+            self.depth -= 1
+            self.metrics.record_completion(kind, resp.latency_s, coalesced)
+            if not item.future.done():
+                item.future.set_result(resp)
+        if virtual:
+            self.busy_until = start + elapsed
+        self.metrics.record_batch(len(batch), prefetched)
+
+    def _prefetch_moves(self, batch: list[_Admitted]) -> int:
+        """Warm oracle rows for the batch's move endpoints in one solve.
+
+        Chains each object's in-batch trajectory from its current proxy
+        and resolves all hop pairs through ``pair_distances`` — the
+        optimal-cost lookups the moves are about to issue then hit the
+        row cache instead of running one Dijkstra each (lazy mode).
+        """
+        chains: dict[str, list[Node]] = {}
+        for item in batch:
+            req = item.req
+            if not isinstance(req, MoveRequest):
+                continue
+            chain = chains.get(req.obj)
+            if chain is None:
+                try:
+                    cur = self.tracker.proxy_of(req.obj)
+                except KeyError:
+                    continue  # unpublished: the op itself will fail below
+                chain = chains[req.obj] = [cur]
+            chain.append(req.new_proxy)
+        pairs = [
+            (c[i], c[i + 1])
+            for c in chains.values()
+            for i in range(len(c) - 1)
+            if c[i] != c[i + 1]
+        ]
+        if pairs:
+            self.tracker.net.pair_distances(pairs)
+        return len(pairs)
+
+    def _apply_one(
+        self,
+        req: Request,
+        answered: dict[tuple[str, int], tuple[Node, float]],
+    ) -> tuple[Node, float, int, bool]:
+        """Apply one request; returns (proxy, cost, epoch, coalesced)."""
+        if isinstance(req, PublishRequest):
+            res = self.tracker.publish(req.obj, req.proxy)
+            self.epochs[req.obj] = 0
+            self.oplog.setdefault(req.obj, []).append(("publish", req.proxy))
+            return req.proxy, res.cost, 0, False
+        if isinstance(req, MoveRequest):
+            res = self.tracker.move(req.obj, req.new_proxy)
+            epoch = self.epochs[req.obj] + 1
+            self.epochs[req.obj] = epoch
+            self.oplog[req.obj].append(("move", req.new_proxy))
+            return req.new_proxy, res.cost, epoch, False
+        if isinstance(req, QueryRequest):
+            epoch = self.epochs.get(req.obj, -1)
+            hit = answered.get((req.obj, epoch))
+            if hit is not None:
+                proxy, cost = hit
+                self.query_log.append(
+                    QueryRecord(req.obj, epoch, req.source, proxy, cost, coalesced=True)
+                )
+                return proxy, cost, epoch, True
+            res = self.tracker.query(req.obj, req.source)
+            answered[(req.obj, epoch)] = (res.proxy, res.cost)
+            self.query_log.append(
+                QueryRecord(req.obj, epoch, req.source, res.proxy, res.cost, coalesced=False)
+            )
+            return res.proxy, res.cost, epoch, False
+        raise TypeError(f"not a service request: {req!r}")

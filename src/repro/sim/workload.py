@@ -74,6 +74,23 @@ class Workload:
         """The object's moves in its own (trajectory) order."""
         return [m for m in self.moves if m.obj == obj]
 
+    def op_stream(self, seed: int = 0) -> list[MoveOp | QueryOp]:
+        """Moves and queries interleaved into one request stream.
+
+        The one-by-one and concurrent executors run all moves before
+        all queries; an online service sees them mixed. This mixes the
+        query set uniformly at random into the move sequence while
+        preserving the move order (hence every per-object trajectory
+        order) and the query order — deterministic for a given
+        ``seed``, which is what makes load-generator arrival traces
+        replayable (see :mod:`repro.serve.loadgen`).
+        """
+        rng = random.Random(seed ^ 0x0B5E55)
+        tokens = ["m"] * len(self.moves) + ["q"] * len(self.queries)
+        rng.shuffle(tokens)
+        mit, qit = iter(self.moves), iter(self.queries)
+        return [next(mit) if tok == "m" else next(qit) for tok in tokens]
+
 
 def make_workload(
     net: SensorNetwork,

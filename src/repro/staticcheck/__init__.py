@@ -4,7 +4,7 @@ Generic linters cannot know that ``net.distance`` inside a loop is an
 O(n · Dijkstra) regression, that unseeded randomness invalidates the
 paper's cost-ratio tables, or that ``networkx`` shortest paths bypass
 the batched distance oracle. This package encodes those invariants as
-five fixture-tested AST rules (stdlib :mod:`ast` only, no third-party
+six fixture-tested AST rules (stdlib :mod:`ast` only, no third-party
 dependencies):
 
 ========  ============================================================
@@ -23,6 +23,10 @@ RPL004    ``==`` / ``!=`` between distance/cost expressions and float
 RPL005    ``networkx`` shortest-path / all-pairs calls outside
           ``repro/graphs/network.py`` — the ``SensorNetwork`` oracle is
           the single distance authority
+RPL006    blocking calls (``time.sleep``, synchronous oracle solves,
+          file I/O) lexically inside ``async def`` bodies under
+          ``repro/serve`` — one blocking call stalls every shard; hoist
+          the work into a sync helper or use ``asyncio`` equivalents
 ========  ============================================================
 
 A finding on one line is silenced with a same-line comment::

@@ -391,6 +391,94 @@ class NetworkxDistanceChecker(BaseChecker):
         self.generic_visit(node)
 
 
+class AsyncBlockingChecker(BaseChecker):
+    """RPL006 — blocking calls lexically inside ``async def`` bodies.
+
+    The service layer (``repro/serve``) runs one cooperative event
+    loop; a single blocking call in a coroutine stalls *every* shard
+    worker and the load generator at once. Three families regress
+    easily and are flagged when called directly from a coroutine:
+    ``time.sleep`` (use ``asyncio.sleep``), synchronous distance-oracle
+    solves (``distance`` / ``distances_to_many`` / … — hoist them into
+    a sync helper the worker calls, so the batch boundary is explicit),
+    and file I/O (``open``, ``Path.read_text`` / ``write_text`` — do it
+    outside the loop). Nested ``def`` bodies are exempt: a sync helper
+    *defined* inside a coroutine is called on somebody's explicit
+    budget, which is exactly the sanctioned structure.
+
+    Scoped to ``repro/serve`` files: the simulators are synchronous by
+    design and the rule would be noise there.
+    """
+
+    rule_id = "RPL006"
+    summary = "blocking call inside async def under repro/serve"
+
+    #: synchronous oracle entry points (each may run a Dijkstra solve)
+    _ORACLE_SOLVES = frozenset(
+        {
+            "distance", "distances_from", "distances_to_many",
+            "pairwise_submatrix", "pair_distances", "consecutive_distances",
+            "path_length", "diameter", "diameter_bounds", "build_landmarks",
+        }
+    )
+    #: blocking file-I/O attribute calls (pathlib and raw file objects)
+    _FILE_IO = frozenset(
+        {"read_text", "write_text", "read_bytes", "write_bytes"}
+    )
+
+    def __init__(self, path: str) -> None:
+        super().__init__(path)
+        self._async_depth = 0
+
+    @classmethod
+    def applies_to(cls, path: str) -> bool:
+        return "repro/serve" in path.replace("\\", "/")
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._async_depth += 1
+        self.generic_visit(node)
+        self._async_depth -= 1
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # a nested sync def is its caller's business, not the coroutine's
+        saved = self._async_depth
+        self._async_depth = 0
+        self.generic_visit(node)
+        self._async_depth = saved
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._async_depth > 0:
+            dotted = _dotted_name(node.func)
+            if dotted == ("time", "sleep"):
+                self.report(
+                    node,
+                    "time.sleep() blocks the event loop; await "
+                    "asyncio.sleep() instead",
+                )
+            elif dotted == ("open",):
+                self.report(
+                    node,
+                    "open() blocks the event loop; do file I/O outside "
+                    "async code",
+                )
+            elif isinstance(node.func, ast.Attribute):
+                attr = node.func.attr
+                if attr in self._ORACLE_SOLVES:
+                    self.report(
+                        node,
+                        f"synchronous oracle solve {attr}() inside async "
+                        "def; hoist it into a sync batch helper the worker "
+                        "calls explicitly",
+                    )
+                elif attr in self._FILE_IO:
+                    self.report(
+                        node,
+                        f"{attr}() blocks the event loop; do file I/O "
+                        "outside async code",
+                    )
+        self.generic_visit(node)
+
+
 #: every rule, in id order — the runner instantiates one of each per file
 ALL_CHECKERS: tuple[type[BaseChecker], ...] = (
     PerPairDistanceChecker,
@@ -398,6 +486,7 @@ ALL_CHECKERS: tuple[type[BaseChecker], ...] = (
     PrivateAccessChecker,
     FloatEqualityChecker,
     NetworkxDistanceChecker,
+    AsyncBlockingChecker,
 )
 
 #: rule id → one-line summary (docs page and ``--format json`` metadata)

@@ -1,0 +1,64 @@
+"""Tests for the shards × offered-load service sweep."""
+
+import pytest
+
+from repro.experiments import ServiceExperiment, run_service_sweep
+
+SMALL = ServiceExperiment(
+    side=5,
+    num_objects=6,
+    moves_per_object=4,
+    num_queries=12,
+    shard_counts=(1, 2),
+    rates=(150.0, 3000.0),
+    seed=3,
+    queue_capacity=6,
+    batch_size=4,
+    service_time_base_s=2e-3,
+)
+
+
+class TestServiceSweep:
+    def test_every_cell_present_and_audited(self):
+        report = run_service_sweep(SMALL)
+        assert len(report.cells) == 4
+        assert report.ok
+        for shards in SMALL.shard_counts:
+            for rate in SMALL.rates:
+                cell = report.cell(shards, rate)
+                assert cell["offered"] == cell["admitted"] + cell[
+                    "rejected_rate"
+                ] + cell["rejected_queue"]
+                assert cell["audit_mismatches"] == 0
+
+    def test_overload_cells_shed_load(self):
+        """At 3000 ops/s against a 2ms service time, one shard's capacity
+        (500 ops/s) is far exceeded: the bounded queue must reject."""
+        report = run_service_sweep(SMALL)
+        assert report.cell(1, 3000.0)["rejected_queue"] > 0
+        # the under-offered cell keeps everything
+        assert report.cell(2, 150.0)["rejected_queue"] == 0
+
+    def test_same_rate_shares_arrival_trace(self):
+        report = run_service_sweep(SMALL)
+        for rate in SMALL.rates:
+            digests = {
+                report.cell(shards, rate)["trace_digest"]
+                for shards in SMALL.shard_counts
+            }
+            assert len(digests) == 1  # cells differ only in shard count
+
+    def test_as_dict_round_trips_to_json(self):
+        import json
+
+        payload = run_service_sweep(SMALL).as_dict()
+        parsed = json.loads(json.dumps(payload))
+        assert parsed["ok"] is True
+        assert parsed["experiment"]["side"] == 5
+        assert len(parsed["cells"]) == 4
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            ServiceExperiment(shard_counts=())
+        with pytest.raises(ValueError, match="positive"):
+            ServiceExperiment(rates=(0.0,))

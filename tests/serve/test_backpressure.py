@@ -1,0 +1,219 @@
+"""Admission control under over-offered load: both rejection paths.
+
+The acceptance criterion for the service layer is that backpressure is
+*observable*: a burst beyond ``queue_capacity`` raises
+``Overloaded("queue")`` and a sustained rate beyond ``rate_limit``
+raises ``Overloaded("rate")``, both with a positive ``retry_after``
+hint — and neither path may corrupt the answers the service does give
+(the audit stays clean).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.graphs.generators import grid_network
+from repro.serve import (
+    Overloaded,
+    PublishRequest,
+    QueryRequest,
+    ServiceClient,
+    ServiceConfig,
+    TokenBucket,
+    TrackingService,
+    VirtualClock,
+    audit_service,
+)
+
+NET = grid_network(6, 6)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestQueueBackpressure:
+    def test_burst_beyond_capacity_rejected(self):
+        async def scenario():
+            cfg = ServiceConfig(shards=1, batch_size=4, queue_capacity=4)
+            clock = VirtualClock()
+            service = TrackingService(NET, cfg, seed=1, clock=clock)
+            await service.start()
+            fut = service.submit_nowait(PublishRequest("tiger", NET.node_at(0)))
+            clock.advance(0.5)
+            await asyncio.sleep(0)
+            await fut
+            # the worker is parked until its busy horizon; a burst of
+            # queries fills the bounded queue and the tail is rejected
+            admitted, rejections = [], []
+            for i in range(12):
+                try:
+                    admitted.append(
+                        service.submit_nowait(QueryRequest("tiger", NET.node_at(i)))
+                    )
+                except Overloaded as exc:
+                    rejections.append(exc)
+            assert len(admitted) == cfg.queue_capacity
+            assert len(rejections) == 12 - cfg.queue_capacity
+            for exc in rejections:
+                assert exc.reason == "queue"
+                assert exc.retry_after_s > 0.0
+            await service.stop()
+            await asyncio.gather(*admitted)
+            assert service.metrics.rejected_queue == len(rejections)
+            return audit_service(service)
+
+        assert run(scenario()).ok
+
+    def test_rejected_ops_leave_no_trace_in_answers(self):
+        """A rejected move never lands in the oplog, so later queries
+        and the audit agree on the object's true trajectory."""
+
+        async def scenario():
+            from repro.serve import MoveRequest
+
+            cfg = ServiceConfig(shards=1, batch_size=2, queue_capacity=2)
+            clock = VirtualClock()
+            service = TrackingService(NET, cfg, seed=2, clock=clock)
+            await service.start()
+            fut = service.submit_nowait(PublishRequest("tiger", NET.node_at(0)))
+            clock.advance(0.5)
+            await asyncio.sleep(0)
+            await fut
+            futs, rejected = [], 0
+            for node in (1, 2, 3, 4, 5):
+                try:
+                    futs.append(
+                        service.submit_nowait(MoveRequest("tiger", NET.node_at(node)))
+                    )
+                except Overloaded:
+                    rejected += 1
+            assert rejected > 0
+            await service.stop()
+            await asyncio.gather(*futs)
+            applied = [n for _, n in service.shard_of("tiger").oplog["tiger"]]
+            assert len(applied) == 1 + len(futs)  # publish + admitted moves
+            return audit_service(service)
+
+        assert run(scenario()).ok
+
+
+class TestRateLimit:
+    def test_token_bucket_arithmetic(self):
+        bucket = TokenBucket(rate=10.0, burst=2.0, start=0.0)
+        assert bucket.try_admit(0.0) == 0.0
+        assert bucket.try_admit(0.0) == 0.0
+        retry = bucket.try_admit(0.0)  # bucket empty
+        assert retry == pytest.approx(0.1)
+        # tokens accrue with time: 0.05s → half a token
+        retry = bucket.try_admit(0.05)
+        assert retry == pytest.approx(0.05)
+        assert bucket.try_admit(0.2) == 0.0
+
+    def test_sustained_overload_rejected_with_rate_reason(self):
+        async def scenario():
+            cfg = ServiceConfig(
+                shards=1, queue_capacity=64, rate_limit=10.0, burst=2.0
+            )
+            clock = VirtualClock()
+            service = TrackingService(NET, cfg, seed=3, clock=clock)
+            await service.start()
+            fut = service.submit_nowait(PublishRequest("tiger", NET.node_at(0)))
+            clock.advance(0.001)
+            await asyncio.sleep(0)
+            await fut
+            # 50 queries in ~0.05s against a 10 ops/s limiter
+            admitted, rejections = [], []
+            for i in range(50):
+                clock.advance(0.001 + i * 0.001)
+                try:
+                    admitted.append(
+                        service.submit_nowait(QueryRequest("tiger", NET.node_at(0)))
+                    )
+                except Overloaded as exc:
+                    rejections.append(exc)
+            assert rejections
+            for exc in rejections:
+                assert exc.reason == "rate"
+                assert exc.retry_after_s > 0.0
+            await service.stop()
+            await asyncio.gather(*admitted)
+            assert service.metrics.rejected_rate == len(rejections)
+            return audit_service(service)
+
+        assert run(scenario()).ok
+
+    def test_publish_exempt_from_rate_limit_by_default(self):
+        async def scenario():
+            cfg = ServiceConfig(shards=2, rate_limit=1.0, burst=1.0)
+            clock = VirtualClock()
+            service = TrackingService(NET, cfg, seed=4, clock=clock)
+            await service.start()
+            futs = [
+                service.submit_nowait(PublishRequest(f"obj-{i}", NET.node_at(i)))
+                for i in range(8)  # burst is 1: would reject 7 if not exempt
+            ]
+            await service.stop()
+            await asyncio.gather(*futs)
+            assert service.metrics.rejected_rate == 0
+            return audit_service(service)
+
+        assert run(scenario()).ok
+
+
+class TestRetryingClient:
+    def test_retrying_survives_transient_overload(self):
+        async def scenario():
+            cfg = ServiceConfig(shards=1, batch_size=4, queue_capacity=2)
+            clock = VirtualClock()
+            service = TrackingService(NET, cfg, seed=5, clock=clock)
+            await service.start()
+            client = ServiceClient(service)
+            fut = service.submit_nowait(PublishRequest("tiger", NET.node_at(0)))
+            clock.advance(0.5)
+            await asyncio.sleep(0)
+            await fut
+            # fill the queue, then let the retrying client fight through
+            stuck = [
+                service.submit_nowait(QueryRequest("tiger", NET.node_at(i)))
+                for i in range(2)
+            ]
+            retried = asyncio.ensure_future(
+                client.retrying(QueryRequest("tiger", NET.node_at(9)), attempts=50)
+            )
+            # advance past the busy horizon so the worker drains the queue
+            for step in range(1, 30):
+                clock.advance(0.5 + step * 0.01)
+                await asyncio.sleep(0)
+                await asyncio.sleep(0)
+                if retried.done():
+                    break
+            await service.stop()
+            await asyncio.gather(*stuck)
+            resp = await retried
+            assert resp.proxy == NET.node_at(0)
+            return audit_service(service)
+
+        assert run(scenario()).ok
+
+    def test_retrying_gives_up_after_attempts(self):
+        async def scenario():
+            cfg = ServiceConfig(shards=1, batch_size=1, queue_capacity=1)
+            clock = VirtualClock()
+            service = TrackingService(NET, cfg, seed=6, clock=clock)
+            await service.start()
+            client = ServiceClient(service)
+            fut = service.submit_nowait(PublishRequest("tiger", NET.node_at(0)))
+            clock.advance(0.5)
+            await asyncio.sleep(0)
+            await fut
+            blocker = service.submit_nowait(QueryRequest("tiger", NET.node_at(1)))
+            with pytest.raises(Overloaded):
+                await client.retrying(
+                    QueryRequest("tiger", NET.node_at(2)), attempts=3
+                )
+            await service.stop()
+            await blocker
+            return service.metrics.rejected_queue
+
+        assert run(scenario()) >= 3

@@ -57,3 +57,25 @@ class TestMakeWorkload:
     def test_unknown_mobility_rejected(self):
         with pytest.raises(ValueError, match="unknown mobility"):
             make_workload(NET, 3, 5, mobility="teleport")
+
+
+class TestOpStream:
+    def test_contains_every_op_exactly_once(self):
+        wl = make_workload(NET, 4, 10, num_queries=12, seed=5)
+        stream = wl.op_stream(seed=5)
+        assert len(stream) == len(wl.moves) + len(wl.queries)
+        assert [op for op in stream if op in wl.moves] == wl.moves
+        assert [op for op in stream if op in wl.queries] == wl.queries
+
+    def test_preserves_move_and_query_order(self):
+        wl = make_workload(NET, 3, 15, num_queries=10, seed=6)
+        stream = wl.op_stream(seed=1)
+        moves = [op for op in stream if hasattr(op, "new")]
+        queries = [op for op in stream if hasattr(op, "source")]
+        assert moves == wl.moves
+        assert queries == wl.queries
+
+    def test_deterministic_per_seed(self):
+        wl = make_workload(NET, 3, 10, num_queries=8, seed=7)
+        assert wl.op_stream(seed=4) == wl.op_stream(seed=4)
+        assert wl.op_stream(seed=4) != wl.op_stream(seed=5)

@@ -307,6 +307,90 @@ class TestRPL005:
 
 
 # ----------------------------------------------------------------------
+# RPL006 — blocking calls inside async def under repro/serve
+# ----------------------------------------------------------------------
+SERVE_PATH = "src/repro/serve/fake.py"
+
+
+class TestRPL006:
+    def test_time_sleep_in_coroutine_fires(self):
+        src = """\
+        import time
+
+        async def worker(queue):
+            while await queue.get():
+                time.sleep(0.1)
+        """
+        assert ("RPL006", 5) in rules_at(src, path=SERVE_PATH)
+
+    def test_sync_oracle_solve_in_coroutine_fires(self):
+        src = """\
+        async def answer(net, u, v):
+            return net.distance(u, v)
+        """
+        assert ("RPL006", 2) in rules_at(src, path=SERVE_PATH)
+
+    def test_open_and_file_io_fire(self):
+        src = """\
+        async def dump(path, report):
+            with open(path) as fh:
+                fh.read()
+            path.write_text(report)
+        """
+        got = rules_at(src, path=SERVE_PATH)
+        assert ("RPL006", 2) in got
+        assert ("RPL006", 4) in got
+
+    def test_asyncio_sleep_is_fine(self):
+        src = """\
+        import asyncio
+
+        async def worker(queue):
+            await asyncio.sleep(0.1)
+        """
+        assert rules_at(src, path=SERVE_PATH) == []
+
+    def test_nested_sync_def_is_exempt(self):
+        src = """\
+        async def worker(net, batch):
+            def apply(ops):
+                return [net.pair_distances(ops)]
+
+            return apply(batch)
+        """
+        assert rules_at(src, path=SERVE_PATH) == []
+
+    def test_sync_module_code_is_exempt(self):
+        src = """\
+        import time
+
+        def warm_up(net, u, v):
+            time.sleep(0.1)
+            return net.distance(u, v)
+        """
+        assert rules_at(src, path=SERVE_PATH) == []
+
+    def test_outside_serve_is_exempt(self):
+        src = """\
+        import time
+
+        async def worker(queue):
+            time.sleep(0.1)
+        """
+        assert rules_at(src, path="src/repro/sim/fake.py") == []
+
+    def test_suppressed_and_unused(self):
+        src = """\
+        import time
+
+        async def worker(net, u, v):
+            time.sleep(0.1)  # repro-lint: disable=RPL006
+            return await net.lookup(u, v)  # repro-lint: disable=RPL006
+        """
+        assert rules_at(src, path=SERVE_PATH) == [(UNUSED_SUPPRESSION_RULE, 5)]
+
+
+# ----------------------------------------------------------------------
 # cross-cutting machinery
 # ----------------------------------------------------------------------
 class TestMachinery:

@@ -94,14 +94,21 @@ def test_chaos_report_to_file(tmp_path, capsys):
     assert report["churn"] == {}
 
 
-def test_unknown_figure_errors():
-    with pytest.raises(ValueError, match="unknown figure"):
-        main(["figure", "fig99"])
+def test_unknown_figure_is_usage_error(capsys):
+    assert main(["figure", "fig99"]) == 2
+    assert "unknown figure" in capsys.readouterr().err
 
 
 def test_missing_command_exits():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_version_flag(capsys):
+    with pytest.raises(SystemExit) as exc_info:
+        main(["--version"])
+    assert exc_info.value.code == 0
+    assert capsys.readouterr().out.startswith("repro ")
 
 
 def test_demo_seed_changes_walk(capsys):
@@ -142,3 +149,56 @@ def test_lint_clean_file_exits_zero(tmp_path, capsys):
     good.write_text("def f(net, pairs):\n    return net.pair_distances(pairs)\n")
     assert main(["lint", str(good)]) == 0
     assert "all checks passed" in capsys.readouterr().out
+
+
+SERVE_BENCH_SMALL = [
+    "serve-bench", "--nodes", "25", "--objects", "6", "--moves", "5",
+    "--queries", "15", "--shards", "2", "--rate", "300", "--seed", "9",
+]
+
+
+def test_serve_bench_to_stdout(capsys):
+    import json
+
+    assert main(SERVE_BENCH_SMALL) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["audit"]["ok"] is True
+    assert report["config"]["shards"] == 2
+    assert report["loadgen"]["trace_digest"]
+    assert {"p50_ms", "p95_ms", "p99_ms"} <= report["latency_ms"]["all"].keys()
+    assert report["achieved_throughput_ops_s"] > 0
+
+
+def test_serve_bench_to_file(tmp_path, capsys):
+    import json
+
+    out_path = tmp_path / "runs" / "serve.json"
+    assert main(SERVE_BENCH_SMALL + ["--out", str(out_path)]) == 0
+    assert "wrote" in capsys.readouterr().out
+    report = json.loads(out_path.read_text())
+    assert report["audit"]["ok"] is True
+
+
+def test_serve_bench_deterministic_across_invocations(capsys):
+    assert main(SERVE_BENCH_SMALL) == 0
+    first = capsys.readouterr().out
+    assert main(SERVE_BENCH_SMALL) == 0
+    assert capsys.readouterr().out == first
+
+
+def test_serve_bench_usage_error_exits_two(capsys):
+    # config validation (ValueError) maps to the usage exit code
+    assert main(["serve-bench", "--nodes", "2"]) == 2
+    assert "nodes" in capsys.readouterr().err
+    # argparse's own rejections use the same code via SystemExit
+    with pytest.raises(SystemExit) as exc_info:
+        main(["serve-bench", "--clock", "sundial"])
+    assert exc_info.value.code == 2
+
+
+def test_serve_demo_runs(capsys):
+    assert main(["serve-demo"]) == 0
+    out = capsys.readouterr().out
+    assert "tiger" in out
+    assert "coalesced" in out
+    assert "rejected" in out

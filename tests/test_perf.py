@@ -2,7 +2,51 @@
 
 import json
 
+import pytest
+
 from repro.perf import PERF, PerfRegistry, TimerStat, timed
+
+
+class TestPercentiles:
+    def test_exact_percentiles_small_sample(self):
+        stat = TimerStat()
+        for v in range(1, 101):  # 0.01 .. 1.00
+            stat.add(v / 100.0)
+        assert stat.p50_s == pytest.approx(0.50)
+        assert stat.p95_s == pytest.approx(0.95)
+        assert stat.p99_s == pytest.approx(0.99)
+        assert stat.percentile(100.0) == pytest.approx(1.00)
+        assert stat.percentile(0.0) == pytest.approx(0.01)
+
+    def test_percentiles_of_empty_stat_are_zero(self):
+        stat = TimerStat()
+        assert stat.p50_s == 0.0 and stat.p95_s == 0.0 and stat.p99_s == 0.0
+
+    def test_percentile_rejects_out_of_range(self):
+        stat = TimerStat()
+        stat.add(1.0)
+        with pytest.raises(ValueError):
+            stat.percentile(101.0)
+
+    def test_reservoir_caps_memory_and_stays_deterministic(self):
+        a, b = TimerStat(), TimerStat()
+        for i in range(3 * TimerStat.RESERVOIR_CAP):
+            a.add(i * 1e-6)
+            b.add(i * 1e-6)
+        assert len(a.samples) == TimerStat.RESERVOIR_CAP
+        # same observation sequence -> same reservoir -> same percentiles
+        assert a.samples == b.samples
+        assert a.p95_s == b.p95_s
+        # the estimate still lands in the observed range
+        assert 0.0 <= a.p50_s <= 3 * TimerStat.RESERVOIR_CAP * 1e-6
+
+    def test_as_dict_reports_percentiles(self):
+        stat = TimerStat()
+        for v in (0.1, 0.2, 0.3, 0.4):
+            stat.add(v)
+        d = stat.as_dict()
+        assert d["p50_s"] == pytest.approx(stat.p50_s)
+        assert d["p99_s"] == pytest.approx(stat.p99_s)
 
 
 class TestCounters:
@@ -47,6 +91,20 @@ class TestTimers:
     def test_mean_of_empty_stat_is_zero(self):
         assert TimerStat().mean_s == 0.0
 
+    def test_observe_folds_external_durations(self):
+        reg = PerfRegistry()
+        for dt in (0.1, 0.3, 0.2):
+            reg.observe("ext", dt)
+        stat = reg.timer_stat("ext")
+        assert stat.count == 3
+        assert stat.max_s == pytest.approx(0.3)
+        assert stat.p50_s == pytest.approx(0.2)
+
+    def test_observe_disabled_is_noop(self):
+        reg = PerfRegistry(enabled=False)
+        reg.observe("ext", 1.0)
+        assert reg.timer_stat("ext").count == 0
+
     def test_timed_decorator(self):
         reg = PerfRegistry()
 
@@ -68,7 +126,9 @@ class TestReport:
         report = json.loads(reg.to_json())
         assert report["counters"]["c"] == 2
         assert report["timers"]["t"]["count"] == 1
-        assert set(report["timers"]["t"]) == {"count", "total_s", "mean_s", "max_s"}
+        assert set(report["timers"]["t"]) == {
+            "count", "total_s", "mean_s", "max_s", "p50_s", "p95_s", "p99_s",
+        }
 
     def test_reset_clears_everything(self):
         reg = PerfRegistry()
