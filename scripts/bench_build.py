@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""The 2048-node hierarchy-build microbench, as a JSON artifact.
+
+Builds the same 64x32 grid hierarchy as
+``benchmarks/test_microbench.py::test_bench_hierarchy_construction_2048_boundary``
+a few times and reports best/mean wall time — the number the tracing
+layer's zero-overhead-when-disabled claim is audited against (see
+docs/OBSERVABILITY.md). CI uploads the output as ``BENCH_build.json``
+next to the serve-bench report, so regressions show up as artifact
+diffs rather than anecdotes.
+
+Usage: python scripts/bench_build.py [--repeats 5] [--out BENCH_build.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=123)
+    parser.add_argument("--out", default="BENCH_build.json")
+    args = parser.parse_args()
+
+    from repro.graphs.generators import grid_network
+    from repro.hierarchy.structure import build_hierarchy
+    from repro.obs.trace import TRACER
+
+    net = grid_network(64, 32)
+    times: list[float] = []
+    levels = 0
+    for _ in range(args.repeats):
+        t0 = time.perf_counter()
+        hs = build_hierarchy(net, seed=args.seed)
+        times.append(time.perf_counter() - t0)
+        levels = hs.h
+    report = {
+        "bench": "hierarchy_build_2048",
+        "nodes": net.n,
+        "grid": [64, 32],
+        "seed": args.seed,
+        "levels": levels,
+        "tracer_enabled": TRACER.enabled,  # must be false: untraced baseline
+        "repeats": args.repeats,
+        "best_s": min(times),
+        "mean_s": sum(times) / len(times),
+        "times_s": times,
+    }
+    text = json.dumps(report, indent=1)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        fh.write(text + "\n")
+    print(text)
+
+
+if __name__ == "__main__":
+    main()

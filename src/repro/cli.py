@@ -20,14 +20,20 @@ Commands:
   load-generated workload through the :mod:`repro.serve` online
   tracking service (sharded workers, batching, backpressure) and emit
   the JSON report: latency percentiles, achieved throughput,
-  rejection/coalescing counts, and the consistency audit against the
-  sequential reference MOT;
+  rejection/coalescing counts, the consistency audit against the
+  sequential reference MOT, Prometheus-rendered metrics and periodic
+  counters snapshots; ``--trace PATH`` additionally records a JSONL
+  span trace of every request (see ``trace``);
+- ``trace summarize PATH [--kind K] [--obj O]`` / ``trace diff A B
+  [--ignore-timing]`` — aggregate a JSONL span trace, or compare two
+  traces event-by-event (the determinism check: two same-seed
+  virtual-clock serve-bench traces must be identical);
 - ``serve-demo [--seed N]`` — a guided tour of the service layer
   (sharding, a coalesced query, an ``Overloaded`` rejection);
 - ``demo [--seed N]`` — a 30-second guided tour (the quickstart on one
   object);
 - ``lint [PATHS…] [--format json]`` — run the project's AST lint rules
-  (RPL001–RPL006, see :mod:`repro.staticcheck`) over source trees.
+  (RPL001–RPL007, see :mod:`repro.staticcheck`) over source trees.
 
 ``python -m repro --version`` prints the installed package version
 (falling back to the source tree's ``repro.__version__``).
@@ -36,7 +42,8 @@ Exit codes (uniform across subcommands):
 
 - ``0`` — success: the command ran and every gated check passed;
 - ``1`` — a check failed: lint findings (``lint``), a failed
-  consistency audit (``chaos``, ``serve-bench``);
+  consistency audit (``chaos``, ``serve-bench``), diverging traces
+  (``trace diff``);
 - ``2`` — usage error: unknown subcommand/flag (argparse) or an
   invalid argument value caught by the command itself (e.g. an unknown
   figure name).
@@ -137,6 +144,16 @@ def _cmd_perf(args: argparse.Namespace) -> int:
                        num_queries=args.queries, seed=args.seed)
     tracker = make_tracker("MOT", net, wl.traffic, seed=args.seed)
     ledger = execute_one_by_one(tracker, wl)
+    if args.prometheus:
+        text = PERF.render_prometheus()
+        if args.out:
+            out = Path(args.out)
+            out.parent.mkdir(parents=True, exist_ok=True)
+            out.write_text(text)
+            print(f"wrote {out}")
+        else:
+            print(text, end="")
+        return 0
     report = {
         "run": {
             "grid_side": args.side,
@@ -216,6 +233,10 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             rate_limit=args.rate_limit,
             service_time_base_s=args.service_time_ms * 1e-3,
             clock=args.clock,
+            metrics_snapshot_interval_s=(
+                args.snapshot_interval if args.snapshot_interval > 0 else None
+            ),
+            trace_path=args.trace,
         )
     except ValueError as exc:
         print(f"repro serve-bench: {exc}", file=sys.stderr)
@@ -307,6 +328,26 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.export import diff_traces, read_trace, summarize_trace
+
+    try:
+        if args.trace_cmd == "summarize":
+            summary = summarize_trace(
+                read_trace(args.path), kind=args.kind, obj=args.obj
+            )
+            print(json.dumps(summary, indent=1))
+            return 0
+        result = diff_traces(args.a, args.b, ignore_timing=args.ignore_timing)
+    except (OSError, ValueError) as exc:
+        print(f"repro trace: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(result, indent=1))
+    return 0 if result["identical"] else 1
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.staticcheck import run
 
@@ -351,7 +392,9 @@ def main(argv: list[str] | None = None) -> int:
     p_perf.add_argument("--queries", type=int, default=50)
     p_perf.add_argument("--seed", type=int, default=1)
     p_perf.add_argument("--distance-mode", choices=("auto", "full", "lazy"), default="auto")
-    p_perf.add_argument("--out", help="write the JSON report here instead of stdout")
+    p_perf.add_argument("--prometheus", action="store_true",
+                        help="emit Prometheus text exposition instead of JSON")
+    p_perf.add_argument("--out", help="write the report here instead of stdout")
     p_perf.set_defaults(fn=_cmd_perf)
 
     p_chaos = sub.add_parser(
@@ -401,8 +444,31 @@ def main(argv: list[str] | None = None) -> int:
                       help="virtual per-op service time in milliseconds")
     p_sb.add_argument("--clock", choices=("virtual", "wall"), default="virtual",
                       help="virtual = deterministic replay; wall = real latencies")
+    p_sb.add_argument("--snapshot-interval", type=float, default=0.5,
+                      help="metrics snapshot period in service-clock seconds (0 = off)")
+    p_sb.add_argument("--trace", default=None, metavar="PATH",
+                      help="record a JSONL span trace of the run to PATH")
     p_sb.add_argument("--out", help="write the JSON report here instead of stdout")
     p_sb.set_defaults(fn=_cmd_serve_bench)
+
+    p_tr = sub.add_parser("trace", help="summarize or diff JSONL span traces")
+    tr_sub = p_tr.add_subparsers(dest="trace_cmd", required=True)
+    p_tr_sum = tr_sub.add_parser("summarize", help="aggregate one trace file")
+    p_tr_sum.add_argument("path", help="JSONL trace (from serve-bench --trace)")
+    p_tr_sum.add_argument("--kind", default=None,
+                          help="only events of this kind (e.g. query, message)")
+    p_tr_sum.add_argument("--obj", default=None,
+                          help="only events about this object")
+    p_tr_sum.set_defaults(fn=_cmd_trace)
+    p_tr_diff = tr_sub.add_parser(
+        "diff", help="compare two traces event-by-event (exit 1 on divergence)"
+    )
+    p_tr_diff.add_argument("a", help="first JSONL trace")
+    p_tr_diff.add_argument("b", help="second JSONL trace")
+    p_tr_diff.add_argument("--ignore-timing", action="store_true",
+                           help="strip t0_s/duration_s before comparing "
+                                "(for wall-clock traces)")
+    p_tr_diff.set_defaults(fn=_cmd_trace)
 
     p_sd = sub.add_parser("serve-demo", help="guided tour of the service layer")
     p_sd.add_argument("--seed", type=int, default=0,

@@ -40,6 +40,7 @@ from repro.core.costs import CostLedger
 from repro.core.operations import MoveResult, PublishResult, QueryResult
 from repro.graphs.network import SensorNetwork
 from repro.hierarchy.structure import BaseHierarchy, HNode, build_hierarchy
+from repro.obs.trace import TRACER
 from repro.perf import timed
 
 Node = Hashable
@@ -226,32 +227,36 @@ class MOTTracker:
             raise ValueError(f"object {obj!r} is already published")
         if proxy not in self.net:
             raise KeyError(f"{proxy!r} is not a sensor of this network")
-        path = self.hs.dpath(proxy)
-        # publish always walks the whole detection path, so its hop
-        # distances can be resolved in one batched oracle call
-        ranked = [
-            (rank, hn) for level in range(1, self.hs.h + 1)
-            for rank, hn in enumerate(path[level])
-        ]
-        seq = [proxy] + [self._phys(hn) for _, hn in ranked]
-        hop = self.net.consecutive_distances(seq)
-        spine: list[SpineEntry] = [SpineEntry(HNode(0, proxy), None)]
-        cost = 0.0
-        msgs = 0
-        for k, (rank, hn) in enumerate(ranked):
-            cost += float(hop[k])
-            msgs += 1
-            cost += self._probe_cost(hn, obj)
-            entry, sdl_cost = self._add_entry(obj, hn, proxy, rank)
-            cost += sdl_cost
-            spine.append(entry)
-        self._spine[obj] = spine
-        self._proxy[obj] = proxy
-        self.ledger.record_publish(cost)
-        return PublishResult(
-            obj=obj, proxy=proxy, cost=cost,
-            levels_climbed=self.hs.h, messages=msgs,
-        )
+        with TRACER.span("publish", obj=str(obj)) as sp:
+            path = self.hs.dpath(proxy)
+            # publish always walks the whole detection path, so its hop
+            # distances can be resolved in one batched oracle call
+            ranked = [
+                (rank, hn) for level in range(1, self.hs.h + 1)
+                for rank, hn in enumerate(path[level])
+            ]
+            seq = [proxy] + [self._phys(hn) for _, hn in ranked]
+            hop = self.net.consecutive_distances(seq)
+            spine: list[SpineEntry] = [SpineEntry(HNode(0, proxy), None)]
+            cost = 0.0
+            msgs = 0
+            for k, (rank, hn) in enumerate(ranked):
+                cost += float(hop[k])
+                msgs += 1
+                if sp:
+                    sp.hop(seq[k], seq[k + 1], float(hop[k]))
+                cost += self._probe_cost(hn, obj)
+                entry, sdl_cost = self._add_entry(obj, hn, proxy, rank)
+                cost += sdl_cost
+                spine.append(entry)
+            self._spine[obj] = spine
+            self._proxy[obj] = proxy
+            self.ledger.record_publish(cost)
+            sp.set_result(cost=cost, level=self.hs.h)
+            return PublishResult(
+                obj=obj, proxy=proxy, cost=cost,
+                levels_climbed=self.hs.h, messages=msgs,
+            )
 
     @timed("mot.move")
     def move(self, obj: ObjectId, new_proxy: Node) -> MoveResult:
@@ -264,68 +269,80 @@ class MOTTracker:
             # Recorded apart from real maintenance so per-op averages and
             # message counts are not diluted by moves that did no work.
             self.ledger.record_noop_move()
+            if TRACER.enabled:
+                TRACER.event("move", obj=str(obj), cost=0.0, noop=True)
             return MoveResult(
                 obj=obj, old_proxy=old_proxy, new_proxy=new_proxy,
                 cost=0.0, up_cost=0.0, down_cost=0.0, peak_level=0, optimal_cost=0.0,
             )
         optimal = self._dist(old_proxy, new_proxy)
 
-        # -- insert: climb DPath(new_proxy) until the object is found ----
-        spine = self._spine[obj]
-        spine_pos = {e.hnode: i for i, e in enumerate(spine)}
-        path = self.hs.dpath(new_proxy)
-        up_cost = 0.0
-        msgs = 0
-        prev = new_proxy
-        new_entries: list[SpineEntry] = []
-        peak: HNode | None = None
-        for level in range(1, self.hs.h + 1):
-            for rank, hn in enumerate(path[level]):
-                phys = self._phys(hn)
-                up_cost += self._dist(prev, phys)
+        with TRACER.span("move", obj=str(obj)) as sp:
+            # -- insert: climb DPath(new_proxy) until the object is found --
+            spine = self._spine[obj]
+            spine_pos = {e.hnode: i for i, e in enumerate(spine)}
+            path = self.hs.dpath(new_proxy)
+            up_cost = 0.0
+            msgs = 0
+            prev = new_proxy
+            new_entries: list[SpineEntry] = []
+            peak: HNode | None = None
+            for level in range(1, self.hs.h + 1):
+                for rank, hn in enumerate(path[level]):
+                    phys = self._phys(hn)
+                    d = self._dist(prev, phys)
+                    up_cost += d
+                    if sp:
+                        sp.hop(prev, phys, d)
+                    prev = phys
+                    msgs += 1
+                    up_cost += self._probe_cost(hn, obj)
+                    if obj in self._dl.get(hn, ()):
+                        peak = hn
+                        break
+                    entry, sdl_cost = self._add_entry(obj, hn, new_proxy, rank)
+                    up_cost += sdl_cost
+                    new_entries.append(entry)
+                if peak is not None:
+                    break
+            assert peak is not None, "root must hold every published object"
+            peak_index = spine_pos[peak]
+
+            # -- delete: walk the old spine downward from below the peak ---
+            down_cost = 0.0
+            prev = self._phys(peak)
+            for entry in reversed(spine[:peak_index]):
+                phys = self._phys(entry.hnode)
+                d = self._dist(prev, phys)
+                down_cost += d
+                if sp:
+                    sp.hop(prev, phys, d)
                 prev = phys
                 msgs += 1
-                up_cost += self._probe_cost(hn, obj)
-                if obj in self._dl.get(hn, ()):
-                    peak = hn
-                    break
-                entry, sdl_cost = self._add_entry(obj, hn, new_proxy, rank)
-                up_cost += sdl_cost
-                new_entries.append(entry)
-            if peak is not None:
-                break
-        assert peak is not None, "root must hold every published object"
-        peak_index = spine_pos[peak]
+                if entry.hnode.level > 0:
+                    down_cost += self._probe_cost(entry.hnode, obj)
+                    down_cost += self._remove_entry(obj, entry)
 
-        # -- delete: walk the old spine downward from below the peak -----
-        down_cost = 0.0
-        prev = self._phys(peak)
-        for entry in reversed(spine[:peak_index]):
-            phys = self._phys(entry.hnode)
-            down_cost += self._dist(prev, phys)
-            prev = phys
-            msgs += 1
-            if entry.hnode.level > 0:
-                down_cost += self._probe_cost(entry.hnode, obj)
-                down_cost += self._remove_entry(obj, entry)
-
-        self._spine[obj] = (
-            [SpineEntry(HNode(0, new_proxy), None)] + new_entries + spine[peak_index:]
-        )
-        self._proxy[obj] = new_proxy
-        cost = up_cost + down_cost
-        self.ledger.record_maintenance(cost, optimal, messages=msgs)
-        return MoveResult(
-            obj=obj,
-            old_proxy=old_proxy,
-            new_proxy=new_proxy,
-            cost=cost,
-            up_cost=up_cost,
-            down_cost=down_cost,
-            peak_level=peak.level,
-            optimal_cost=optimal,
-            messages=msgs,
-        )
+            self._spine[obj] = (
+                [SpineEntry(HNode(0, new_proxy), None)] + new_entries + spine[peak_index:]
+            )
+            self._proxy[obj] = new_proxy
+            cost = up_cost + down_cost
+            self.ledger.record_maintenance(cost, optimal, messages=msgs)
+            if sp:
+                sp.set_result(cost=cost, level=peak.level)
+                sp.annotate(up_cost=up_cost, down_cost=down_cost, optimal=optimal)
+            return MoveResult(
+                obj=obj,
+                old_proxy=old_proxy,
+                new_proxy=new_proxy,
+                cost=cost,
+                up_cost=up_cost,
+                down_cost=down_cost,
+                peak_level=peak.level,
+                optimal_cost=optimal,
+                messages=msgs,
+            )
 
     @timed("mot.query")
     def query(self, obj: ObjectId, source: Node) -> QueryResult:
@@ -336,64 +353,79 @@ class MOTTracker:
         optimal = self._dist(source, proxy)
         if source == proxy:
             self.ledger.record_query(0.0, 0.0)
+            if TRACER.enabled:
+                TRACER.event("query", obj=str(obj), cost=0.0, level=0, local=True)
             return QueryResult(
                 obj=obj, source=source, proxy=proxy, cost=0.0,
                 found_level=0, via_sdl=False, optimal_cost=0.0,
             )
 
-        spine = self._spine[obj]
-        spine_pos = {e.hnode: i for i, e in enumerate(spine)}
-        path = self.hs.dpath(source)
-        cost = 0.0
-        msgs = 0
-        prev = source
-        hit: HNode | None = None
-        found_level = 0
-        via_sdl = False
-        for level in range(1, self.hs.h + 1):
-            for hn in path[level]:
-                phys = self._phys(hn)
-                cost += self._dist(prev, phys)
+        with TRACER.span("query", obj=str(obj)) as sp:
+            spine = self._spine[obj]
+            spine_pos = {e.hnode: i for i, e in enumerate(spine)}
+            path = self.hs.dpath(source)
+            cost = 0.0
+            msgs = 0
+            prev = source
+            hit: HNode | None = None
+            found_level = 0
+            via_sdl = False
+            for level in range(1, self.hs.h + 1):
+                for hn in path[level]:
+                    phys = self._phys(hn)
+                    d = self._dist(prev, phys)
+                    cost += d
+                    if sp:
+                        sp.hop(prev, phys, d)
+                    prev = phys
+                    msgs += 1
+                    cost += self._probe_cost(hn, obj)
+                    if obj in self._dl.get(hn, ()):
+                        hit, found_level, via_sdl = hn, level, False
+                        break
+                    sdl_map = self._sdl.get(hn)
+                    if sdl_map is not None and obj in sdl_map:
+                        # jump to the special child that installed the entry
+                        sc = min(sdl_map[obj], key=lambda h: (h.level, self.net.index_of(h.node)))
+                        sc_phys = self._phys(sc)
+                        d = self._dist(phys, sc_phys)
+                        cost += d
+                        if sp:
+                            sp.hop(phys, sc_phys, d)
+                        prev = sc_phys
+                        msgs += 1
+                        hit, found_level, via_sdl = sc, level, True
+                        break
+                if hit is not None:
+                    break
+            assert hit is not None, "root must hold every published object"
+
+            # descend the spine from the hit to the proxy
+            hit_index = spine_pos[hit]
+            for entry in reversed(spine[:hit_index]):
+                phys = self._phys(entry.hnode)
+                d = self._dist(prev, phys)
+                cost += d
+                if sp:
+                    sp.hop(prev, phys, d)
                 prev = phys
                 msgs += 1
-                cost += self._probe_cost(hn, obj)
-                if obj in self._dl.get(hn, ()):
-                    hit, found_level, via_sdl = hn, level, False
-                    break
-                sdl_map = self._sdl.get(hn)
-                if sdl_map is not None and obj in sdl_map:
-                    # jump to the special child that installed the entry
-                    sc = min(sdl_map[obj], key=lambda h: (h.level, self.net.index_of(h.node)))
-                    sc_phys = self._phys(sc)
-                    cost += self._dist(phys, sc_phys)
-                    prev = sc_phys
-                    msgs += 1
-                    hit, found_level, via_sdl = sc, level, True
-                    break
-            if hit is not None:
-                break
-        assert hit is not None, "root must hold every published object"
-
-        # descend the spine from the hit to the proxy
-        hit_index = spine_pos[hit]
-        for entry in reversed(spine[:hit_index]):
-            phys = self._phys(entry.hnode)
-            cost += self._dist(prev, phys)
-            prev = phys
-            msgs += 1
-            if entry.hnode.level > 0:
-                cost += self._probe_cost(entry.hnode, obj)
-        self.ledger.record_query(cost, optimal, messages=msgs)
-        return QueryResult(
-            obj=obj,
-            source=source,
-            proxy=proxy,
-            cost=cost,
-            found_level=found_level,
-            via_sdl=via_sdl,
-            optimal_cost=optimal,
-            messages=msgs,
-        )
+                if entry.hnode.level > 0:
+                    cost += self._probe_cost(entry.hnode, obj)
+            self.ledger.record_query(cost, optimal, messages=msgs)
+            if sp:
+                sp.set_result(cost=cost, level=found_level)
+                sp.annotate(via_sdl=via_sdl, optimal=optimal)
+            return QueryResult(
+                obj=obj,
+                source=source,
+                proxy=proxy,
+                cost=cost,
+                found_level=found_level,
+                via_sdl=via_sdl,
+                optimal_cost=optimal,
+                messages=msgs,
+            )
 
     # ------------------------------------------------------------------
     # load accounting (paper §5 / §8 figures 8–11)

@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.graphs.network import SensorNetwork
 from repro.hierarchy.levels import LevelStructure, build_levels
+from repro.obs.trace import TRACER
 
 Node = Hashable
 
@@ -307,11 +308,14 @@ def build_hierarchy(
     paper's own experiments run; ``True`` enables the §3.1 full
     parent-set traversal used by the meeting-level proofs.
     """
-    ls = build_levels(net, seed=seed, mis_algorithm=mis_algorithm)
-    return Hierarchy(
-        net,
-        ls,
-        parent_set_radius_factor=parent_set_radius_factor,
-        special_parent_gap=special_parent_gap,
-        use_parent_sets=use_parent_sets,
-    )
+    with TRACER.span("build", nodes=net.n, seed=seed) as sp:
+        ls = build_levels(net, seed=seed, mis_algorithm=mis_algorithm)
+        hs = Hierarchy(
+            net,
+            ls,
+            parent_set_radius_factor=parent_set_radius_factor,
+            special_parent_gap=special_parent_gap,
+            use_parent_sets=use_parent_sets,
+        )
+        sp.set_result(level=hs.h)
+        return hs

@@ -129,23 +129,22 @@ class TimerStat:
         return self.percentile(99.0)
 
     def as_dict(self) -> dict[str, float]:
-        """JSON-ready view of the stat."""
-        ordered = sorted(self.samples)
+        """JSON-ready view of the stat.
 
-        def at(p: float) -> float:
-            if not ordered:
-                return 0.0
-            rank = max(1, -(-len(ordered) * p // 100))
-            return ordered[int(rank) - 1]
-
+        Percentiles come from :meth:`percentile` — the single
+        nearest-rank implementation — so the dict can never drift from
+        direct ``percentile()`` queries (a re-implemented local helper
+        here once skipped the ``[0, 100]`` validation and was one
+        rounding tweak away from disagreeing with the method).
+        """
         return {
             "count": self.count,
             "total_s": self.total_s,
             "mean_s": self.mean_s,
             "max_s": self.max_s,
-            "p50_s": at(50.0),
-            "p95_s": at(95.0),
-            "p99_s": at(99.0),
+            "p50_s": self.percentile(50.0),
+            "p95_s": self.percentile(95.0),
+            "p99_s": self.percentile(99.0),
         }
 
 
@@ -219,6 +218,19 @@ class PerfRegistry:
     def to_json(self, indent: int = 1) -> str:
         """The report as a JSON string."""
         return json.dumps(self.report(), indent=indent)
+
+    def render_prometheus(self, namespace: str = "repro") -> str:
+        """The report in Prometheus text-exposition format.
+
+        Counters become ``<namespace>_<name>_total`` counter metrics,
+        timers become summary metrics with p50/p95/p99 quantile labels
+        (see :mod:`repro.obs.prometheus` for the exact mapping).
+        """
+        # imported lazily: repro.obs pulls nothing from repro.perf, but
+        # keeping the renderer out of module import keeps perf dependency-free
+        from repro.obs.prometheus import render_prometheus
+
+        return render_prometheus(self.report(), namespace=namespace)
 
     def reset(self) -> None:
         """Drop every counter and timer (a fresh measurement window)."""

@@ -10,9 +10,13 @@ hierarchy, replaying every shard's per-object op log in order, must
 reproduce every logged answer exactly: proxies identically, costs up
 to float tolerance (:func:`repro.core.costs.close_to`).
 
-Coalesced queries are audited on the proxy (their cost is by
-construction the executed twin's); executed queries are re-run from
-their recorded source and audited on proxy **and** cost.
+Every answered query — coalesced or directly executed — is re-run
+from its recorded source and audited on proxy **and** cost. Coalescing
+keys on ``(object, epoch, source)``, so a coalesced record's cost is
+its executed twin's cost *from the same source* and must match the
+reference like any other answer. (The audit once skipped the cost
+check for coalesced records; that skip masked a coalescing bug where
+answers were shared across different sources.)
 """
 
 from __future__ import annotations
@@ -130,8 +134,6 @@ def _check_queries(ref: MOTTracker, recs, report: AuditReport) -> None:
         expected_proxy = ref.proxy_of(rec.obj)
         if rec.proxy != expected_proxy:
             report.record_mismatch("proxy", rec, expected_proxy)
-            continue
-        if rec.coalesced:
             continue
         res = ref.query(rec.obj, rec.source)
         if not close_to(rec.cost, res.cost):

@@ -12,7 +12,12 @@ open-loop arrival trace, replay it against a sharded
   queries, prefetched pairs),
 - the **consistency audit** — every answer replayed against a
   sequential reference MOT (:mod:`repro.serve.audit`); the CLI exit
-  code is gated on ``audit.ok``.
+  code is gated on ``audit.ok``,
+- observability artifacts: the per-run metrics rendered in Prometheus
+  text format, the periodic counters snapshot series, and — with
+  ``trace_path`` set — a JSONL span trace of every request
+  (virtual-clock-stamped, so two same-seed traces are byte-identical;
+  ``python -m repro trace diff`` verifies).
 
 Under the default virtual clock the entire report is deterministic:
 two runs with the same configuration are byte-identical (the property
@@ -23,9 +28,13 @@ from __future__ import annotations
 
 import asyncio
 import math
+from contextlib import ExitStack
 from dataclasses import asdict, dataclass
 
 from repro.graphs.generators import grid_network
+from repro.obs.export import JsonlTraceWriter
+from repro.obs.prometheus import render_prometheus
+from repro.obs.trace import tracing
 from repro.perf import TimerStat
 from repro.serve.audit import audit_service
 from repro.serve.clock import VirtualClock, WallClock
@@ -55,6 +64,8 @@ class ServeBenchConfig:
     service_time_per_cost_s: float = 0.0
     clock: str = "virtual"  # "virtual" (deterministic) or "wall"
     mobility: str = "random_walk"
+    metrics_snapshot_interval_s: float | None = 0.5  # service-clock seconds
+    trace_path: str | None = None  # JSONL span trace (None = tracing off)
 
     def __post_init__(self) -> None:
         if self.nodes < 4:
@@ -79,6 +90,7 @@ class ServeBenchConfig:
             burst=self.burst,
             service_time_base_s=self.service_time_base_s,
             service_time_per_cost_s=self.service_time_per_cost_s,
+            metrics_snapshot_interval_s=self.metrics_snapshot_interval_s,
         )
 
 
@@ -119,7 +131,20 @@ def run_serve_bench(cfg: ServeBenchConfig | None = None) -> dict:
     service = TrackingService(
         net, cfg.service_config(), seed=cfg.seed, clock=clock
     )
-    result = asyncio.run(_drive(service, workload, trace))
+    trace_info = None
+    with ExitStack() as stack:
+        if cfg.trace_path is not None:
+            writer = stack.enter_context(JsonlTraceWriter(cfg.trace_path))
+            # spans are stamped with the *service* clock: under the
+            # default virtual clock two same-seed traces are
+            # byte-identical; under a wall clock timestamps are real
+            # (diff those with --ignore-timing)
+            stack.enter_context(
+                tracing(sink=writer, time_source=lambda: service.clock.now)
+            )
+        result = asyncio.run(_drive(service, workload, trace))
+        if cfg.trace_path is not None:
+            trace_info = {"path": cfg.trace_path, "events": writer.events_written}
 
     overall = TimerStat()
     for resp in result.responses:
@@ -149,6 +174,9 @@ def run_serve_bench(cfg: ServeBenchConfig | None = None) -> dict:
         },
         "achieved_throughput_ops_s": result.throughput_ops_s,
         "service": metrics.as_dict(),
+        "prometheus": render_prometheus(metrics.perf_view()),
+        "snapshots": list(service.snapshots),
+        "trace": trace_info,
         "ledger": {
             "maintenance_cost_ratio": ledger.maintenance_cost_ratio,
             "query_cost_ratio": ledger.query_cost_ratio,

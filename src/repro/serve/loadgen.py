@@ -145,6 +145,10 @@ async def replay(
         # let woken shard workers drain what the clock just made due
         await asyncio.sleep(0)
         await asyncio.sleep(0)
+        # the arrival loop is the clock driver, so it is also the
+        # snapshot poller (no-op unless the service configures an
+        # interval); polling after the drain keeps counters current
+        service.maybe_snapshot()
         op = arrival.op
         req = (
             MoveRequest(op.obj, op.new)

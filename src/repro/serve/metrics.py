@@ -117,6 +117,42 @@ class ServiceMetrics:
         """Rejections across both admission-control reasons."""
         return self.rejected_rate + self.rejected_queue
 
+    @property
+    def counters(self) -> dict[str, int]:
+        """Flat dotted-name counters of this run (snapshot-friendly)."""
+        out: dict[str, int] = {}
+        for kind, n in sorted(self.admitted.items()):
+            out[f"serve.admitted.{kind}"] = n
+        for kind, n in sorted(self.completed.items()):
+            out[f"serve.completed.{kind}"] = n
+        out["serve.failed"] = self.failed
+        out["serve.rejected.rate"] = self.rejected_rate
+        out["serve.rejected.queue"] = self.rejected_queue
+        out["serve.queries.executed"] = self.queries_executed
+        out["serve.queries.coalesced"] = self.queries_coalesced
+        out["serve.batches"] = self.batches
+        out["serve.prefetch_pairs"] = self.prefetch_pairs
+        return out
+
+    def perf_view(self) -> dict:
+        """This run's metrics in the registry-report shape.
+
+        Same ``{"counters", "timers"}`` layout as
+        :meth:`repro.perf.PerfRegistry.report`, so
+        :func:`repro.obs.prometheus.render_prometheus` consumes either.
+        Unlike the process-wide :data:`repro.perf.PERF` mirror — which
+        accumulates across every run in the process and mixes in
+        wall-clock MOT timers — this view is per-service and, under a
+        virtual clock, fully deterministic.
+        """
+        timers = {
+            f"serve.latency.{kind}": stat.as_dict()
+            for kind, stat in sorted(self.latency.items())
+        }
+        timers["serve.queue_depth"] = self.queue_depth.as_dict()
+        timers["serve.batch_size"] = self.batch_size.as_dict()
+        return {"counters": self.counters, "timers": timers}
+
     def as_dict(self) -> dict:
         """JSON-ready snapshot of every counter and distribution."""
         return {

@@ -24,10 +24,11 @@ import zlib
 from dataclasses import dataclass
 from typing import Hashable, Union
 
-from repro.core.costs import CostLedger
+from repro.core.costs import CostLedger, close_to
 from repro.core.mot import MOTConfig, MOTTracker
 from repro.graphs.network import SensorNetwork
 from repro.hierarchy.structure import build_hierarchy
+from repro.obs.trace import TRACER
 from repro.serve.clock import VirtualClock, WallClock
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.protocol import (
@@ -66,6 +67,10 @@ class ServiceConfig:
       virtual-clock service model: each executed op occupies its shard
       for ``base + per_cost · message cost`` seconds. Ignored under a
       wall clock, where real compute time is the service time.
+    - ``metrics_snapshot_interval_s`` — with a value, the service takes
+      a periodic counters snapshot (see
+      :meth:`TrackingService.maybe_snapshot`) no more often than every
+      interval seconds of service-clock time; ``None`` disables.
     """
 
     shards: int = 4
@@ -76,6 +81,7 @@ class ServiceConfig:
     exempt_publish: bool = True
     service_time_base_s: float = 1e-3
     service_time_per_cost_s: float = 0.0
+    metrics_snapshot_interval_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -90,6 +96,11 @@ class ServiceConfig:
             raise ValueError("burst must be >= 1")
         if self.service_time_base_s < 0 or self.service_time_per_cost_s < 0:
             raise ValueError("service-time parameters must be >= 0")
+        if (
+            self.metrics_snapshot_interval_s is not None
+            and self.metrics_snapshot_interval_s <= 0
+        ):
+            raise ValueError("metrics_snapshot_interval_s must be positive (or None)")
 
 
 class TokenBucket:
@@ -103,12 +114,21 @@ class TokenBucket:
 
     def try_admit(self, t: float) -> float:
         """Take one token at time ``t``; returns 0.0 on success, else
-        the ``retry_after`` seconds until a token accrues."""
+        the ``retry_after`` seconds until a token accrues.
+
+        Admission compares with :func:`repro.core.costs.close_to`
+        slack: the balance accrues through repeated float
+        multiply-adds, so at offered load exactly equal to ``rate`` the
+        balance oscillates around 1.0 by a few ulps — strict
+        ``>= 1.0`` then rejects admissible operations (tens of
+        thousands per 10⁵ arrivals in the regression test). A token
+        short by float noise is a token.
+        """
         if t > self._last:
             self.tokens = min(self.burst, self.tokens + (t - self._last) * self.rate)
             self._last = t
-        if self.tokens >= 1.0:
-            self.tokens -= 1.0
+        if self.tokens >= 1.0 or close_to(self.tokens, 1.0):
+            self.tokens = max(0.0, self.tokens - 1.0)
             return 0.0
         return (1.0 - self.tokens) / self.rate
 
@@ -161,6 +181,9 @@ class TrackingService:
             if self.config.rate_limit is not None
             else None
         )
+        #: periodic counters snapshots (see :meth:`maybe_snapshot`)
+        self.snapshots: list[dict] = []
+        self._last_snapshot_t: float | None = None
         self._started = False
         self._closed = False
 
@@ -216,11 +239,19 @@ class TrackingService:
             retry = self._bucket.try_admit(t)
             if retry > 0.0:
                 self.metrics.record_rejection("rate")
+                if TRACER.enabled:
+                    TRACER.event(
+                        "serve.reject", obj=str(req.obj), reason="rate", retry_after=retry
+                    )
                 raise Overloaded("rate", retry)
         shard = self.shard_of(req.obj)
         if shard.depth >= self.config.queue_capacity:
             self.metrics.record_rejection("queue")
             retry = max(shard.busy_until - t, self.config.service_time_base_s)
+            if TRACER.enabled:
+                TRACER.event(
+                    "serve.reject", obj=str(req.obj), reason="queue", retry_after=retry
+                )
             raise Overloaded("queue", retry)
         self.metrics.record_admission(kind, shard.depth)
         return shard.submit(req, t)
@@ -248,6 +279,38 @@ class TrackingService:
     # ------------------------------------------------------------------
     # inspection
     # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """One timestamped copy of the service counters, appended to
+        :attr:`snapshots` and returned.
+
+        Timestamps come from the service clock, so a virtual-clock
+        replay yields a deterministic snapshot series.
+        """
+        snap = {
+            "t_s": self.clock.now,
+            "counters": dict(self.metrics.counters),
+            "depth": self.total_depth,
+        }
+        self.snapshots.append(snap)
+        self._last_snapshot_t = self.clock.now
+        return snap
+
+    def maybe_snapshot(self) -> dict | None:
+        """Take a :meth:`snapshot` if the configured interval elapsed.
+
+        The caller decides *when* to poll (the load generator calls this
+        after each clock advance); this method only rate-limits the
+        series to ``metrics_snapshot_interval_s``. Returns the new
+        snapshot, or ``None`` when disabled or not yet due.
+        """
+        interval = self.config.metrics_snapshot_interval_s
+        if interval is None:
+            return None
+        now = self.clock.now
+        if self._last_snapshot_t is not None and now - self._last_snapshot_t < interval:
+            return None
+        return self.snapshot()
+
     def merged_ledger(self) -> CostLedger:
         """All shard trackers' cost ledgers folded into one."""
         total = CostLedger()

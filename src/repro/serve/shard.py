@@ -20,8 +20,13 @@ Per wakeup the shard:
    batched ``pair_distances`` API — one multi-source Dijkstra warms the
    row cache for every optimal-cost lookup the moves are about to do;
 4. applies the ops in order, **coalescing** duplicate queries: queries
-   for the same ``(object, epoch)`` — same object, no intervening move
-   — execute one spine walk and fan the answer out to every waiter;
+   for the same ``(object, epoch, source)`` — same object and querying
+   node, no intervening move — execute one spine walk and fan the
+   answer out to every waiter. The source is part of the key because
+   query cost is charged from the *querying* node's position: two
+   sources asking about the same object walk different prefixes of the
+   spine, so sharing one answer across sources would misattribute cost
+   (and fail the audit's per-record cost check);
 5. stamps completions: in virtual mode each op is charged an explicit
    service time (``base + per_cost · cost``) on top of the shard's
    busy horizon, in wall mode completions are real clock readings.
@@ -37,6 +42,7 @@ from dataclasses import dataclass
 from typing import Hashable, Union
 
 from repro.core.mot import MOTTracker
+from repro.obs.trace import TRACER
 from repro.serve.clock import VirtualClock, WallClock
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.protocol import (
@@ -182,20 +188,32 @@ class TrackerShard:
         virtual = self.clock.virtual
         start = max(self.busy_until, self.clock.now) if virtual else self.clock.now
         prefetched = self._prefetch_moves(batch)
-        answered: dict[tuple[str, int], tuple[Node, float]] = {}
+        answered: dict[tuple[str, int, Node], tuple[Node, float]] = {}
         elapsed = 0.0
         for item in batch:
             kind = kind_of(item.req)
-            try:
-                proxy, cost, epoch, coalesced = self._apply_one(item.req, answered)
-            except Exception as exc:  # noqa: BLE001 — failures belong to the caller
-                if virtual:
-                    elapsed += self.service_time_base_s
-                self.depth -= 1
-                self.metrics.record_failure()
-                if not item.future.done():
-                    item.future.set_exception(exc)
-                continue
+            sp = TRACER.span(
+                "serve." + kind,
+                obj=str(item.req.obj),
+                shard=self.shard_id,
+                batch=len(batch),
+            )
+            with sp:
+                try:
+                    proxy, cost, epoch, coalesced = self._apply_one(item.req, answered)
+                except Exception as exc:  # noqa: BLE001 — failures belong to the caller
+                    if sp:
+                        sp.annotate(failed=True, error=type(exc).__name__)
+                    if virtual:
+                        elapsed += self.service_time_base_s
+                    self.depth -= 1
+                    self.metrics.record_failure()
+                    if not item.future.done():
+                        item.future.set_exception(exc)
+                    continue
+                if sp:
+                    sp.set_result(cost=cost)
+                    sp.annotate(epoch=epoch, coalesced=coalesced)
             if virtual:
                 if not coalesced:
                     elapsed += (
@@ -256,7 +274,7 @@ class TrackerShard:
     def _apply_one(
         self,
         req: Request,
-        answered: dict[tuple[str, int], tuple[Node, float]],
+        answered: dict[tuple[str, int, Node], tuple[Node, float]],
     ) -> tuple[Node, float, int, bool]:
         """Apply one request; returns (proxy, cost, epoch, coalesced)."""
         if isinstance(req, PublishRequest):
@@ -272,7 +290,7 @@ class TrackerShard:
             return req.new_proxy, res.cost, epoch, False
         if isinstance(req, QueryRequest):
             epoch = self.epochs.get(req.obj, -1)
-            hit = answered.get((req.obj, epoch))
+            hit = answered.get((req.obj, epoch, req.source))
             if hit is not None:
                 proxy, cost = hit
                 self.query_log.append(
@@ -280,7 +298,7 @@ class TrackerShard:
                 )
                 return proxy, cost, epoch, True
             res = self.tracker.query(req.obj, req.source)
-            answered[(req.obj, epoch)] = (res.proxy, res.cost)
+            answered[(req.obj, epoch, req.source)] = (res.proxy, res.cost)
             self.query_log.append(
                 QueryRecord(req.obj, epoch, req.source, res.proxy, res.cost, coalesced=False)
             )

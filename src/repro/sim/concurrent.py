@@ -67,6 +67,7 @@ from typing import Callable, Hashable
 from repro.core.costs import CostLedger
 from repro.core.operations import MoveResult, QueryResult
 from repro.graphs.network import SensorNetwork
+from repro.obs.trace import TRACER
 from repro.perf import PERF
 from repro.sim.engine import Engine
 from repro.sim.faults import FaultInjector, FaultPlan
@@ -319,9 +320,10 @@ class ConcurrentTracker:
             else None
         )
         if self.engine.fault_hook is None or src == dst:
-            # perfect network / local handoff: exactly the pre-fault path
+            # perfect network / local handoff: exactly the pre-fault
+            # path, routed through schedule_message so the hop is traced
             charge(base_delay)
-            self.engine.schedule(defer(base_delay) if defer else base_delay, arrive)
+            self.engine.schedule_message(src, dst, base_delay, arrive, defer=defer)
             return
         attempt = 0
 
@@ -331,6 +333,10 @@ class ConcurrentTracker:
             if attempt > 1:
                 self.retries += 1
                 PERF.incr("faults.retries")
+                if TRACER.enabled:
+                    TRACER.event(
+                        "retry", hop=(src, dst, base_delay), attempt=attempt
+                    )
             charge(base_delay)
             latency = self.engine.schedule_message(src, dst, base_delay, arrive, defer=defer)
             if latency is not None:

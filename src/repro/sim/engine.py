@@ -14,12 +14,21 @@ Message hops (as opposed to plain timers) go through
 fault-injection layer: an installed :attr:`Engine.fault_hook` may drop
 a message or stretch its latency (see :mod:`repro.sim.faults`). With no
 hook installed the engine is the perfect network the paper assumes.
+
+``schedule_message`` is also the tracing point: with the process-wide
+:data:`repro.obs.trace.TRACER` enabled, every transmission emits one
+``message`` point event — ``(src, dst, base distance)`` plus the
+effective latency, or ``dropped=True`` for an injected loss — parented
+under whatever span is currently open. Fault-layer retransmissions go
+through the same method, so retries appear as repeated events.
 """
 
 from __future__ import annotations
 
 import heapq
 from typing import Callable, Hashable
+
+from repro.obs.trace import TRACER
 
 __all__ = ["Engine"]
 
@@ -87,8 +96,16 @@ class Engine:
         if self.fault_hook is not None and src != dst:
             verdict = self.fault_hook(src, dst, delay)
             if verdict is None:
+                if TRACER.enabled:
+                    TRACER.event(
+                        "message", hop=(src, dst, delay), t=self.now, dropped=True
+                    )
                 return None
             latency = verdict
+        if TRACER.enabled:
+            TRACER.event(
+                "message", hop=(src, dst, delay), t=self.now, latency=latency
+            )
         self.schedule(defer(latency) if defer is not None else latency, callback)
         return latency
 

@@ -4,7 +4,7 @@ Generic linters cannot know that ``net.distance`` inside a loop is an
 O(n · Dijkstra) regression, that unseeded randomness invalidates the
 paper's cost-ratio tables, or that ``networkx`` shortest paths bypass
 the batched distance oracle. This package encodes those invariants as
-six fixture-tested AST rules (stdlib :mod:`ast` only, no third-party
+seven fixture-tested AST rules (stdlib :mod:`ast` only, no third-party
 dependencies):
 
 ========  ============================================================
@@ -27,6 +27,10 @@ RPL006    blocking calls (``time.sleep``, synchronous oracle solves,
           file I/O) lexically inside ``async def`` bodies under
           ``repro/serve`` — one blocking call stalls every shard; hoist
           the work into a sync helper or use ``asyncio`` equivalents
+RPL007    direct output (``print``, ``logging``, raw
+          ``sys.stdout``/``sys.stderr`` writes) inside ``repro/obs`` —
+          the tracing layer sits on instrumented hot paths and must
+          emit through sinks; rendering belongs to the CLI
 ========  ============================================================
 
 A finding on one line is silenced with a same-line comment::

@@ -479,6 +479,81 @@ class AsyncBlockingChecker(BaseChecker):
         self.generic_visit(node)
 
 
+class ObsOutputChecker(BaseChecker):
+    """RPL007 — direct output from the observability layer.
+
+    ``repro/obs`` sits inside the hot paths of every instrumented
+    operation: spans close in the middle of moves, queries and shard
+    batches. A stray ``print`` (or an ad-hoc ``logging`` call, or a
+    direct ``sys.stdout``/``sys.stderr`` write) there is an I/O stall
+    charged to whatever operation happened to be in flight — the exact
+    overhead the NULL_SPAN design exists to avoid — and it corrupts the
+    machine-readable output of CLI commands that print JSON reports.
+    Everything in ``repro/obs`` must emit through tracer sinks or
+    return data; rendering is the CLI's job.
+
+    Scoped to ``repro/obs`` files.
+    """
+
+    rule_id = "RPL007"
+    summary = "direct print/logging in repro/obs; emit through sinks instead"
+
+    #: output attribute calls on the logging module / a logger object
+    _LOG_METHODS = frozenset(
+        {"debug", "info", "warning", "warn", "error", "exception", "critical", "log"}
+    )
+
+    @classmethod
+    def applies_to(cls, path: str) -> bool:
+        return "repro/obs" in path.replace("\\", "/")
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "logging" or alias.name.startswith("logging."):
+                self.report(
+                    node,
+                    "the obs layer does not log; emit SpanEvents through "
+                    "tracer sinks and let callers render them",
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.module.split(".")[0] == "logging":
+            self.report(
+                node,
+                "the obs layer does not log; emit SpanEvents through "
+                "tracer sinks and let callers render them",
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted_name(node.func)
+        if dotted == ("print",):
+            self.report(
+                node,
+                "print() in the obs layer stalls the instrumented hot path "
+                "and corrupts JSON-emitting CLI commands; return data or "
+                "emit through a sink",
+            )
+        elif dotted[:2] in (("sys", "stdout"), ("sys", "stderr")):
+            self.report(
+                node,
+                "direct sys.stdout/sys.stderr output in the obs layer; "
+                "rendering belongs to the CLI",
+            )
+        elif (
+            len(dotted) == 2
+            and dotted[1] in self._LOG_METHODS
+            and dotted[0] in ("logging", "logger", "log")
+        ):
+            self.report(
+                node,
+                "ad-hoc logging in the obs layer; emit SpanEvents through "
+                "tracer sinks instead",
+            )
+        self.generic_visit(node)
+
+
 #: every rule, in id order — the runner instantiates one of each per file
 ALL_CHECKERS: tuple[type[BaseChecker], ...] = (
     PerPairDistanceChecker,
@@ -487,6 +562,7 @@ ALL_CHECKERS: tuple[type[BaseChecker], ...] = (
     FloatEqualityChecker,
     NetworkxDistanceChecker,
     AsyncBlockingChecker,
+    ObsOutputChecker,
 )
 
 #: rule id → one-line summary (docs page and ``--format json`` metadata)

@@ -1,0 +1,121 @@
+"""Tests for trace export: JSONL round-trips, summaries, diffs."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    JsonlTraceWriter,
+    diff_traces,
+    encode_event,
+    read_trace,
+    summarize_trace,
+)
+from repro.obs.trace import Tracer, tracing
+
+
+def emit_sample(tracer):
+    """A tiny deterministic trace: one publish, one query, one drop."""
+    with tracer.span("publish", obj="tiger") as sp:
+        sp.hop(0, 1, 2.0)
+        sp.set_result(cost=2.0, level=1)
+    with tracer.span("query", obj="tiger") as sp:
+        tracer.event("message", hop=(5, 1, 4.0), latency=4.0)
+        tracer.event("message", hop=(1, 0, 2.0), dropped=True)
+        sp.hop(5, 1, 4.0)
+        sp.set_result(cost=4.0, level=1)
+    tracer.event("retry", hop=(1, 0, 2.0), attempt=1)
+
+
+class TestJsonlRoundTrip:
+    def test_write_read_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        t = Tracer(enabled=False)
+        with JsonlTraceWriter(path) as writer, tracing(sink=writer, tracer=t):
+            emit_sample(t)
+        assert writer.events_written == 5
+        events = read_trace(path)
+        assert len(events) == 5
+        kinds = [e["kind"] for e in events]
+        assert kinds == ["publish", "message", "message", "query", "retry"]
+
+    def test_encode_is_canonical(self):
+        line = encode_event({"b": 1, "a": [1, 2]})
+        assert line == '{"a":[1,2],"b":1}'
+
+    def test_read_rejects_garbage_with_location(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ok":1}\nnot json\n')
+        with pytest.raises(ValueError, match=":2:"):
+            read_trace(path)
+
+    def test_writer_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "trace.jsonl"
+        with JsonlTraceWriter(path):
+            pass
+        assert path.exists()
+
+
+class TestSummarize:
+    def _events(self):
+        t = Tracer(enabled=False)
+        sink = []
+        with tracing(sink=sink.append, tracer=t):
+            emit_sample(t)
+        return [e.as_dict() for e in sink]
+
+    def test_summary_aggregates_kinds(self):
+        s = summarize_trace(self._events())
+        assert s["events"] == 5
+        assert s["objects"] == 1
+        assert s["dropped_messages"] == 1
+        assert s["retries"] == 1
+        assert s["kinds"]["publish"]["cost_total"] == 2.0
+        assert s["kinds"]["query"]["levels"] == {"1": 1}
+        assert s["kinds"]["message"]["hops"] == 2
+
+    def test_summary_filters(self):
+        s = summarize_trace(self._events(), kind="query")
+        assert s["events"] == 1 and list(s["kinds"]) == ["query"]
+        s = summarize_trace(self._events(), obj="nope")
+        assert s["events"] == 0
+
+
+class TestDiff:
+    def _write(self, path, records):
+        path.write_text(
+            "".join(json.dumps(r, sort_keys=True) + "\n" for r in records)
+        )
+
+    def test_identical_traces(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        recs = [{"span_id": 1, "kind": "move", "cost": 2.0}]
+        self._write(a, recs)
+        self._write(b, recs)
+        res = diff_traces(a, b)
+        assert res["identical"] and res["first_divergence"] is None
+
+    def test_divergence_reports_index_and_fields(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        self._write(a, [{"span_id": 1, "cost": 2.0}, {"span_id": 2, "cost": 3.0}])
+        self._write(b, [{"span_id": 1, "cost": 2.0}, {"span_id": 2, "cost": 9.0}])
+        res = diff_traces(a, b)
+        assert not res["identical"]
+        assert res["first_divergence"]["index"] == 1
+        assert res["first_divergence"]["fields"] == ["cost"]
+
+    def test_length_mismatch_is_divergence(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        self._write(a, [{"span_id": 1}])
+        self._write(b, [{"span_id": 1}, {"span_id": 2}])
+        res = diff_traces(a, b)
+        assert not res["identical"]
+        assert res["events"] == [1, 2]
+        assert res["first_divergence"]["index"] == 1
+
+    def test_ignore_timing_strips_volatile_keys(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        self._write(a, [{"span_id": 1, "t0_s": 0.1, "duration_s": 0.2}])
+        self._write(b, [{"span_id": 1, "t0_s": 9.9, "duration_s": 8.8}])
+        assert not diff_traces(a, b)["identical"]
+        assert diff_traces(a, b, ignore_timing=True)["identical"]

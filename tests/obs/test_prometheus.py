@@ -1,0 +1,58 @@
+"""Tests for the Prometheus text exporter."""
+
+from repro.obs.prometheus import metric_name, render_prometheus
+
+
+class TestMetricName:
+    def test_dots_become_underscores(self):
+        assert metric_name("repro", "oracle.row_miss", "_total") == (
+            "repro_oracle_row_miss_total"
+        )
+
+    def test_arbitrary_punctuation_is_sanitized(self):
+        assert metric_name("ns", "serve.latency.query-p99!") == (
+            "ns_serve_latency_query_p99"
+        )
+
+
+class TestRender:
+    def test_counters_and_timers_render(self):
+        report = {
+            "counters": {"serve.batches": 7},
+            "timers": {
+                "serve.latency.query": {
+                    "count": 3,
+                    "total_s": 0.6,
+                    "p50_s": 0.2,
+                    "p95_s": 0.3,
+                    "p99_s": 0.3,
+                }
+            },
+        }
+        text = render_prometheus(report)
+        assert "# TYPE repro_serve_batches_total counter" in text
+        assert "repro_serve_batches_total 7" in text
+        assert "# TYPE repro_serve_latency_query_seconds summary" in text
+        assert 'repro_serve_latency_query_seconds{quantile="0.5"} 0.2' in text
+        assert "repro_serve_latency_query_seconds_sum 0.6" in text
+        assert "repro_serve_latency_query_seconds_count 3" in text
+        assert text.endswith("\n")
+
+    def test_empty_report_renders_empty(self):
+        assert render_prometheus({"counters": {}, "timers": {}}) == ""
+
+    def test_output_is_sorted_and_deterministic(self):
+        report = {"counters": {"b.x": 1, "a.y": 2}, "timers": {}}
+        text = render_prometheus(report)
+        assert text.index("repro_a_y_total") < text.index("repro_b_x_total")
+        assert text == render_prometheus(dict(report))
+
+    def test_integer_valued_floats_drop_the_point(self):
+        report = {
+            "counters": {},
+            "timers": {"t": {"count": 1, "total_s": 2.0, "p50_s": 2.0,
+                             "p95_s": 2.0, "p99_s": 2.0}},
+        }
+        text = render_prometheus(report)
+        assert 'repro_t_seconds{quantile="0.5"} 2\n' in text
+        assert "repro_t_seconds_sum 2\n" in text

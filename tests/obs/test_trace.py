@@ -1,0 +1,155 @@
+"""Tests for the span/tracer core (`repro.obs.trace`)."""
+
+import pytest
+
+from repro.obs.trace import NULL_SPAN, SpanEvent, Tracer, tracing
+
+
+def collect(tracer):
+    """Attach a list sink; returns the list the tracer appends to."""
+    events = []
+    tracer.add_sink(events.append)
+    return events
+
+
+class TestDisabledTracer:
+    def test_disabled_span_is_the_null_singleton(self):
+        t = Tracer(enabled=False)
+        sp = t.span("move", obj="tiger")
+        assert sp is NULL_SPAN
+        assert not sp
+
+    def test_null_span_methods_are_noops(self):
+        with NULL_SPAN as sp:
+            sp.hop(0, 1, 2.0)
+            sp.annotate(x=1)
+            sp.set_result(cost=3.0, level=2)
+        assert not NULL_SPAN
+
+    def test_disabled_event_emits_nothing(self):
+        t = Tracer(enabled=False)
+        events = collect(t)
+        t.event("message", hop=(0, 1, 2.0))
+        assert events == []
+
+
+class TestSpans:
+    def test_span_records_hops_cost_level(self):
+        t = Tracer(enabled=True, time_source=None)
+        events = collect(t)
+        with t.span("publish", obj="tiger") as sp:
+            assert sp
+            sp.hop(0, 1, 2.0)
+            sp.hop(1, 5, 3.5)
+            sp.set_result(cost=5.5, level=2)
+        (ev,) = events
+        assert ev.kind == "publish" and ev.obj == "tiger"
+        assert ev.hops == ((0, 1, 2.0), (1, 5, 3.5))
+        assert ev.cost == 5.5 and ev.level == 2
+        assert ev.hop_cost == pytest.approx(5.5)
+        assert ev.t0_s is None and ev.duration_s is None
+
+    def test_nesting_parents_child_spans_and_events(self):
+        t = Tracer(enabled=True, time_source=None)
+        events = collect(t)
+        with t.span("serve.query", obj="tiger") as outer:
+            with t.span("query", obj="tiger"):
+                t.event("message", hop=(3, 4, 1.0))
+        msg, inner, root = events
+        assert root.parent_id is None
+        assert inner.parent_id == root.span_id
+        assert msg.parent_id == inner.span_id
+        assert outer.span_id == root.span_id
+
+    def test_span_ids_are_monotone_and_reset_rewinds(self):
+        t = Tracer(enabled=True, time_source=None)
+        events = collect(t)
+        with t.span("a"):
+            pass
+        with t.span("b"):
+            pass
+        assert [e.span_id for e in events] == [1, 2]
+        t.reset()
+        with t.span("c"):
+            pass
+        assert events[-1].span_id == 1
+
+    def test_exception_is_annotated_and_propagates(self):
+        t = Tracer(enabled=True, time_source=None)
+        events = collect(t)
+        with pytest.raises(KeyError):
+            with t.span("move", obj="ghost"):
+                raise KeyError("ghost")
+        (ev,) = events
+        assert ev.annotations["error"] == "KeyError"
+
+    def test_time_source_stamps_t0_and_duration(self):
+        now = [10.0]
+        t = Tracer(enabled=True, time_source=lambda: now[0])
+        events = collect(t)
+        with t.span("build"):
+            now[0] = 12.5
+        (ev,) = events
+        assert ev.t0_s == 10.0
+        assert ev.duration_s == pytest.approx(2.5)
+
+
+class TestEvents:
+    def test_point_event_carries_hop_and_annotations(self):
+        t = Tracer(enabled=True, time_source=None)
+        events = collect(t)
+        t.event("message", hop=(0, 7, 4.0), latency=4.0)
+        (ev,) = events
+        assert ev.hops == ((0, 7, 4.0),)
+        assert ev.duration_s is None
+        assert ev.annotations == {"latency": 4.0}
+
+
+class TestTracingContext:
+    def test_tracing_enables_and_restores(self):
+        t = Tracer(enabled=False)
+        sink = []
+        with tracing(sink=sink.append, tracer=t) as active:
+            assert active is t and t.enabled
+            with t.span("a"):
+                pass
+        assert not t.enabled
+        assert t.sinks == []
+        assert len(sink) == 1
+
+    def test_tracing_resets_ids_per_block(self):
+        t = Tracer(enabled=False)
+        for _ in range(2):
+            sink = []
+            with tracing(sink=sink.append, tracer=t):
+                with t.span("a"):
+                    pass
+            assert sink[0].span_id == 1
+
+    def test_tracing_default_time_source_is_none(self):
+        t = Tracer(enabled=False)  # constructor default is perf_counter
+        sink = []
+        with tracing(sink=sink.append, tracer=t):
+            with t.span("a"):
+                pass
+        assert sink[0].t0_s is None
+
+
+class TestSpanEventDict:
+    def test_as_dict_omits_unset_fields(self):
+        ev = SpanEvent(1, None, "move", "tiger", None, None, (), None, None, {})
+        assert ev.as_dict() == {
+            "span_id": 1,
+            "parent_id": None,
+            "kind": "move",
+            "obj": "tiger",
+        }
+
+    def test_as_dict_stringifies_exotic_nodes(self):
+        ev = SpanEvent(
+            1, None, "message", None, None, None, (((0, 1), (2, 3), 5.0),),
+            None, None, {"peer": frozenset({1})},
+        )
+        d = ev.as_dict()
+        assert d["hops"] == [[[0, 1], [2, 3], 5.0]]
+        assert isinstance(d["annotations"]["peer"], str)

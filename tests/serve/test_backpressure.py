@@ -110,6 +110,26 @@ class TestRateLimit:
         assert retry == pytest.approx(0.05)
         assert bucket.try_admit(0.2) == 0.0
 
+    def test_exact_rate_arrivals_never_spuriously_rejected(self):
+        # regression: the balance accrues through repeated float
+        # multiply-adds, so at offered load exactly equal to the rate
+        # it oscillates around 1.0 by a few ulps — strict `>= 1.0`
+        # admission rejected tens of thousands of these arrivals
+        bucket = TokenBucket(rate=3.0, burst=1.0, start=0.0)
+        t = 0.0
+        for tick in range(100_000):
+            t += 1.0 / 3.0
+            assert bucket.try_admit(t) == 0.0, f"spurious rejection at tick {tick}"
+
+    def test_epsilon_does_not_admit_over_rate_load(self):
+        # the drift fix must not turn into free capacity: 2x-rate
+        # arrivals still see ~half rejected
+        bucket = TokenBucket(rate=10.0, burst=1.0, start=0.0)
+        rejected = sum(
+            1 for i in range(1, 1001) if bucket.try_admit(i * 0.05) > 0.0
+        )
+        assert rejected == pytest.approx(500, abs=2)
+
     def test_sustained_overload_rejected_with_rate_reason(self):
         async def scenario():
             cfg = ServiceConfig(

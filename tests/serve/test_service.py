@@ -125,9 +125,11 @@ class TestCoalescing:
             clock.advance(1.0)
             await asyncio.sleep(0)
             await fut
-            # two queries land in the same drained batch, same epoch
+            # two queries land in the same drained batch, same epoch,
+            # same source — only same-source duplicates may coalesce
+            # (cost is charged from the querying node's position)
             f1 = service.submit_nowait(QueryRequest("tiger", NET.node_at(35)))
-            f2 = service.submit_nowait(QueryRequest("tiger", NET.node_at(30)))
+            f2 = service.submit_nowait(QueryRequest("tiger", NET.node_at(35)))
             clock.advance(2.0)
             r1, r2 = await asyncio.gather(f1, f2)
             await service.stop()
@@ -140,6 +142,94 @@ class TestCoalescing:
             return audit_service(service)
 
         assert run(scenario()).ok
+
+    def test_different_sources_do_not_share_answers(self):
+        # regression: coalescing once keyed on (obj, epoch) only, so a
+        # query from a far node was "answered" with the near node's
+        # cost — and the audit's coalesced-record exemption hid it
+        async def scenario():
+            cfg = ServiceConfig(shards=1, batch_size=8)
+            clock = VirtualClock()
+            service = TrackingService(NET, cfg, seed=4, clock=clock)
+            await service.start()
+            fut = service.submit_nowait(PublishRequest("tiger", NET.node_at(0)))
+            clock.advance(1.0)
+            await asyncio.sleep(0)
+            await fut
+            near, far = NET.node_at(1), NET.node_at(35)
+            f1 = service.submit_nowait(QueryRequest("tiger", near))
+            f2 = service.submit_nowait(QueryRequest("tiger", far))
+            clock.advance(2.0)
+            r1, r2 = await asyncio.gather(f1, f2)
+            await service.stop()
+            assert not r1.coalesced and not r2.coalesced
+            assert r2.cost > r1.cost  # each charged from its own source
+            return audit_service(service)
+
+        assert run(scenario()).ok
+
+    def test_audit_checks_every_answer_exactly_once(self):
+        # mixed coalesced + direct queries in one batch: the audit must
+        # replay and cost-check all of them — queries_checked equals the
+        # number of answered queries, with no exemption for coalesced
+        # records
+        async def scenario():
+            cfg = ServiceConfig(shards=1, batch_size=16)
+            clock = VirtualClock()
+            service = TrackingService(NET, cfg, seed=4, clock=clock)
+            await service.start()
+            fut = service.submit_nowait(PublishRequest("tiger", NET.node_at(0)))
+            clock.advance(1.0)
+            await asyncio.sleep(0)
+            await fut
+            sources = [35, 35, 30, 35, 30, 7]  # 2 coalesce per dup source
+            futs = [
+                service.submit_nowait(QueryRequest("tiger", NET.node_at(s)))
+                for s in sources
+            ]
+            clock.advance(2.0)
+            responses = await asyncio.gather(*futs)
+            await service.stop()
+            coalesced = [r for r in responses if r.coalesced]
+            assert len(coalesced) == 3  # one extra 35, one extra 35, one 30
+            shard = service.shard_of("tiger")
+            assert len(shard.query_log) == len(sources)
+            report = audit_service(service)
+            assert report.queries_checked == len(sources)
+            assert report.ok
+            return report
+
+        run(scenario())
+
+    def test_audit_catches_wrong_cost_on_coalesced_record(self):
+        # the exemption removal has teeth: corrupt one coalesced
+        # record's cost and the audit must flag it
+        import dataclasses
+
+        async def scenario():
+            cfg = ServiceConfig(shards=1, batch_size=8)
+            clock = VirtualClock()
+            service = TrackingService(NET, cfg, seed=4, clock=clock)
+            await service.start()
+            fut = service.submit_nowait(PublishRequest("tiger", NET.node_at(0)))
+            clock.advance(1.0)
+            await asyncio.sleep(0)
+            await fut
+            f1 = service.submit_nowait(QueryRequest("tiger", NET.node_at(35)))
+            f2 = service.submit_nowait(QueryRequest("tiger", NET.node_at(35)))
+            clock.advance(2.0)
+            await asyncio.gather(f1, f2)
+            await service.stop()
+            shard = service.shard_of("tiger")
+            assert shard.query_log[1].coalesced
+            shard.query_log[1] = dataclasses.replace(
+                shard.query_log[1], cost=shard.query_log[1].cost + 100.0
+            )
+            return audit_service(service)
+
+        report = run(scenario())
+        assert not report.ok
+        assert report.cost_mismatches == 1
 
     def test_move_bumps_epoch_and_stops_coalescing(self):
         async def scenario():

@@ -391,6 +391,66 @@ class TestRPL006:
 
 
 # ----------------------------------------------------------------------
+# RPL007 — direct output inside repro/obs
+# ----------------------------------------------------------------------
+OBS_PATH = "src/repro/obs/fake.py"
+
+
+class TestRPL007:
+    def test_print_fires(self):
+        src = """\
+        def emit(event):
+            print(event.as_dict())
+        """
+        assert ("RPL007", 2) in rules_at(src, path=OBS_PATH)
+
+    def test_logging_import_and_call_fire(self):
+        src = """\
+        import logging
+
+        def emit(event):
+            logging.info("span %s", event.span_id)
+        """
+        got = rules_at(src, path=OBS_PATH)
+        assert ("RPL007", 1) in got
+        assert ("RPL007", 4) in got
+
+    def test_logger_object_and_stderr_fire(self):
+        src = """\
+        import sys
+
+        def emit(logger, event):
+            logger.warning("dropped")
+            sys.stderr.write("oops\\n")
+        """
+        got = rules_at(src, path=OBS_PATH)
+        assert ("RPL007", 4) in got
+        assert ("RPL007", 5) in got
+
+    def test_sink_file_write_is_fine(self):
+        src = """\
+        def emit(fh, line):
+            fh.write(line + "\\n")
+        """
+        assert rules_at(src, path=OBS_PATH) == []
+
+    def test_outside_obs_is_exempt(self):
+        src = """\
+        def render(report):
+            print(report)
+        """
+        assert rules_at(src, path="src/repro/cli.py") == []
+
+    def test_suppressed_and_unused(self):
+        src = """\
+        def emit(event):
+            print(event)  # repro-lint: disable=RPL007
+            return event  # repro-lint: disable=RPL007
+        """
+        assert rules_at(src, path=OBS_PATH) == [(UNUSED_SUPPRESSION_RULE, 3)]
+
+
+# ----------------------------------------------------------------------
 # cross-cutting machinery
 # ----------------------------------------------------------------------
 class TestMachinery:

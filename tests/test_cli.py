@@ -196,6 +196,62 @@ def test_serve_bench_usage_error_exits_two(capsys):
     assert exc_info.value.code == 2
 
 
+def test_serve_bench_trace_and_diff_round_trip(tmp_path, capsys):
+    import json
+
+    t1, t2 = tmp_path / "t1.jsonl", tmp_path / "t2.jsonl"
+    assert main(SERVE_BENCH_SMALL + ["--trace", str(t1)]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["trace"]["path"] == str(t1)
+    assert report["trace"]["events"] > 0
+    assert report["snapshots"]
+    assert "repro_serve_admitted_publish_total" in report["prometheus"]
+    assert main(SERVE_BENCH_SMALL + ["--trace", str(t2)]) == 0
+    capsys.readouterr()
+    # same seed, virtual clock: the two traces must be byte-identical
+    assert t1.read_bytes() == t2.read_bytes()
+    assert main(["trace", "diff", str(t1), str(t2)]) == 0
+    diff = json.loads(capsys.readouterr().out)
+    assert diff["identical"] is True
+
+
+def test_trace_summarize(tmp_path, capsys):
+    import json
+
+    t = tmp_path / "t.jsonl"
+    assert main(SERVE_BENCH_SMALL + ["--trace", str(t), "--out",
+                str(tmp_path / "r.json")]) == 0
+    capsys.readouterr()
+    assert main(["trace", "summarize", str(t)]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["events"] > 0
+    assert "serve.query" in summary["kinds"]
+    assert main(["trace", "summarize", str(t), "--kind", "query"]) == 0
+    filtered = json.loads(capsys.readouterr().out)
+    assert set(filtered["kinds"]) <= {"query"}
+
+
+def test_trace_diff_detects_divergence_and_bad_paths(tmp_path, capsys):
+    a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+    a.write_text('{"span_id":1,"cost":1.0}\n')
+    b.write_text('{"span_id":1,"cost":2.0}\n')
+    assert main(["trace", "diff", str(a), str(b)]) == 1
+    import json
+
+    diff = json.loads(capsys.readouterr().out)
+    assert diff["first_divergence"]["fields"] == ["cost"]
+    assert main(["trace", "summarize", str(tmp_path / "missing.jsonl")]) == 2
+    assert "repro trace" in capsys.readouterr().err
+
+
+def test_perf_prometheus_output(capsys):
+    assert main(["perf", "--side", "6", "--objects", "3", "--moves", "5",
+                 "--queries", "5", "--prometheus"]) == 0
+    out = capsys.readouterr().out
+    assert "# TYPE repro_mot_move_seconds summary" in out
+    assert "_total " in out
+
+
 def test_serve_demo_runs(capsys):
     assert main(["serve-demo"]) == 0
     out = capsys.readouterr().out

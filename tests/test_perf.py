@@ -48,6 +48,17 @@ class TestPercentiles:
         assert d["p50_s"] == pytest.approx(stat.p50_s)
         assert d["p99_s"] == pytest.approx(stat.p99_s)
 
+    def test_as_dict_matches_percentile(self):
+        # regression: as_dict() once carried its own duplicate
+        # interpolation; it must be exactly the percentile() values
+        stat = TimerStat()
+        for i in range(1, 38):  # awkward count so interpolation matters
+            stat.add(i * 0.013)
+        d = stat.as_dict()
+        assert d["p50_s"] == stat.percentile(50.0)
+        assert d["p95_s"] == stat.percentile(95.0)
+        assert d["p99_s"] == stat.percentile(99.0)
+
 
 class TestCounters:
     def test_incr_accumulates(self):
@@ -137,6 +148,16 @@ class TestReport:
             pass
         reg.reset()
         assert reg.report() == {"counters": {}, "timers": {}}
+
+    def test_render_prometheus_from_registry(self):
+        reg = PerfRegistry()
+        reg.incr("oracle.row_miss", 3)
+        reg.observe("mot.move", 0.5)
+        text = reg.render_prometheus()
+        assert "# TYPE repro_oracle_row_miss_total counter" in text
+        assert "repro_oracle_row_miss_total 3" in text
+        assert 'repro_mot_move_seconds{quantile="0.95"} 0.5' in text
+        assert "repro_mot_move_seconds_count 1" in text
 
     def test_global_singleton_exists(self):
         assert isinstance(PERF, PerfRegistry)
