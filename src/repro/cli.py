@@ -8,9 +8,16 @@ Commands:
 - ``compare [--side N] [--objects M] …`` — the quick §8-style
   head-to-head on one grid workload (same engine as
   ``examples/baseline_comparison.py``);
-- ``perf [--side N] [--distance-mode M] [--out PATH]`` — run one MOT
-  workload with instrumentation on and emit the JSON perf report
+- ``perf [--side N] [--distance-backend B] [--out PATH]`` — run one
+  MOT workload with instrumentation on and emit the JSON perf report
   (oracle hit/miss pressure, per-operation timers, ledger summary);
+- ``audit-backend [--side N] [--landmarks K] [--budget B]`` — check
+  the distance-backend contract on small graphs: exact backends
+  (``full``, ``lazy``, ``memmap``) must agree bit-for-bit with a dense
+  reference solve, the ``landmark`` backend must answer admissible
+  upper bounds (exact within its budget, exact under ``limit=``), and
+  every backend must report the same k-neighborhoods and a certified
+  diameter bracket (see :mod:`repro.graphs.audit`);
 - ``chaos [--loss P] [--jitter J] [--crashes K] …`` — run one workload
   through the concurrent simulator under an injected fault plan
   (message loss, delay jitter, node crashes) and emit the JSON chaos
@@ -42,8 +49,8 @@ Exit codes (uniform across subcommands):
 
 - ``0`` — success: the command ran and every gated check passed;
 - ``1`` — a check failed: lint findings (``lint``), a failed
-  consistency audit (``chaos``, ``serve-bench``), diverging traces
-  (``trace diff``);
+  consistency audit (``chaos``, ``serve-bench``, ``audit-backend``),
+  diverging traces (``trace diff``);
 - ``2`` — usage error: unknown subcommand/flag (argparse) or an
   invalid argument value caught by the command itself (e.g. an unknown
   figure name).
@@ -138,8 +145,9 @@ def _cmd_perf(args: argparse.Namespace) -> int:
 
     PERF.reset()
     net = grid_network(args.side, args.side)
-    if args.distance_mode != "auto":
-        net = SensorNetwork(net.graph, normalize=False, distance_mode=args.distance_mode)
+    backend = args.distance_backend if args.distance_backend != "auto" else args.distance_mode
+    if backend != "auto":
+        net = SensorNetwork(net.graph, normalize=False, distance_backend=backend)
     wl = make_workload(net, num_objects=args.objects, moves_per_object=args.moves,
                        num_queries=args.queries, seed=args.seed)
     tracker = make_tracker("MOT", net, wl.traffic, seed=args.seed)
@@ -159,6 +167,7 @@ def _cmd_perf(args: argparse.Namespace) -> int:
             "grid_side": args.side,
             "sensors": net.n,
             "distance_mode": net.distance_mode,
+            "distance_backend": net.distance_mode,
             "objects": args.objects,
             "moves_per_object": args.moves,
             "queries": args.queries,
@@ -181,6 +190,31 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     else:
         print(text)
     return 0
+
+
+def _cmd_audit_backend(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.graphs.audit import run_backend_audit
+
+    report = run_backend_audit(
+        side=args.side,
+        geometric_nodes=args.geometric_nodes,
+        seed=args.seed,
+        num_landmarks=args.landmarks,
+        exact_budget=args.budget,
+    )
+    text = json.dumps(report, indent=1)
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text + "\n")
+        print(f"wrote {out}")
+    else:
+        print(text)
+    if not report["ok"]:
+        print(f"audit-backend: {report['failed']} check(s) failed", file=sys.stderr)
+    return 0 if report["ok"] else 1
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -237,6 +271,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                 args.snapshot_interval if args.snapshot_interval > 0 else None
             ),
             trace_path=args.trace,
+            distance_backend=args.distance_backend,
         )
     except ValueError as exc:
         print(f"repro serve-bench: {exc}", file=sys.stderr)
@@ -391,11 +426,31 @@ def main(argv: list[str] | None = None) -> int:
     p_perf.add_argument("--moves", type=int, default=50)
     p_perf.add_argument("--queries", type=int, default=50)
     p_perf.add_argument("--seed", type=int, default=1)
-    p_perf.add_argument("--distance-mode", choices=("auto", "full", "lazy"), default="auto")
+    p_perf.add_argument("--distance-mode", choices=("auto", "full", "lazy"), default="auto",
+                        help="legacy alias of --distance-backend")
+    p_perf.add_argument("--distance-backend",
+                        choices=("auto", "full", "lazy", "landmark", "memmap"),
+                        default="auto",
+                        help="distance backend (supersedes --distance-mode)")
     p_perf.add_argument("--prometheus", action="store_true",
                         help="emit Prometheus text exposition instead of JSON")
     p_perf.add_argument("--out", help="write the report here instead of stdout")
     p_perf.set_defaults(fn=_cmd_perf)
+
+    p_ab = sub.add_parser(
+        "audit-backend",
+        help="check distance-backend exactness/admissibility on small graphs",
+    )
+    p_ab.add_argument("--side", type=int, default=6, help="grid side of the audit graph")
+    p_ab.add_argument("--geometric-nodes", type=int, default=48,
+                      help="node count of the random-geometric audit graph")
+    p_ab.add_argument("--seed", type=int, default=1)
+    p_ab.add_argument("--landmarks", type=int, default=8,
+                      help="landmark count of the audited landmark backend")
+    p_ab.add_argument("--budget", type=int, default=4,
+                      help="exactness-fallback budget of the audited landmark backend")
+    p_ab.add_argument("--out", help="write the JSON report here instead of stdout")
+    p_ab.set_defaults(fn=_cmd_audit_backend)
 
     p_chaos = sub.add_parser(
         "chaos", help="run one concurrent workload under fault injection, emit JSON report"
@@ -448,6 +503,10 @@ def main(argv: list[str] | None = None) -> int:
                       help="metrics snapshot period in service-clock seconds (0 = off)")
     p_sb.add_argument("--trace", default=None, metavar="PATH",
                       help="record a JSONL span trace of the run to PATH")
+    p_sb.add_argument("--distance-backend",
+                      choices=("auto", "full", "lazy", "landmark", "memmap"),
+                      default="auto",
+                      help="distance backend of the shared network")
     p_sb.add_argument("--out", help="write the JSON report here instead of stdout")
     p_sb.set_defaults(fn=_cmd_serve_bench)
 

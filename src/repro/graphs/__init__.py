@@ -1,6 +1,17 @@
-"""Sensor-network graph substrate: model, topology generators, doubling dimension."""
+"""Sensor-network graph substrate: model, distance backends, generators, doubling."""
 
+from repro.graphs.backends import (
+    BACKEND_NAMES,
+    DistanceBackend,
+    FullMatrixBackend,
+    LandmarkBackend,
+    LazyLRUBackend,
+    MemmapFullBackend,
+    make_backend,
+    register_backend,
+)
 from repro.graphs.network import SensorNetwork
+from repro.graphs.rowstore import MemmapRowStore
 from repro.graphs.generators import (
     grid_network,
     ring_network,
@@ -15,6 +26,15 @@ from repro.graphs.doubling import estimate_doubling_dimension
 
 __all__ = [
     "SensorNetwork",
+    "DistanceBackend",
+    "FullMatrixBackend",
+    "LazyLRUBackend",
+    "LandmarkBackend",
+    "MemmapFullBackend",
+    "MemmapRowStore",
+    "BACKEND_NAMES",
+    "make_backend",
+    "register_backend",
     "grid_network",
     "ring_network",
     "line_network",

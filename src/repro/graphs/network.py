@@ -4,31 +4,32 @@ A :class:`SensorNetwork` wraps a connected, weighted, undirected
 :class:`networkx.Graph` and exposes the primitives every tracking
 algorithm in this package relies on:
 
-- shortest-path distances ``dist_G(u, v)`` (cached all-pairs matrix
-  computed with :func:`scipy.sparse.csgraph.dijkstra`),
+- shortest-path distances ``dist_G(u, v)`` answered by a pluggable
+  **distance backend** (:mod:`repro.graphs.backends`): ``"full"``
+  precomputes the all-pairs matrix, ``"lazy"`` keeps exact
+  single-source rows in a bounded LRU, ``"landmark"`` answers
+  sub-quadratic admissible upper bounds with an exactness-fallback
+  budget, ``"memmap"`` shares one on-disk matrix across consumers,
 - batched distance queries (:meth:`SensorNetwork.distances_to_many`,
   :meth:`SensorNetwork.pairwise_submatrix`,
   :meth:`SensorNetwork.pair_distances`,
   :meth:`SensorNetwork.consecutive_distances`) that resolve many
   sources in one Dijkstra call — the hot path of hierarchy
   construction and the trackers,
-- the network diameter ``D`` (exact in full mode; an iterated
+- the network diameter ``D`` (exact in matrix-backed modes; an iterated
   double-sweep estimate with a certified 2-approximation upper bound
-  in lazy mode — see :attr:`SensorNetwork.diameter_bounds`),
-- ``k``-neighborhoods (all nodes within distance ``k``),
+  in row-backed modes — see :attr:`SensorNetwork.diameter_bounds`),
+- ``k``-neighborhoods (all nodes within distance ``k``, boundary nodes
+  included up to the :mod:`repro.core.costs` tolerance),
 - an optional landmark-based *upper-bound* oracle
   (:meth:`SensorNetwork.distance_upper_bound`) for callers that can
-  trade exactness for constant-time answers in lazy mode,
+  trade exactness for constant-time answers,
 - deterministic integer indexing of nodes (node identifiers are sorted
   once; positional access is by :meth:`SensorNetwork.node_at`).
 
-Lazy mode keeps single-source rows in a **bounded LRU**
-(:attr:`SensorNetwork.lazy_cache_rows` rows, hit/miss/eviction counters
-in :attr:`SensorNetwork.oracle_stats`), so long workloads on
-10,000-node networks hold O(cache · n) memory instead of growing a row
-per ever-touched source. Radius-limited queries (``limit=``) run a
-pruned Dijkstra and bypass the cache — their rows are truncated at the
-limit (``inf`` beyond it) and must never be mistaken for exact rows.
+Radius-limited queries (``limit=``) run a pruned Dijkstra under every
+backend and bypass all caches — their rows are truncated at the limit
+(``inf`` beyond it) and must never be mistaken for exact rows.
 
 Edge weights are *distances* between adjacent sensors, not detection
 rates (the paper is explicit about this distinction). Following §2.1 the
@@ -38,69 +39,21 @@ bounds are then independent of the deployment's physical scale.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from typing import Hashable, Iterable, Iterator, Sequence
 
 import networkx as nx
 import numpy as np
 from scipy.sparse import csr_matrix
-from scipy.sparse.csgraph import dijkstra
 
-from repro.perf import PERF
+from repro.graphs.backends import (
+    DistanceBackend,
+    SsspEngine,
+    make_backend,
+)
 
 Node = Hashable
 
 __all__ = ["SensorNetwork", "Node"]
-
-
-class _RowLRU:
-    """Bounded LRU of single-source distance rows, keyed by source index.
-
-    A plain :class:`collections.OrderedDict` with move-to-end on hit and
-    eviction of the least-recently-used row past ``capacity``. Counters
-    are kept here so :attr:`SensorNetwork.oracle_stats` can report cache
-    pressure without touching the global perf registry.
-    """
-
-    __slots__ = ("capacity", "hits", "misses", "evictions", "_rows")
-
-    def __init__(self, capacity: int) -> None:
-        if capacity < 1:
-            raise ValueError("row cache capacity must be >= 1")
-        self.capacity = capacity
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self._rows: OrderedDict[int, np.ndarray] = OrderedDict()
-
-    def __len__(self) -> int:
-        return len(self._rows)
-
-    def __contains__(self, i: int) -> bool:
-        return i in self._rows
-
-    def get(self, i: int) -> np.ndarray | None:
-        row = self._rows.get(i)
-        if row is None:
-            self.misses += 1
-            return None
-        self._rows.move_to_end(i)
-        self.hits += 1
-        return row
-
-    def peek(self, i: int) -> np.ndarray | None:
-        """Like :meth:`get` but without touching recency or counters."""
-        return self._rows.get(i)
-
-    def put(self, i: int, row: np.ndarray) -> None:
-        if i in self._rows:
-            self._rows.move_to_end(i)
-            self._rows[i] = row
-            return
-        self._rows[i] = row
-        if len(self._rows) > self.capacity:
-            self._rows.popitem(last=False)
-            self.evictions += 1
 
 
 class SensorNetwork:
@@ -119,23 +72,33 @@ class SensorNetwork:
         If true (default), rescale all weights so the minimum edge
         weight is exactly 1 (paper §2.1).
     distance_mode:
-        ``"full"`` precomputes the all-pairs matrix (O(n²) memory,
-        fastest repeated queries); ``"lazy"`` computes single-source
-        rows on demand and keeps the most recent ones in a bounded LRU
-        (scales to tens of thousands of sensors); ``"auto"`` (default)
-        picks ``full`` up to :data:`LAZY_THRESHOLD` nodes. Components
-        that genuinely need the whole matrix (doubling-dimension
-        estimation, sparse covers) require ``full`` mode and say so.
+        Backwards-compatible backend selector: ``"full"`` precomputes
+        the all-pairs matrix (O(n²) memory, fastest repeated queries);
+        ``"lazy"`` computes single-source rows on demand and keeps the
+        most recent ones in a bounded LRU (scales to hundreds of
+        thousands of sensors); ``"auto"`` (default) picks ``full`` up
+        to :data:`LAZY_THRESHOLD` nodes. Components that genuinely need
+        the whole matrix (doubling-dimension estimation, sparse covers)
+        require a matrix-backed mode and say so.
     lazy_cache_rows:
-        Capacity of the lazy-mode row cache (default
+        Capacity of the exact row cache (default
         :data:`LAZY_CACHE_ROWS`). Memory is ``capacity · n`` floats;
-        ignored in full mode.
+        unused by matrix-backed modes.
+    distance_backend:
+        Full backend selector, superseding ``distance_mode`` when
+        given: any name in :data:`repro.graphs.backends.BACKEND_NAMES`
+        (``"full"``, ``"lazy"``, ``"landmark"``, ``"memmap"``) or
+        ``"auto"``.
+    backend_options:
+        Extra keyword arguments for the backend factory — the landmark
+        backend accepts ``num_landmarks`` and ``exact_budget``, the
+        memmap backend ``path``.
 
     Raises
     ------
     ValueError
-        If the graph is empty, disconnected, or has a non-positive
-        edge weight.
+        If the graph is empty, disconnected, has a non-positive edge
+        weight, or the requested mode/backend is unknown.
     """
 
     #: "auto" switches from the precomputed matrix to lazy rows here
@@ -152,6 +115,8 @@ class SensorNetwork:
         normalize: bool = True,
         distance_mode: str = "auto",
         lazy_cache_rows: int | None = None,
+        distance_backend: str | None = None,
+        backend_options: dict[str, object] | None = None,
     ) -> None:
         if distance_mode not in ("auto", "full", "lazy"):
             raise ValueError(f"unknown distance_mode {distance_mode!r}")
@@ -187,21 +152,19 @@ class SensorNetwork:
         self._all_idx = list(range(len(self._nodes)))
 
         self._positions = dict(positions) if positions else None
-        if distance_mode == "auto":
-            distance_mode = "full" if len(self._nodes) <= self.LAZY_THRESHOLD else "lazy"
-        self._distance_mode = distance_mode
-        self._dist: np.ndarray | None = None
-        self._rows = _RowLRU(
-            self.LAZY_CACHE_ROWS if lazy_cache_rows is None else lazy_cache_rows
-        )
+        name = distance_backend if distance_backend is not None else distance_mode
+        if name == "auto":
+            name = "full" if len(self._nodes) <= self.LAZY_THRESHOLD else "lazy"
         self._adj_csr: csr_matrix | None = None
-        self._diameter: float | None = None
-        self._diameter_upper: float | None = None
-        self._rows_computed = 0
-        self._limited_sssp = 0
-        self._batched_calls = 0
-        self._landmark_idx: np.ndarray | None = None
-        self._landmark_rows: np.ndarray | None = None
+        self._engine = SsspEngine(self._adjacency)
+        self._backend: DistanceBackend = make_backend(
+            name,
+            self._engine,
+            len(self._nodes),
+            self.LAZY_CACHE_ROWS if lazy_cache_rows is None else lazy_cache_rows,
+            backend_options,
+        )
+        self._diameter_bounds: tuple[float, float] | None = None
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -268,12 +231,31 @@ class SensorNetwork:
         return self._positions is not None
 
     # ------------------------------------------------------------------
-    # distances
+    # distances (delegated to the backend)
     # ------------------------------------------------------------------
     @property
     def distance_mode(self) -> str:
-        """``"full"`` (precomputed matrix) or ``"lazy"`` (rows on demand)."""
-        return self._distance_mode
+        """Name of the active distance backend (``"full"``, ``"lazy"``, …)."""
+        return self._backend.name
+
+    @property
+    def distance_backend(self) -> DistanceBackend:
+        """The active :class:`repro.graphs.backends.DistanceBackend`."""
+        return self._backend
+
+    @property
+    def distances_exact(self) -> bool:
+        """Whether unlimited distance answers are exact under this backend.
+
+        Radius-limited queries are exact under *every* backend; see the
+        exactness contract in :mod:`repro.graphs.backends`.
+        """
+        return self._backend.exact
+
+    @property
+    def _dist(self) -> np.ndarray | None:
+        """The materialized all-pairs matrix, if any (tests/introspection)."""
+        return self._backend.matrix_if_materialized()
 
     def _adjacency(self) -> csr_matrix:
         if self._adj_csr is None:
@@ -289,85 +271,50 @@ class SensorNetwork:
             self._adj_csr = csr_matrix((vals, (rows, cols)), shape=(n, n))
         return self._adj_csr
 
-    def _ensure_distances(self) -> np.ndarray:
-        if self._dist is None:
-            with PERF.timer("oracle.full_matrix"):
-                self._dist = dijkstra(self._adjacency(), directed=False)
-        return self._dist
-
     @property
     def distance_matrix(self) -> np.ndarray:
         """All-pairs shortest-path distance matrix, indexed like :meth:`node_at`.
 
-        Computed lazily once; O(n^2) memory. Unavailable in lazy
-        distance mode — callers that need the whole matrix (doubling
-        estimation, sparse covers) must construct the network with
-        ``distance_mode="full"``.
+        Computed lazily once; O(n^2) memory. Only matrix-backed
+        backends (``full``, ``memmap``) provide it — callers that need
+        the whole matrix (doubling estimation, sparse covers) must
+        construct the network with ``distance_mode="full"``.
         """
-        if self._distance_mode == "lazy":
+        if not self._backend.supports_matrix:
+            mode = self._backend.name
+            qualifier = (
+                "in lazy distance mode"
+                if mode == "lazy"
+                else f"under the {mode!r} distance backend"
+            )
             raise RuntimeError(
-                "distance_matrix is unavailable in lazy distance mode; "
+                f"distance_matrix is unavailable {qualifier}; "
                 'construct the SensorNetwork with distance_mode="full"'
             )
-        return self._ensure_distances()
-
-    def _sssp(
-        self, indices: int | Sequence[int] | np.ndarray, limit: float | None = None
-    ) -> np.ndarray:
-        """Raw (possibly multi-source-batched, possibly pruned) Dijkstra."""
-        kwargs = {} if limit is None else {"limit": float(limit)}
-        out = dijkstra(self._adjacency(), directed=False, indices=indices, **kwargs)
-        k = 1 if np.ndim(indices) == 0 else len(indices)
-        if limit is None:
-            self._rows_computed += k
-            PERF.incr("oracle.rows_computed", k)
-        else:
-            self._limited_sssp += k
-            PERF.incr("oracle.limited_sssp", k)
-        return out
+        return self._backend.matrix()
 
     def distance(self, u: Node, v: Node) -> float:
         """Shortest-path distance ``dist_G(u, v)``.
 
-        Full mode reads the matrix. Lazy mode reuses a cached row of
-        either endpoint when one exists; for *adjacent* ``u, v`` with no
-        cached row it runs a Dijkstra pruned at the connecting edge's
-        weight (exact, touches only a small ball) instead of computing
-        and caching a full row for a throwaway pair.
+        Matrix-backed modes read the matrix. Row-backed modes reuse a
+        cached row of either endpoint when one exists; for *adjacent*
+        ``u, v`` with no cached row they run a Dijkstra pruned at the
+        connecting edge's weight (exact, touches only a small ball)
+        instead of computing and caching a full row for a throwaway
+        pair. The landmark backend answers an admissible upper bound
+        once its exactness budget is spent.
         """
-        i = self._index[u]
-        if self._distance_mode == "full" or self._dist is not None:
-            return float(self._ensure_distances()[i, self._index[v]])
-        j = self._index[v]
-        if i == j:
-            return 0.0
-        row = self._rows.get(i)
-        if row is not None:
-            return float(row[j])
-        row = self._rows.get(j)
-        if row is not None:
-            return float(row[i])
-        if self._graph.has_edge(u, v):
-            w = float(self._graph[u][v]["weight"])
-            return float(self._sssp(i, limit=w)[j])
-        return float(self.distances_from(u)[j])
+        return self._backend.pair_distance(self._index[u], self._index[v])
 
     def distances_from(self, u: Node) -> np.ndarray:
         """Vector of shortest-path distances from ``u`` to every node (by index).
 
-        In lazy mode, rows are computed by single-source Dijkstra on
-        first use and kept in a bounded LRU (capacity
+        In row-backed modes, rows are computed by single-source
+        Dijkstra on first use and kept in a bounded LRU (capacity
         ``lazy_cache_rows``), so memory stays ``O(cache · n)`` no matter
         how many distinct sources a long workload touches.
         """
-        i = self._index[u]
-        if self._distance_mode == "full" or self._dist is not None:
-            return self._ensure_distances()[i]
-        row = self._rows.get(i)
-        if row is None:
-            row = self._sssp(i)
-            self._rows.put(i, row)
-        return row
+        return self._backend.distances_from(self._index[u])
 
     def distances_to_many(
         self,
@@ -387,42 +334,14 @@ class SensorNetwork:
         With ``limit``, the search is pruned at distance ``limit``
         (entries ≤ ``limit`` are exact, ``inf`` beyond — scipy's
         inclusive semantics) and the truncated rows bypass the row
-        cache; cached exact rows are still reused. Full mode always
-        returns exact values, even past ``limit``.
+        cache; cached exact rows are still reused. Matrix-backed modes
+        always return exact values, even past ``limit``.
         """
         src_idx = [self._index[u] for u in sources]
         tgt_idx = None if targets is None else [self._index[v] for v in targets]
         if tgt_idx is not None and len(tgt_idx) == self.n and tgt_idx == self._all_idx:
             tgt_idx = None  # identity column selection — row copies suffice
-        self._batched_calls += 1
-        PERF.incr("oracle.batched_calls")
-        if self._distance_mode == "full" or self._dist is not None:
-            M = self._ensure_distances()
-            if tgt_idx is None:
-                return M[src_idx]
-            # one fancy-indexed copy of exactly the requested block — an
-            # intermediate M[src_idx] would copy all n columns first
-            return M[np.asarray(src_idx)[:, None], np.asarray(tgt_idx)]
-        rows: dict[int, np.ndarray] = {}
-        missing: list[int] = []
-        seen: set[int] = set()
-        for i in src_idx:
-            if i in rows:
-                continue
-            cached = self._rows.get(i)
-            if cached is not None:
-                rows[i] = cached
-            elif i not in seen:
-                missing.append(i)
-                seen.add(i)
-        if missing:
-            computed = self._sssp(np.asarray(missing), limit=limit)
-            for k, i in enumerate(missing):
-                rows[i] = computed[k]
-                if limit is None:
-                    self._rows.put(i, computed[k])
-        block = np.vstack([rows[i] for i in src_idx]) if src_idx else np.empty((0, self.n))
-        return block if tgt_idx is None else block[:, tgt_idx]
+        return self._backend.distances_to_many(src_idx, tgt_idx, limit=limit)
 
     def pairwise_submatrix(
         self, nodes: Sequence[Node], limit: float | None = None
@@ -442,14 +361,8 @@ class SensorNetwork:
         """
         if not pairs:
             return np.empty(0)
-        srcs = list(dict.fromkeys(u for u, _ in pairs))
-        tgts = list(dict.fromkeys(v for _, v in pairs))
-        spos = {u: k for k, u in enumerate(srcs)}
-        tpos = {v: k for k, v in enumerate(tgts)}
-        block = self.distances_to_many(srcs, tgts)
-        a = np.asarray([spos[u] for u, _ in pairs])
-        b = np.asarray([tpos[v] for _, v in pairs])
-        return block[a, b]
+        idx_pairs = [(self._index[u], self._index[v]) for u, v in pairs]
+        return self._backend.pair_distances(idx_pairs)
 
     def consecutive_distances(self, seq: Sequence[Node]) -> np.ndarray:
         """``[dist(seq[0], seq[1]), dist(seq[1], seq[2]), ...]`` in one batch.
@@ -472,50 +385,30 @@ class SensorNetwork:
     def diameter(self) -> float:
         """Maximum shortest-path distance over all node pairs (``D``, §2.1).
 
-        Full mode is exact. Lazy mode iterates the double sweep to a
-        fixed point: sweep from the farthest node found so far until the
-        eccentricity stops growing (exact on trees, empirically exact on
-        grids/disks, never more than a factor 2 below ``D`` in general
-        — see :attr:`diameter_bounds` for the certified bracket).
+        Matrix-backed modes are exact. Row-backed modes iterate the
+        double sweep to a fixed point: sweep from the farthest node
+        found so far until the eccentricity stops growing (exact on
+        trees, empirically exact on grids/disks, never more than a
+        factor 2 below ``D`` in general — see :attr:`diameter_bounds`
+        for the certified bracket).
         """
-        if self._diameter is None:
-            if self._distance_mode == "full":
-                self._diameter = float(self._ensure_distances().max())
-                self._diameter_upper = self._diameter
-            else:
-                # iterated double sweep: each hop moves to the farthest
-                # node seen; eccentricities are non-decreasing along the
-                # walk, so the first non-improving sweep is a fixed point.
-                cur = self._nodes[0]
-                best = -1.0
-                for _ in range(max(2, int(np.ceil(np.log2(self.n + 1))) + 2)):
-                    row = self.distances_from(cur)
-                    far_i = int(np.argmax(row))
-                    ecc = float(row[far_i])
-                    if ecc <= best:
-                        break
-                    best = ecc
-                    cur = self._nodes[far_i]
-                self._diameter = best
-                # any eccentricity e satisfies D <= 2e (triangle inequality)
-                self._diameter_upper = 2.0 * best
-        return self._diameter
+        return self.diameter_bounds[0]
 
     @property
     def diameter_bounds(self) -> tuple[float, float]:
         """Certified ``(lower, upper)`` bracket on the true diameter.
 
-        Full mode returns ``(D, D)``. Lazy mode returns the iterated
-        double-sweep estimate and twice it: every sweep value is a real
-        eccentricity ``e``, and ``D ≤ 2e`` by the triangle inequality.
-        Anything sizing level counts or search radii off the diameter
-        must use the **upper** bound — the estimate itself can
-        under-shoot (that truncated ``build_levels`` hierarchies before
-        this bracket existed).
+        Matrix-backed modes return ``(D, D)``. Row-backed modes return
+        the iterated double-sweep estimate and twice it: every sweep
+        value is a real eccentricity ``e``, and ``D ≤ 2e`` by the
+        triangle inequality. Anything sizing level counts or search
+        radii off the diameter must use the **upper** bound — the
+        estimate itself can under-shoot (that truncated
+        ``build_levels`` hierarchies before this bracket existed).
         """
-        d = self.diameter
-        assert self._diameter_upper is not None
-        return d, self._diameter_upper
+        if self._diameter_bounds is None:
+            self._diameter_bounds = self._backend.diameter_bounds()
+        return self._diameter_bounds
 
     def shortest_path(self, u: Node, v: Node) -> list[Node]:
         """One shortest path from ``u`` to ``v`` as a list of nodes."""
@@ -524,100 +417,67 @@ class SensorNetwork:
     def k_neighborhood(self, node: Node, k: float) -> list[Node]:
         """All nodes within distance ``k`` of ``node``, including ``node`` (§2.1).
 
-        In lazy mode (with no cached row for ``node``) this runs a
-        Dijkstra pruned at ``k`` — it only explores the ball it reports,
-        which on big networks is far cheaper than a full row.
+        Membership is decided with the :mod:`repro.core.costs`
+        tolerance, so a node at *exactly* distance ``k`` whose value
+        picked up float noise during weight normalization is never
+        dropped (the ``dists <= k`` comparison this replaced could).
+        In row-backed modes (with no cached row for ``node``) this runs
+        a Dijkstra pruned at ``k`` — it only explores the ball it
+        reports, which on big networks is far cheaper than a full row;
+        it is exact under every backend.
         """
-        i = self._index[node]
-        if self._distance_mode == "full" or self._dist is not None:
-            dists = self._ensure_distances()[i]
-        else:
-            dists = self._rows.peek(i)
-            if dists is None:
-                dists = self._sssp(i, limit=k)
-        hits = np.nonzero(dists <= k)[0]
+        hits = self._backend.k_neighborhood(self._index[node], k)
         return [self._nodes[i] for i in hits]
 
     # ------------------------------------------------------------------
-    # landmark upper-bound oracle (lazy-mode helper)
+    # landmark upper-bound oracle
     # ------------------------------------------------------------------
     def build_landmarks(self, k: int | None = None) -> tuple[Node, ...]:
         """Pick ``k`` landmarks by farthest-point traversal and pin their rows.
 
         Landmark rows live outside the LRU (they are pinned), costing
-        ``k · n`` floats. Deterministic: starts from node 0 and greedily
-        maximizes the distance to the chosen set, ties by node index.
+        ``k · n`` floats — reported as ``landmark_pinned_bytes`` in
+        :attr:`oracle_stats`. Deterministic: starts from node 0 and
+        greedily maximizes the distance to the chosen set, ties by node
+        index. Idempotent: a repeat call with the same ``k`` is a
+        no-op, and cached LRU rows are reused instead of recomputed.
         """
-        k = min(k or self.DEFAULT_LANDMARKS, self.n)
-        chosen = [0]
-        rows = [np.asarray(self._sssp(0) if self._dist is None else self._ensure_distances()[0])]
-        while len(chosen) < k:
-            mindist = np.minimum.reduce(rows)
-            nxt = int(np.argmax(mindist))
-            if mindist[nxt] <= 0:  # every node already a landmark
-                break
-            chosen.append(nxt)
-            rows.append(
-                np.asarray(
-                    self._sssp(nxt) if self._dist is None else self._ensure_distances()[nxt]
-                )
-            )
-        self._landmark_idx = np.asarray(chosen)
-        self._landmark_rows = np.vstack(rows)
+        chosen = self._backend.build_landmarks(k)
         return tuple(self._nodes[i] for i in chosen)
 
     def distance_upper_bound(self, u: Node, v: Node) -> float:
         """An upper bound on ``dist_G(u, v)`` that never runs a new Dijkstra.
 
-        Exact whenever it can be for free (full mode, identical
-        endpoints, or a cached lazy row for either endpoint); otherwise
-        the landmark bound ``min_L d(u, L) + d(L, v)`` — admissible by
-        the triangle inequality. Landmarks are built on first use
-        (:meth:`build_landmarks` tunes ``k``). Intended for callers that
-        can act on a safe over-estimate (search-radius sizing, candidate
-        pruning) without forcing exact work on the 10k-node hot path.
+        Exact whenever it can be for free (matrix-backed modes,
+        identical endpoints, or a cached row for either endpoint);
+        otherwise the landmark bound ``min_L d(u, L) + d(L, v)`` —
+        admissible by the triangle inequality. Landmarks are built on
+        first use (:meth:`build_landmarks` tunes ``k``). Intended for
+        callers that can act on a safe over-estimate (search-radius
+        sizing, candidate pruning) without forcing exact work on the
+        hot path.
         """
-        i, j = self._index[u], self._index[v]
-        if i == j:
-            return 0.0
-        if self._distance_mode == "full" or self._dist is not None:
-            return float(self._ensure_distances()[i, j])
-        row = self._rows.peek(i)
-        if row is None:
-            row = self._rows.peek(j)
-            if row is not None:
-                i = j  # use v's row symmetrically
-                j = self._index[u]
-        if row is not None:
-            return float(row[j])
-        if self._landmark_rows is None:
-            self.build_landmarks()
-        assert self._landmark_rows is not None
-        PERF.incr("oracle.landmark_ub")
-        return float(np.min(self._landmark_rows[:, i] + self._landmark_rows[:, j]))
+        return self._backend.distance_upper_bound(self._index[u], self._index[v])
 
     @property
-    def oracle_stats(self) -> dict[str, int | str | float]:
+    def oracle_stats(self) -> dict[str, int | str | float | bool]:
         """Counters describing distance-oracle pressure on this network.
 
-        ``row_cache_*`` report the lazy LRU (hits/misses include every
-        row lookup, batched or not); ``rows_computed`` counts exact
+        ``row_cache_*`` report the exact-row LRU (hits/misses include
+        every row lookup, batched or not — duplicate sources in one
+        batched call count once); ``rows_computed`` counts exact
         single-source Dijkstra solves, ``limited_sssp`` radius-pruned
-        ones, ``batched_calls`` invocations of the batched API.
+        ones, ``batched_calls`` invocations of the batched API;
+        ``landmark_pinned_bytes`` is the memory pinned outside the LRU
+        by :meth:`build_landmarks`. Approximate backends add their own
+        counters (``approx_rows``, ``exact_budget_remaining``, …).
         """
-        return {
-            "mode": self._distance_mode,
+        stats: dict[str, int | str | float | bool] = {
+            "mode": self._backend.name,
             "n": self.n,
-            "row_cache_capacity": self._rows.capacity,
-            "row_cache_size": len(self._rows),
-            "row_cache_hits": self._rows.hits,
-            "row_cache_misses": self._rows.misses,
-            "row_cache_evictions": self._rows.evictions,
-            "rows_computed": self._rows_computed,
-            "limited_sssp": self._limited_sssp,
-            "batched_calls": self._batched_calls,
-            "landmarks": 0 if self._landmark_idx is None else int(self._landmark_idx.size),
         }
+        stats.update(self._backend.stats())
+        return stats
 
     def closest(self, node: Node, candidates: Iterable[Node]) -> Node:
         """Candidate closest to ``node``; ties broken by node index (paper:

@@ -1,0 +1,111 @@
+"""Fingerprinted memmap storage for shared all-pairs distance matrices.
+
+:class:`MemmapRowStore` is the disk/shared-memory half of the
+``"memmap"`` distance backend: the n×n float64 matrix lives in one file
+that any number of consumers — other :class:`SensorNetwork` instances,
+serve shards, worker processes — map read-only and share through the OS
+page cache, instead of each holding a private O(n²) copy.
+
+A JSON sidecar (``<path>.meta.json``) records a cheap fingerprint of
+the weighted graph — ``(n, edge count, weight sum)`` — so attaching to
+a stale file left behind by a *different* graph of the same size is
+detected and the matrix is recomputed in place. When no path is given,
+a deterministic per-fingerprint file under the system temp directory is
+used, which is what lets two independently constructed networks over
+the same graph find each other's matrix with zero coordination.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+
+import numpy as np
+
+__all__ = ["MemmapRowStore"]
+
+Fingerprint = tuple[int, int, str]
+
+
+class MemmapRowStore:
+    """One on-disk all-pairs matrix, guarded by a graph fingerprint."""
+
+    def __init__(self, path: str | None, fingerprint: Fingerprint) -> None:
+        self._fingerprint = fingerprint
+        self._n = int(fingerprint[0])
+        if path is None:
+            digest = hashlib.sha256(repr(fingerprint).encode()).hexdigest()[:16]
+            path = os.path.join(tempfile.gettempdir(), f"repro-dist-{digest}.f64")
+        self.path = path
+
+    @property
+    def meta_path(self) -> str:
+        """Path of the JSON fingerprint sidecar."""
+        return self.path + ".meta.json"
+
+    def _meta_matches(self) -> bool:
+        try:
+            with open(self.meta_path, "r", encoding="utf-8") as fh:
+                meta = json.load(fh)
+        except (OSError, ValueError):
+            return False
+        return (
+            meta.get("n") == self._fingerprint[0]
+            and meta.get("nnz") == self._fingerprint[1]
+            and meta.get("weight_sum") == self._fingerprint[2]
+        )
+
+    def attach(self) -> np.ndarray | None:
+        """Map an existing matrix read-only, or ``None`` when absent/stale.
+
+        Attaching never computes anything: the sidecar fingerprint and
+        the file size must both match this store's graph.
+        """
+        expected = self._n * self._n * 8
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            return None
+        if size != expected or not self._meta_matches():
+            return None
+        return np.memmap(self.path, dtype=np.float64, mode="r", shape=(self._n, self._n))
+
+    def create(self, matrix: np.ndarray) -> np.ndarray:
+        """Write ``matrix`` to the store and return a read-only mapping.
+
+        The write goes to a temporary sibling file that is atomically
+        renamed into place, so a concurrent consumer either attaches the
+        complete old file or the complete new one — never a torn write.
+        The sidecar is written after the rename; attachers require both.
+        """
+        if matrix.shape != (self._n, self._n):
+            raise ValueError(
+                f"matrix shape {matrix.shape} does not match fingerprint n={self._n}"
+            )
+        directory = os.path.dirname(self.path) or "."
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".f64.tmp")
+        os.close(fd)
+        try:
+            mm = np.memmap(tmp, dtype=np.float64, mode="r+", shape=(self._n, self._n))
+            mm[:] = matrix
+            mm.flush()
+            del mm
+            os.replace(tmp, self.path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+        with open(self.meta_path, "w", encoding="utf-8") as fh:
+            json.dump(
+                {
+                    "n": self._fingerprint[0],
+                    "nnz": self._fingerprint[1],
+                    "weight_sum": self._fingerprint[2],
+                },
+                fh,
+            )
+        attached = self.attach()
+        assert attached is not None
+        return attached

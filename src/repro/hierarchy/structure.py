@@ -307,6 +307,13 @@ def build_hierarchy(
     structure of Algorithm 1's presentation — the configuration the
     paper's own experiments run; ``True`` enables the §3.1 full
     parent-set traversal used by the meeting-level proofs.
+
+    Works under every distance backend of ``net``: construction only
+    issues radius-limited batched queries (exact under the approximate
+    ``landmark`` backend too — see the exactness contract in
+    :mod:`repro.graphs.backends`) and sizes its level count from the
+    certified ``diameter_bounds`` upper bound, so the overlay is
+    identical whichever backend answers.
     """
     with TRACER.span("build", nodes=net.n, seed=seed) as sp:
         ls = build_levels(net, seed=seed, mis_algorithm=mis_algorithm)

@@ -32,6 +32,7 @@ from contextlib import ExitStack
 from dataclasses import asdict, dataclass
 
 from repro.graphs.generators import grid_network
+from repro.graphs.network import SensorNetwork
 from repro.obs.export import JsonlTraceWriter
 from repro.obs.prometheus import render_prometheus
 from repro.obs.trace import tracing
@@ -64,6 +65,9 @@ class ServeBenchConfig:
     service_time_per_cost_s: float = 0.0
     clock: str = "virtual"  # "virtual" (deterministic) or "wall"
     mobility: str = "random_walk"
+    #: distance backend of the shared SensorNetwork ("auto" keeps the
+    #: generator's choice; "memmap" lets shards share one on-disk matrix)
+    distance_backend: str = "auto"
     metrics_snapshot_interval_s: float | None = 0.5  # service-clock seconds
     trace_path: str | None = None  # JSONL span trace (None = tracing off)
 
@@ -74,6 +78,8 @@ class ServeBenchConfig:
             raise ValueError("rate must be positive")
         if self.clock not in ("virtual", "wall"):
             raise ValueError('clock must be "virtual" or "wall"')
+        if self.distance_backend not in ("auto", "full", "lazy", "landmark", "memmap"):
+            raise ValueError(f"unknown distance_backend {self.distance_backend!r}")
 
     @property
     def grid_side(self) -> int:
@@ -118,6 +124,10 @@ def run_serve_bench(cfg: ServeBenchConfig | None = None) -> dict:
     cfg = cfg or ServeBenchConfig()
     side = cfg.grid_side
     net = grid_network(side, side)
+    if cfg.distance_backend != "auto":
+        net = SensorNetwork(
+            net.graph, normalize=False, distance_backend=cfg.distance_backend
+        )
     workload = make_workload(
         net,
         num_objects=cfg.num_objects,
@@ -159,6 +169,7 @@ def run_serve_bench(cfg: ServeBenchConfig | None = None) -> dict:
             "nodes": net.n,
             "grid_side": side,
             "distance_mode": net.distance_mode,
+            "distance_backend": net.distance_mode,
         },
         "loadgen": {
             "offered_rate_ops_s": cfg.rate,

@@ -93,6 +93,38 @@ class TestBatchedQueries:
         net.distances_to_many([0, 1], [2, 3])
         assert net.oracle_stats["batched_calls"] == 1
 
+    def test_duplicate_uncached_sources_miss_once(self):
+        # regression: duplicated uncached sources used to probe the LRU
+        # once per occurrence, inflating the miss count
+        net = _grid_net(6, "lazy")
+        net.distances_to_many([5, 5, 5], [0, 1])
+        stats = net.oracle_stats
+        assert stats["row_cache_misses"] == 1
+        assert stats["row_cache_hits"] == 0
+        assert stats["rows_computed"] == 1
+        net.distances_to_many([5, 5], [2])  # now cached: one hit, no miss
+        stats = net.oracle_stats
+        assert stats["row_cache_misses"] == 1
+        assert stats["row_cache_hits"] == 1
+        assert stats["rows_computed"] == 1
+
+    def test_limited_batch_reuses_cached_exact_rows(self):
+        full = _grid_net(6, "full")
+        net = _grid_net(6, "lazy")
+        exact = net.distances_from(0)  # cached exact row
+        out = net.distances_to_many([0, 1], limit=3.0)
+        stats = net.oracle_stats
+        # source 0 is served from its cached exact row (no truncation,
+        # no new solve); source 1 runs one pruned solve
+        assert np.array_equal(out[0], np.asarray(exact))
+        assert stats["limited_sssp"] == 1
+        assert stats["rows_computed"] == 1  # only the distances_from row
+        # the truncated row must bypass the LRU entirely
+        assert stats["row_cache_size"] == 1
+        ref = full.distances_from(1)
+        assert out[1][ref <= 3.0] == pytest.approx(ref[ref <= 3.0])
+        assert np.all(np.isinf(out[1][ref > 3.0]))
+
 
 class TestRowLRU:
     def test_cache_never_exceeds_capacity(self):

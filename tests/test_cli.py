@@ -258,3 +258,50 @@ def test_serve_demo_runs(capsys):
     assert "tiger" in out
     assert "coalesced" in out
     assert "rejected" in out
+
+
+AUDIT_BACKEND_SMALL = ["audit-backend", "--side", "4", "--geometric-nodes", "24",
+                       "--landmarks", "4", "--budget", "2"]
+
+
+def test_audit_backend_to_stdout(capsys):
+    import json
+
+    assert main(AUDIT_BACKEND_SMALL) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["ok"] is True
+    assert report["failed"] == 0
+    names = {c["check"] for c in report["checks"]}
+    assert {"full_bit_for_bit", "lazy_bit_for_bit", "memmap_bit_for_bit",
+            "landmark_rows_admissible", "landmark_pairs_admissible",
+            "landmark_limited_exact", "k_neighborhood_agreement",
+            "diameter_bracket"} <= names
+
+
+def test_audit_backend_to_file(tmp_path, capsys):
+    import json
+
+    out_path = tmp_path / "runs" / "audit.json"
+    assert main(AUDIT_BACKEND_SMALL + ["--out", str(out_path)]) == 0
+    assert "wrote" in capsys.readouterr().out
+    assert json.loads(out_path.read_text())["ok"] is True
+
+
+def test_perf_distance_backend_flag(capsys):
+    import json
+
+    assert main(["perf", "--side", "5", "--objects", "2", "--moves", "8",
+                 "--queries", "4", "--distance-backend", "landmark"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["run"]["distance_backend"] == "landmark"
+    assert report["oracle"]["mode"] == "landmark"
+    assert "exact_budget_remaining" in report["oracle"]
+
+
+def test_serve_bench_distance_backend_flag(capsys):
+    import json
+
+    assert main(SERVE_BENCH_SMALL + ["--distance-backend", "lazy"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["audit"]["ok"] is True
+    assert report["network"]["distance_backend"] == "lazy"
