@@ -51,6 +51,7 @@ this contract on small graphs; ``scripts/bench_backend.py`` measures the
 
 from __future__ import annotations
 
+import hashlib
 from collections import OrderedDict
 from typing import Callable, Protocol, Sequence, runtime_checkable
 
@@ -158,14 +159,20 @@ class SsspEngine:
         return float(m.data[lo + int(pos[0])])
 
     def fingerprint(self) -> tuple[int, int, str]:
-        """A cheap identity of the weighted graph: ``(n, nnz, weight sum)``.
+        """Structural identity of the weighted graph: ``(n, nnz, digest)``.
 
         Used by the memmap backend to decide whether an on-disk matrix
-        belongs to this graph. ``repr`` of the float sum keeps full
-        precision through the JSON sidecar round-trip.
+        belongs to this graph. The digest is a sha256 over the CSR
+        arrays themselves (indptr, indices, data), widened to fixed
+        dtypes so the value is platform-independent — summary statistics
+        like a weight sum collide across distinct unit-weight graphs of
+        equal size, which silently attached the wrong matrix.
         """
         m = self.csr
-        return int(m.shape[0]), int(m.nnz), repr(float(m.data.sum()))
+        h = hashlib.sha256()
+        for arr, dtype in ((m.indptr, np.int64), (m.indices, np.int64), (m.data, np.float64)):
+            h.update(np.ascontiguousarray(arr, dtype=dtype).tobytes())
+        return int(m.shape[0]), int(m.nnz), h.hexdigest()
 
 
 class _RowLRU:
@@ -375,10 +382,15 @@ class _BackendBase:
     def _pinned_row(self, i: int) -> np.ndarray:
         """An exact row for landmark pinning, reusing caches when present.
 
-        Prefers an already-cached LRU row (a repeat
-        :meth:`build_landmarks` call must not recompute Dijkstras the
-        cache already holds), else runs one exact solve.
+        Prefers a row pinned by a previous :meth:`build_landmarks` call
+        (a rebuild with a different ``k`` revisits the same traversal
+        prefix), then an already-cached LRU row, else runs one exact
+        solve.
         """
+        if self._landmark_idx is not None and self._landmark_rows is not None:
+            pos = np.nonzero(self._landmark_idx == i)[0]
+            if pos.size:
+                return np.asarray(self._landmark_rows[int(pos[0])])
         row = self._rows.peek(i)
         if row is not None:
             return np.asarray(row)
@@ -392,8 +404,11 @@ class _BackendBase:
         :meth:`stats`. Deterministic: starts from node 0 and greedily
         maximizes the distance to the chosen set, ties by node index.
         Idempotent: repeat calls with the same effective ``k`` are a
-        no-op; a different ``k`` rebuilds (reusing any cached rows).
+        no-op; a different ``k`` rebuilds (reusing rows pinned by the
+        previous build and any cached LRU rows).
         """
+        if k is not None and k <= 0:
+            raise ValueError("landmark count must be >= 1")
         k = min(k if k is not None else DEFAULT_LANDMARKS, self._n)
         if self._landmark_idx is not None and self._landmark_k == k:
             return tuple(int(i) for i in self._landmark_idx)
@@ -763,8 +778,8 @@ class MemmapFullBackend(FullMatrixBackend):
     backend pointed at the same path (other networks, serve shards,
     worker processes) attaches read-only and shares pages through the OS
     page cache instead of materializing its own O(n²) copy. A sidecar
-    fingerprint (n, edge count, weight sum) guards against attaching a
-    stale file from a different graph.
+    fingerprint (n, edge count, sha256 of the CSR arrays) guards against
+    attaching a stale file from a different graph.
     """
 
     name = "memmap"

@@ -6,18 +6,23 @@ that any number of consumers — other :class:`SensorNetwork` instances,
 serve shards, worker processes — map read-only and share through the OS
 page cache, instead of each holding a private O(n²) copy.
 
-A JSON sidecar (``<path>.meta.json``) records a cheap fingerprint of
-the weighted graph — ``(n, edge count, weight sum)`` — so attaching to
-a stale file left behind by a *different* graph of the same size is
-detected and the matrix is recomputed in place. When no path is given,
-a deterministic per-fingerprint file under the system temp directory is
-used, which is what lets two independently constructed networks over
-the same graph find each other's matrix with zero coordination.
+A JSON sidecar (``<path>.meta.json``) records a structural fingerprint
+of the weighted graph — ``(n, edge count, sha256 of the CSR arrays)``,
+see :meth:`repro.graphs.backends.SsspEngine.fingerprint` — so attaching
+to a stale file left behind by a *different* graph (even one with the
+same node/edge counts) is detected and the matrix is recomputed in
+place. When no path is given, a deterministic per-fingerprint file
+under a **per-user** cache directory (``$XDG_CACHE_HOME/repro`` or
+``~/.cache/repro``; a uid-suffixed temp directory when no home
+resolves) is used, which is what lets two independently constructed
+networks over the same graph find each other's matrix with zero
+coordination — without parking predictable filenames in the
+world-writable system temp dir where another local user could plant
+them.
 """
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import tempfile
@@ -29,6 +34,18 @@ __all__ = ["MemmapRowStore"]
 Fingerprint = tuple[int, int, str]
 
 
+def _default_store_dir() -> str:
+    """Per-user directory for defaulted store paths (never shared tmp)."""
+    env = os.environ.get("XDG_CACHE_HOME")
+    if env:
+        return os.path.join(env, "repro")
+    home = os.path.expanduser("~")
+    if home and not home.startswith("~"):
+        return os.path.join(home, ".cache", "repro")
+    uid = getattr(os, "getuid", lambda: "user")()
+    return os.path.join(tempfile.gettempdir(), f"repro-{uid}")
+
+
 class MemmapRowStore:
     """One on-disk all-pairs matrix, guarded by a graph fingerprint."""
 
@@ -36,8 +53,9 @@ class MemmapRowStore:
         self._fingerprint = fingerprint
         self._n = int(fingerprint[0])
         if path is None:
-            digest = hashlib.sha256(repr(fingerprint).encode()).hexdigest()[:16]
-            path = os.path.join(tempfile.gettempdir(), f"repro-dist-{digest}.f64")
+            path = os.path.join(
+                _default_store_dir(), f"repro-dist-{fingerprint[2][:16]}.f64"
+            )
         self.path = path
 
     @property
@@ -54,7 +72,7 @@ class MemmapRowStore:
         return (
             meta.get("n") == self._fingerprint[0]
             and meta.get("nnz") == self._fingerprint[1]
-            and meta.get("weight_sum") == self._fingerprint[2]
+            and meta.get("digest") == self._fingerprint[2]
         )
 
     def attach(self) -> np.ndarray | None:
@@ -102,7 +120,7 @@ class MemmapRowStore:
                 {
                     "n": self._fingerprint[0],
                     "nnz": self._fingerprint[1],
-                    "weight_sum": self._fingerprint[2],
+                    "digest": self._fingerprint[2],
                 },
                 fh,
             )

@@ -15,6 +15,7 @@ import networkx as nx
 import numpy as np
 import pytest
 
+from repro.core.costs import close_to
 from repro.core.mot import MOTTracker
 from repro.graphs.backends import (
     BACKEND_NAMES,
@@ -192,6 +193,29 @@ class TestLandmarkBackend:
         assert net.oracle_stats["rows_computed"] == solved + 3
         assert net.oracle_stats["landmark_pinned_bytes"] == 4 * BASE.n * 8
 
+    def test_build_landmarks_rejects_nonpositive_k(self):
+        # regression: k=0 used to pin one landmark anyway (chosen
+        # seeded with [0] before the count was consulted)
+        net = _net(BASE, "lazy")
+        for bad in (0, -3):
+            with pytest.raises(ValueError, match="landmark count"):
+                net.build_landmarks(bad)
+        stats = net.oracle_stats
+        assert stats["landmarks"] == 0
+        assert stats["landmark_pinned_bytes"] == 0
+        assert stats["rows_computed"] == 0
+
+    def test_rebuild_reuses_previously_pinned_rows(self):
+        net = _net(BASE, "lazy")
+        net.build_landmarks(4)
+        solved = net.oracle_stats["rows_computed"]
+        # farthest-point traversal is deterministic, so growing k
+        # revisits the same prefix: the 4 rows pinned by the first
+        # build must be reused, not re-solved
+        marks = net.build_landmarks(8)
+        assert net.oracle_stats["rows_computed"] == solved + 4
+        assert len(marks) == 8
+
 
 class TestMemmapBackend:
     def test_second_consumer_attaches(self, tmp_path):
@@ -215,13 +239,47 @@ class TestMemmapBackend:
         assert np.array_equal(np.asarray(net.distance_matrix), want)
         assert net.oracle_stats["memmap_attached"] is False  # recomputed
 
-    def test_default_path_is_deterministic(self):
+    def test_default_path_is_deterministic(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
         a = _net(BASE, "memmap")
         b = _net(BASE, "memmap")
         a.distance_matrix
         b.distance_matrix
         assert a.distance_backend.path == b.distance_backend.path
+        # defaulted paths live under the per-user cache dir, never the
+        # world-writable system temp dir
+        assert a.distance_backend.path.startswith(str(tmp_path))
         assert b.oracle_stats["memmap_attached"] is True
+
+    def test_distinct_same_size_graphs_never_collide(self, tmp_path):
+        # regression: the old (n, nnz, weight_sum) fingerprint collided
+        # for distinct unit-weight graphs of equal size — a 6-node star
+        # attached a 6-node path's matrix and answered d=5.0 for
+        # adjacent nodes
+        path = str(tmp_path / "collide.f64")
+        opts = {"distance_backend": "memmap", "backend_options": {"path": path}}
+        line = SensorNetwork(nx.path_graph(6), normalize=False, **opts)
+        np.asarray(line.distance_matrix)  # writes the store
+        star = SensorNetwork(nx.star_graph(5), normalize=False, **opts)
+        want = np.asarray(
+            SensorNetwork(nx.star_graph(5), normalize=False, distance_backend="full")
+            .distance_matrix
+        )
+        assert np.array_equal(np.asarray(star.distance_matrix), want)
+        assert star.oracle_stats["memmap_attached"] is False  # recomputed
+        assert close_to(star.distance(0, 5), 1.0)
+
+    def test_default_paths_differ_per_graph_structure(self, tmp_path, monkeypatch):
+        # the defaulted filename is derived from the structural digest,
+        # so same-size graphs can never find each other's store
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+        line = SensorNetwork(nx.path_graph(6), normalize=False, distance_backend="memmap")
+        star = SensorNetwork(nx.star_graph(5), normalize=False, distance_backend="memmap")
+        np.asarray(line.distance_matrix)
+        np.asarray(star.distance_matrix)
+        assert line.distance_backend.path != star.distance_backend.path
+        assert star.oracle_stats["memmap_attached"] is False
+        assert close_to(star.distance(1, 2), 2.0)
 
 
 class TestMotOverLandmark:
