@@ -225,13 +225,15 @@ class TreeTracker:
     def query(self, obj: ObjectId, source: Node) -> QueryResult:
         """Climb from ``source`` to the first ancestor holding ``obj``, descend."""
         proxy = self.proxy_of(obj)
-        optimal = self.net.distance(source, proxy)
         if source == proxy:
+            # local hit: skip the oracle solve — it would never reach the
+            # ledger on this path (RPL103)
             self.ledger.record_query(0.0, 0.0)
             return QueryResult(
                 obj=obj, source=source, proxy=proxy, cost=0.0,
                 found_level=0, via_sdl=False, optimal_cost=0.0,
             )
+        optimal = self.net.distance(source, proxy)
         cost = 0.0
         msgs = 0
         cur = source

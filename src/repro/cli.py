@@ -39,8 +39,14 @@ Commands:
   (sharding, a coalesced query, an ``Overloaded`` rejection);
 - ``demo [--seed N]`` — a 30-second guided tour (the quickstart on one
   object);
-- ``lint [PATHS…] [--format json]`` — run the project's AST lint rules
-  (RPL001–RPL007, see :mod:`repro.staticcheck`) over source trees.
+- ``lint [PATHS…] [--format json|sarif]`` — run the project's per-file
+  AST lint rules (RPL001–RPL007, see :mod:`repro.staticcheck`) over
+  source trees;
+- ``check [PATHS…] [--format json|sarif] [--cache PATH]`` — run the
+  project-wide interprocedural analyses (RPL101–RPL104: seed taint,
+  await-atomicity races, ledger conservation, backend protocol
+  conformance; see :mod:`repro.staticcheck.flow`). ``--cache`` persists
+  the parsed index/call graph keyed on a source hash.
 
 ``python -m repro --version`` prints the installed package version
 (falling back to the source tree's ``repro.__version__``).
@@ -48,7 +54,7 @@ Commands:
 Exit codes (uniform across subcommands):
 
 - ``0`` — success: the command ran and every gated check passed;
-- ``1`` — a check failed: lint findings (``lint``), a failed
+- ``1`` — a check failed: lint findings (``lint``/``check``), a failed
   consistency audit (``chaos``, ``serve-bench``, ``audit-backend``),
   diverging traces (``trace diff``);
 - ``2`` — usage error: unknown subcommand/flag (argparse) or an
@@ -386,7 +392,19 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.staticcheck import run
 
-    return run(args.paths or ["src"], fmt=args.format)
+    fmt = "sarif" if args.sarif else args.format
+    return run(args.paths or ["src"], fmt=fmt)
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.staticcheck.flow import run_check
+
+    fmt = "sarif" if args.sarif else args.format
+    try:
+        return run_check(args.paths or ["src"], fmt=fmt, cache=args.cache)
+    except FileNotFoundError as exc:
+        print(f"repro check: {exc}", file=sys.stderr)
+        return 2
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -539,12 +557,28 @@ def main(argv: list[str] | None = None) -> int:
                         help="seed of the demo's random walk")
     p_demo.set_defaults(fn=_cmd_demo)
 
-    p_lint = sub.add_parser("lint", help="run the RPL static-analysis rules")
+    p_lint = sub.add_parser("lint", help="run the per-file RPL lint rules")
     p_lint.add_argument("paths", nargs="*", metavar="PATH",
                         help="files or directories (default: src)")
-    p_lint.add_argument("--format", choices=("text", "json"), default="text",
-                        help="report format")
+    p_lint.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text", help="report format")
+    p_lint.add_argument("--sarif", action="store_true",
+                        help="shorthand for --format sarif")
     p_lint.set_defaults(fn=_cmd_lint)
+
+    p_check = sub.add_parser(
+        "check", help="run the interprocedural flow analyses (RPL101-RPL104)"
+    )
+    p_check.add_argument("paths", nargs="*", metavar="PATH",
+                         help="files or directories (default: src)")
+    p_check.add_argument("--format", choices=("text", "json", "sarif"),
+                         default="text", help="report format")
+    p_check.add_argument("--sarif", action="store_true",
+                         help="shorthand for --format sarif")
+    p_check.add_argument("--cache", metavar="PATH", default=None,
+                         help="pickle the parsed index/call graph here, "
+                              "keyed on a source hash")
+    p_check.set_defaults(fn=_cmd_check)
 
     args = parser.parse_args(argv)
     return args.fn(args)

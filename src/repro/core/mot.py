@@ -357,8 +357,9 @@ class MOTTracker:
         proxy = self.proxy_of(obj)
         if source not in self.net:
             raise KeyError(f"{source!r} is not a sensor of this network")
-        optimal = self._dist(source, proxy)
         if source == proxy:
+            # local hit: no oracle solve — computing `optimal` here would
+            # waste a Dijkstra row that never reaches the ledger (RPL103)
             self.ledger.record_query(0.0, 0.0)
             if TRACER.enabled:
                 TRACER.event("query", obj=str(obj), cost=0.0, level=0, local=True)
@@ -366,6 +367,7 @@ class MOTTracker:
                 obj=obj, source=source, proxy=proxy, cost=0.0,
                 found_level=0, via_sdl=False, optimal_cost=0.0,
             )
+        optimal = self._dist(source, proxy)
 
         with TRACER.span("query", obj=str(obj)) as sp:
             spine = self._spine[obj]

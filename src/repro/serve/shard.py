@@ -142,12 +142,20 @@ class TrackerShard:
         return fut
 
     async def stop(self) -> None:
-        """Drain the queue completely, then retire the worker."""
+        """Drain the queue completely, then retire the worker.
+
+        Claims the worker *before* awaiting it: two concurrent ``stop()``
+        calls must not both pass the ``is not None`` guard (each would
+        enqueue a ``_STOP`` sentinel, and the leftover one is never
+        ``task_done()``-ed, deadlocking any later ``join()``).
+        """
         await self._queue.join()
-        if self._worker is not None:
-            self._queue.put_nowait(_STOP)
-            await self._worker
-            self._worker = None
+        worker = self._worker
+        if worker is None:
+            return
+        self._worker = None
+        self._queue.put_nowait(_STOP)
+        await worker
 
     # ------------------------------------------------------------------
     # worker

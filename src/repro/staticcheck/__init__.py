@@ -37,13 +37,21 @@ A finding on one line is silenced with a same-line comment::
 
     d = net.distance(u, v)  # repro-lint: disable=RPL001
 
+A suppression applies to the whole statement its line belongs to (so a
+directive on any line of a multi-line call, or on a decorator, works).
 Suppressions that silence nothing are themselves reported (RPL000), so
 stale ones cannot accumulate. The CLI entry point is
-``python -m repro lint [paths…] [--format json]``; see
+``python -m repro lint [paths…] [--format json|sarif]``; see
 :mod:`repro.staticcheck.runner` for the library interface.
+
+The **interprocedural** families RPL101–RPL104 (seed taint across call
+boundaries, await-atomicity races, ledger conservation along CFG paths,
+``DistanceBackend`` protocol conformance) live in
+:mod:`repro.staticcheck.flow` behind the separate ``repro check`` verb —
+they need the whole source tree at once, not one file at a time.
 """
 
-from repro.staticcheck.diagnostics import Diagnostic
+from repro.staticcheck.diagnostics import Diagnostic, render_sarif
 from repro.staticcheck.rules import ALL_CHECKERS, RULE_SUMMARIES
 from repro.staticcheck.runner import lint_file, lint_paths, lint_source, run
 
@@ -54,5 +62,6 @@ __all__ = [
     "lint_file",
     "lint_paths",
     "lint_source",
+    "render_sarif",
     "run",
 ]

@@ -1,12 +1,12 @@
-"""Diagnostic records and output rendering for ``repro lint``."""
+"""Diagnostic records and output rendering for ``repro lint``/``check``."""
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Sequence
 
-__all__ = ["Diagnostic", "render_human", "render_json"]
+__all__ = ["Diagnostic", "render_human", "render_json", "render_sarif"]
 
 
 @dataclass(frozen=True, order=True)
@@ -55,3 +55,67 @@ def render_json(diagnostics: Sequence[Diagnostic]) -> str:
         },
         indent=1,
     )
+
+
+def render_sarif(
+    diagnostics: Sequence[Diagnostic],
+    tool_name: str = "repro-lint",
+    rule_summaries: Mapping[str, str] | None = None,
+) -> str:
+    """The report as a SARIF 2.1.0 document (GitHub code-scanning shape).
+
+    Deterministic by construction: findings sorted by (path, line, col,
+    rule), rule metadata sorted by id, fixed key order, one-space
+    indent — two runs over the same tree are byte-identical.
+    """
+    ordered = sorted(diagnostics)
+    summaries = dict(rule_summaries or {})
+    rule_ids = sorted({d.rule for d in ordered} | set(summaries))
+    rule_index = {rid: i for i, rid in enumerate(rule_ids)}
+    rules = [
+        {
+            "id": rid,
+            "shortDescription": {"text": summaries.get(rid, rid)},
+        }
+        for rid in rule_ids
+    ]
+    results = [
+        {
+            "ruleId": d.rule,
+            "ruleIndex": rule_index[d.rule],
+            "level": "warning",
+            "message": {"text": d.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": d.path.replace("\\", "/"),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": max(d.line, 1),
+                            "startColumn": d.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for d in ordered
+    ]
+    doc = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "rules": rules,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(doc, indent=1)

@@ -1,0 +1,108 @@
+"""Call-graph construction over the :class:`ProjectIndex`.
+
+Resolution is deliberately conservative: an edge exists only when the
+callee resolves to a function *in the index* — plain names, imported
+names (including aliases), ``module.func`` attribute chains,
+``self.method(...)`` / ``cls.method(...)`` within a class (searched
+through the indexed MRO), and ``ClassName(...)`` constructor calls
+(edges to ``Class.__init__`` when defined). Unresolvable calls (stdlib,
+dynamic dispatch on arbitrary objects) simply contribute no edge, so
+the graph under-approximates — the right bias for "is this reachable"
+style rules that must not hallucinate paths.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.staticcheck.flow.modules import FunctionInfo, ProjectIndex, dotted_name
+
+__all__ = ["CallGraph", "build_call_graph"]
+
+
+@dataclass
+class CallGraph:
+    """caller qualname → sorted callee qualnames, with per-edge call sites."""
+
+    edges: dict[str, list[str]] = field(default_factory=dict)
+    #: (caller, callee) → the actual ``ast.Call`` nodes of that edge
+    sites: dict[tuple[str, str], list[ast.Call]] = field(default_factory=dict)
+
+    def add(self, caller: str, callee: str, call: ast.Call) -> None:
+        callees = self.edges.setdefault(caller, [])
+        if callee not in callees:
+            callees.append(callee)
+            callees.sort()
+        self.sites.setdefault((caller, callee), []).append(call)
+
+    def callers_of(self, callee: str) -> list[str]:
+        """Sorted qualnames with an edge into ``callee``."""
+        return sorted(c for c, outs in self.edges.items() if callee in outs)
+
+    def reachable_from(self, roots: list[str]) -> set[str]:
+        """Every qualname reachable from ``roots`` (roots included)."""
+        seen: set[str] = set()
+        stack = sorted(roots)
+        while stack:
+            cur = stack.pop()
+            if cur in seen:
+                continue
+            seen.add(cur)
+            stack.extend(self.edges.get(cur, []))
+        return seen
+
+    def reaching(self, targets: set[str]) -> set[str]:
+        """Every qualname from which some member of ``targets`` is reachable."""
+        reverse: dict[str, list[str]] = {}
+        for caller, outs in self.edges.items():
+            for callee in outs:
+                reverse.setdefault(callee, []).append(caller)
+        seen: set[str] = set()
+        stack = sorted(targets)
+        while stack:
+            cur = stack.pop()
+            if cur in seen:
+                continue
+            seen.add(cur)
+            stack.extend(reverse.get(cur, []))
+        return seen
+
+
+def resolve_call(
+    index: ProjectIndex, fn: FunctionInfo, call: ast.Call
+) -> str | None:
+    """Qualname of the function ``call`` invokes, if statically known."""
+    dotted = dotted_name(call.func)
+    if not dotted:
+        return None
+    head, _, rest = dotted.partition(".")
+    if head in ("self", "cls") and fn.cls is not None and rest and "." not in rest:
+        cls = index.classes.get(f"{fn.module}.{fn.cls}")
+        if cls is not None:
+            for ci in index.method_resolution_order(cls):
+                if rest in ci.methods:
+                    return ci.methods[rest].qualname
+        return None
+    resolved = index.resolve(fn.module, dotted)
+    if resolved is None:
+        return None
+    if resolved in index.classes:
+        init = f"{resolved}.__init__"
+        return init if init in index.functions else resolved
+    if resolved in index.functions:
+        return resolved
+    return None
+
+
+def build_call_graph(index: ProjectIndex) -> CallGraph:
+    """Resolve every call site of every indexed function into edges."""
+    graph = CallGraph()
+    for qualname in sorted(index.functions):
+        fn = index.functions[qualname]
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Call):
+                callee = resolve_call(index, fn, node)
+                if callee is not None and callee != qualname:
+                    graph.add(qualname, callee, node)
+    return graph

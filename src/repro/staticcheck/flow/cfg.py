@@ -1,0 +1,234 @@
+"""Per-function control-flow graphs with exception edges, plus dataflow.
+
+The CFG is statement-granular: every statement is one node, which keeps
+exception edges precise — an edge taken because *this* statement raised
+carries the state from **before** the statement (the statement may not
+have completed), while normal and explicit-``raise`` successors carry
+the post-state.
+
+Edge kinds:
+
+``normal``
+    ordinary fallthrough / branch / loop edges;
+``raise``
+    an explicit ``raise`` statement transferring to a handler or out of
+    the function;
+``exc``
+    the implicit "any statement may raise" edge into the innermost
+    ``except`` landing pad (or out of the function). Analyses opt in to
+    these via the ``kinds`` argument of :func:`forward_dataflow` —
+    path-style properties (e.g. "cost never recorded") usually ignore
+    them, handler-entry properties (e.g. "charged then re-raised") need
+    them.
+
+Synthetic nodes: ``ENTRY`` (0), ``EXIT`` (-1, normal return) and
+``RAISE`` (-2, exception leaves the function). ``try``/``finally`` is
+approximated: the ``finally`` suite is built once and its exits fan out
+to both the normal continuation and the outer exception target.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+__all__ = ["ENTRY", "EXIT", "RAISE", "CFG", "build_cfg", "forward_dataflow"]
+
+ENTRY = 0
+EXIT = -1
+RAISE = -2
+
+#: a dangling edge waiting for its successor: (source node, edge kind)
+_Pred = tuple[int, str]
+
+
+@dataclass
+class CFG:
+    """One function's flow graph (see module docstring)."""
+
+    func: ast.FunctionDef | ast.AsyncFunctionDef
+    nodes: dict[int, ast.stmt] = field(default_factory=dict)
+    succ: dict[int, list[tuple[int, str]]] = field(default_factory=dict)
+
+    def successors(self, nid: int, kinds: Iterable[str]) -> list[tuple[int, str]]:
+        allowed = set(kinds)
+        return [(s, k) for s, k in self.succ.get(nid, []) if k in allowed]
+
+    def edges(self) -> list[tuple[int, int, str]]:
+        """Every ``(src, dst, kind)`` edge, deterministically ordered."""
+        return sorted(
+            (src, dst, kind)
+            for src, outs in self.succ.items()
+            for dst, kind in outs
+        )
+
+
+class _Builder:
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.cfg = CFG(func)
+        self.cfg.succ[ENTRY] = []
+        self._next = 1
+        #: innermost exception collector: a list gathers (src, kind)
+        #: pairs for the enclosing ``try``; None means "leaves the function"
+        self._exc_stack: list[list[_Pred] | None] = [None]
+        #: per-loop (break-preds, continue-target-node)
+        self._loop_stack: list[tuple[list[_Pred], int]] = []
+
+    # -- plumbing ------------------------------------------------------
+    def _new(self, stmt: ast.stmt) -> int:
+        nid = self._next
+        self._next += 1
+        self.cfg.nodes[nid] = stmt
+        self.cfg.succ[nid] = []
+        return nid
+
+    def _edge(self, src: int, dst: int, kind: str) -> None:
+        out = self.cfg.succ.setdefault(src, [])
+        if (dst, kind) not in out:
+            out.append((dst, kind))
+
+    def _may_raise(self, nid: int, kind: str = "exc") -> None:
+        top = self._exc_stack[-1]
+        if top is None:
+            self._edge(nid, RAISE, kind)
+        else:
+            top.append((nid, kind))
+
+    # -- construction --------------------------------------------------
+    def build(self) -> CFG:
+        out = self._suite(self.cfg.func.body, [(ENTRY, "normal")])
+        for src, kind in out:
+            self._edge(src, EXIT, kind)
+        return self.cfg
+
+    def _suite(self, stmts: list[ast.stmt], preds: list[_Pred]) -> list[_Pred]:
+        for stmt in stmts:
+            preds = self._stmt(stmt, preds)
+        return preds
+
+    def _stmt(self, stmt: ast.stmt, preds: list[_Pred]) -> list[_Pred]:
+        nid = self._new(stmt)
+        for src, kind in preds:
+            self._edge(src, nid, kind)
+        self._may_raise(nid)
+
+        if isinstance(stmt, ast.Return):
+            self._edge(nid, EXIT, "normal")
+            return []
+        if isinstance(stmt, ast.Raise):
+            self._may_raise(nid, "raise")
+            return []
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            breaks, head = self._loop_stack[-1]
+            if isinstance(stmt, ast.Break):
+                breaks.append((nid, "normal"))
+            else:
+                self._edge(nid, head, "normal")
+            return []
+        if isinstance(stmt, ast.If):
+            then_out = self._suite(stmt.body, [(nid, "normal")])
+            if stmt.orelse:
+                else_out = self._suite(stmt.orelse, [(nid, "normal")])
+            else:
+                else_out = [(nid, "normal")]
+            return then_out + else_out
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            breaks: list[_Pred] = []
+            self._loop_stack.append((breaks, nid))
+            body_out = self._suite(stmt.body, [(nid, "normal")])
+            for src, kind in body_out:
+                self._edge(src, nid, kind)
+            self._loop_stack.pop()
+            infinite = (
+                isinstance(stmt, ast.While)
+                and isinstance(stmt.test, ast.Constant)
+                and bool(stmt.test.value)
+            )
+            exits: list[_Pred] = [] if infinite else [(nid, "normal")]
+            if stmt.orelse:
+                exits = self._suite(stmt.orelse, exits)
+            return exits + breaks
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._suite(stmt.body, [(nid, "normal")])
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, nid)
+        # simple statement (Assign, Expr, Assert, nested def, …)
+        return [(nid, "normal")]
+
+    def _try(self, stmt: ast.Try, nid: int) -> list[_Pred]:
+        collected: list[_Pred] = []
+        self._exc_stack.append(collected)
+        body_out = self._suite(stmt.body, [(nid, "normal")])
+        self._exc_stack.pop()
+        if stmt.orelse:
+            body_out = self._suite(stmt.orelse, body_out)
+
+        handler_out: list[_Pred] = []
+        if stmt.handlers:
+            # every raising site may land in every handler (no type matching)
+            for handler in stmt.handlers:
+                handler_out += self._suite(handler.body, list(collected))
+            unhandled: list[_Pred] = []
+        else:
+            unhandled = collected
+
+        after = body_out + handler_out
+        if stmt.finalbody:
+            # the finally suite runs on every exit; its tail continues
+            # both normally and toward the outer exception target
+            fin_out = self._suite(stmt.finalbody, after + unhandled)
+            if unhandled:
+                for src, _ in fin_out:
+                    self._may_raise(src)
+            return fin_out
+        for src, kind in unhandled:
+            top = self._exc_stack[-1]
+            if top is None:
+                self._edge(src, RAISE, kind)
+            else:
+                top.append((src, kind))
+        return after
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Build the statement-level CFG of one function."""
+    return _Builder(func).build()
+
+
+def forward_dataflow(
+    cfg: CFG,
+    init,
+    transfer: Callable[[int, ast.stmt | None, object], object],
+    join: Callable[[object, object], object],
+    kinds: Iterable[str] = ("normal", "raise", "exc"),
+) -> tuple[dict, dict]:
+    """Forward worklist dataflow over ``cfg``; returns (in, out) states.
+
+    ``transfer(nid, stmt, state)`` must return a *new* state (states are
+    treated as immutable values compared with ``==``). Implicit ``exc``
+    edges propagate the source's **in**-state (the statement may have
+    raised before completing); ``normal`` and ``raise`` edges propagate
+    the out-state. Join must be monotone over a finite lattice.
+    """
+    kinds = tuple(kinds)
+    in_states: dict[int, object] = {ENTRY: init}
+    out_states: dict[int, object] = {}
+    worklist = [ENTRY]
+    while worklist:
+        nid = worklist.pop(0)
+        state = in_states[nid]
+        out = transfer(nid, cfg.nodes.get(nid), state)
+        out_states[nid] = out
+        for succ, kind in cfg.successors(nid, kinds):
+            carried = state if kind == "exc" else out
+            if succ in in_states:
+                merged = join(in_states[succ], carried)
+                if merged == in_states[succ]:
+                    continue
+                in_states[succ] = merged
+            else:
+                in_states[succ] = carried
+            if succ not in (EXIT, RAISE) and succ not in worklist:
+                worklist.append(succ)
+    return in_states, out_states

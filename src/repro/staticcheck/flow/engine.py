@@ -1,0 +1,167 @@
+"""The ``repro check`` driver: index → call graph → rules → report.
+
+Mirrors :mod:`repro.staticcheck.runner` (the ``repro lint`` driver) but
+runs the interprocedural families, which need every file at once rather
+than one file at a time. Findings flow through the same suppression
+syntax (``# repro-lint: disable=RPL10x``) with statement-span matching,
+and the same exit contract: 0 clean, 1 findings, 2 usage error.
+
+The parsed index and call graph can be cached on disk (``--cache``),
+keyed on a SHA-256 over every (path, source) pair plus a format
+version — any edit anywhere invalidates the whole artifact, which is
+the only safe granularity for whole-program analysis. Rules and
+suppression filtering always re-run; only parsing and call resolution
+are skipped on a hit, and a stale/corrupt cache file is silently
+rebuilt, never trusted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import sys
+from pathlib import Path
+from typing import Iterable, Sequence, TextIO
+
+from repro.staticcheck.diagnostics import (
+    Diagnostic,
+    render_human,
+    render_json,
+    render_sarif,
+)
+from repro.staticcheck.flow.callgraph import CallGraph, build_call_graph
+from repro.staticcheck.flow.flowrules import FLOW_CHECKERS, FLOW_RULE_SUMMARIES
+from repro.staticcheck.flow.modules import ProjectIndex
+from repro.staticcheck.suppressions import SuppressionTable
+
+__all__ = ["FLOW_RULE_IDS", "check_paths", "check_sources", "run_check"]
+
+#: rule ids ``repro check`` enforces (suppressions of anything else
+#: belong to ``repro lint`` and are not "unused" here)
+FLOW_RULE_IDS: tuple[str, ...] = tuple(c.rule_id for c in FLOW_CHECKERS)
+
+#: rule id for files the parser rejects — shared with ``repro lint``
+PARSE_ERROR_RULE = "RPL999"
+
+#: bump when the pickled (index, graph) layout changes
+_CACHE_VERSION = 1
+
+
+def _digest(sources: Sequence[tuple[str, str]]) -> str:
+    h = hashlib.sha256()
+    h.update(f"v{_CACHE_VERSION}".encode())
+    for path, source in sorted(sources):
+        h.update(path.encode("utf-8", "replace"))
+        h.update(b"\x00")
+        h.update(source.encode("utf-8", "replace"))
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def _build(sources: Sequence[tuple[str, str]]) -> tuple[ProjectIndex, CallGraph]:
+    index = ProjectIndex.from_sources(sources)
+    return index, build_call_graph(index)
+
+
+def _load_or_build(
+    sources: Sequence[tuple[str, str]], cache: Path | str | None
+) -> tuple[ProjectIndex, CallGraph]:
+    if cache is None:
+        return _build(sources)
+    cache = Path(cache)
+    digest = _digest(sources)
+    if cache.is_file():
+        try:
+            payload = pickle.loads(cache.read_bytes())
+            if (
+                payload.get("version") == _CACHE_VERSION
+                and payload.get("digest") == digest
+            ):
+                return payload["index"], payload["graph"]
+        except Exception:  # corrupt/foreign cache: rebuild below
+            pass
+    index, graph = _build(sources)
+    tmp = cache.with_suffix(cache.suffix + ".tmp")
+    try:
+        cache.parent.mkdir(parents=True, exist_ok=True)
+        tmp.write_bytes(
+            pickle.dumps(
+                {"version": _CACHE_VERSION, "digest": digest, "index": index, "graph": graph}
+            )
+        )
+        tmp.replace(cache)
+    except OSError:  # read-only checkout etc. — caching is best-effort
+        tmp.unlink(missing_ok=True)
+    return index, graph
+
+
+def check_sources(
+    sources: Iterable[tuple[str, str]],
+    cache: Path | str | None = None,
+) -> list[Diagnostic]:
+    """Run every flow rule over ``(path, source)`` pairs; the workhorse.
+
+    Returns the sorted findings after suppression filtering, including
+    RPL999 for unparseable files and RPL000 for suppressions of check
+    rules that silenced nothing.
+    """
+    sources = list(sources)
+    index, graph = _load_or_build(sources, cache)
+
+    raw: list[Diagnostic] = []
+    for checker_cls in FLOW_CHECKERS:
+        checker = checker_cls()
+        checker.check_project(index, graph)
+        raw.extend(checker.diagnostics)
+
+    kept: list[Diagnostic] = [
+        Diagnostic(path=p, line=ln, col=col, rule=PARSE_ERROR_RULE, message=msg)
+        for p, ln, col, msg in index.parse_errors
+    ]
+    tables = {
+        mod.path: SuppressionTable(mod.source, mod.path, tree=mod.tree)
+        for mod in index.modules.values()
+    }
+    for diag in raw:
+        table = tables.get(diag.path)
+        if table is None or not table.is_suppressed(diag.line, diag.rule):
+            kept.append(diag)
+    for path in sorted(tables):
+        kept.extend(tables[path].unused(known_rules=FLOW_RULE_IDS))
+    return sorted(kept)
+
+
+def check_paths(
+    paths: Sequence[Path | str],
+    cache: Path | str | None = None,
+) -> list[Diagnostic]:
+    """Run the flow rules over every ``.py`` file under ``paths``."""
+    from repro.staticcheck.runner import iter_python_files
+
+    files = iter_python_files(paths)
+    return check_sources(
+        ((str(p), p.read_text(encoding="utf-8")) for p in files), cache=cache
+    )
+
+
+def run_check(
+    paths: Sequence[Path | str],
+    fmt: str = "text",
+    stream: TextIO | None = None,
+    cache: Path | str | None = None,
+) -> int:
+    """CLI driver: check, print a report, return the exit code (0 = clean)."""
+    if fmt not in ("text", "json", "sarif"):
+        raise ValueError(f"unknown format {fmt!r}; choose 'text', 'json' or 'sarif'")
+    stream = stream if stream is not None else sys.stdout
+    diagnostics = check_paths(paths, cache=cache)
+    if fmt == "json":
+        report = render_json(diagnostics)
+    elif fmt == "sarif":
+        report = render_sarif(
+            diagnostics, tool_name="repro-check", rule_summaries=FLOW_RULE_SUMMARIES
+        )
+    else:
+        report = render_human(diagnostics)
+    print(report, file=stream)
+    return 1 if diagnostics else 0

@@ -1,0 +1,335 @@
+"""Project parsing and symbol tables — the :class:`ProjectIndex`.
+
+The index is the shared substrate of every flow rule: one parse of
+every file, module names derived from paths, and per-module symbol
+tables (functions by qualified name, classes with resolved base names
+and dataclass fields, import alias maps). Everything downstream — the
+call graph, the CFGs, the rules — reads from here and never re-parses.
+
+All containers iterate in sorted/insertion-deterministic order so the
+``repro check`` report is byte-identical across runs.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+__all__ = [
+    "FunctionInfo",
+    "ClassInfo",
+    "ModuleInfo",
+    "ProjectIndex",
+    "dotted_name",
+    "module_name_for",
+]
+
+#: sentinel for "parameter has no default"
+_NO_DEFAULT = object()
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name for a file path.
+
+    ``src/repro/serve/shard.py`` → ``repro.serve.shard``; the part
+    after the last ``src/`` component wins, falling back to the last
+    ``repro/`` component, falling back to the whole relative path.
+    ``__init__.py`` names the package itself.
+    """
+    norm = path.replace("\\", "/").lstrip("./")
+    parts = norm.split("/")
+    if "src" in parts:
+        parts = parts[len(parts) - 1 - parts[::-1].index("src"):][1:]
+    elif "repro" in parts:
+        parts = parts[len(parts) - 1 - parts[::-1].index("repro"):]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(p for p in parts if p)
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method, with the signature facts rules need."""
+
+    qualname: str  #: e.g. ``repro.serve.shard.TrackerShard.stop``
+    module: str
+    path: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    cls: str | None = None  #: enclosing class name, if a method
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def is_async(self) -> bool:
+        return isinstance(self.node, ast.AsyncFunctionDef)
+
+    @property
+    def params(self) -> list[str]:
+        """Positional + keyword-only parameter names, in order."""
+        a = self.node.args
+        return [p.arg for p in (*a.posonlyargs, *a.args, *a.kwonlyargs)]
+
+    def default_of(self, param: str):
+        """The default expression of ``param`` (``_NO_DEFAULT`` if none)."""
+        a = self.node.args
+        positional = [*a.posonlyargs, *a.args]
+        n_defaults = len(a.defaults)
+        for i, p in enumerate(positional):
+            if p.arg == param:
+                j = i - (len(positional) - n_defaults)
+                return a.defaults[j] if j >= 0 else _NO_DEFAULT
+        for p, d in zip(a.kwonlyargs, a.kw_defaults):
+            if p.arg == param:
+                return d if d is not None else _NO_DEFAULT
+        return _NO_DEFAULT
+
+    def has_none_default(self, param: str) -> bool:
+        """Whether ``param`` defaults to the literal ``None``."""
+        d = self.default_of(param)
+        return isinstance(d, ast.Constant) and d.value is None
+
+    def bind_argument(self, call: ast.Call, param: str) -> ast.expr | None | object:
+        """The expression ``call`` passes for ``param``.
+
+        Returns the expression, ``_NO_DEFAULT`` when the call omits it
+        (the callee's default applies), or ``None`` when binding cannot
+        be decided statically (``*args`` / ``**kwargs`` forwarding).
+        """
+        if any(isinstance(a, ast.Starred) for a in call.args) or any(
+            kw.arg is None for kw in call.keywords
+        ):
+            return None
+        for kw in call.keywords:
+            if kw.arg == param:
+                return kw.value
+        params = self.params
+        offset = 1 if self.cls is not None and params and params[0] in ("self", "cls") else 0
+        try:
+            pos = params.index(param) - offset
+        except ValueError:
+            return None
+        if 0 <= pos < len(call.args):
+            return call.args[pos]
+        return _NO_DEFAULT
+
+
+@dataclass
+class ClassInfo:
+    """One class: bases (as written), methods, and dataclass fields."""
+
+    qualname: str
+    module: str
+    path: str
+    node: ast.ClassDef
+    bases: list[str] = field(default_factory=list)  #: dotted base names as written
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    is_dataclass: bool = False
+    #: annotated (dataclass-order) field name → default expr (None if none)
+    fields: dict[str, ast.expr | None] = field(default_factory=dict)
+    #: plain class-level assignments (``name = "full"`` style attributes)
+    class_attrs: dict[str, ast.expr] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module and its local symbol tables."""
+
+    path: str
+    name: str
+    tree: ast.Module
+    source: str
+    #: local alias → dotted target (``np`` → ``numpy``,
+    #: ``MOTTracker`` → ``repro.core.mot.MOTTracker``)
+    imports: dict[str, str] = field(default_factory=dict)
+    #: local qualname (``f`` / ``Cls.m``) → FunctionInfo
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+
+
+def dotted_name(node: ast.expr) -> str:
+    """``a.b.c`` rendered as a string; ``""`` when not a name chain."""
+    parts: list[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _is_dataclass_decorator(dec: ast.expr) -> bool:
+    target = dec.func if isinstance(dec, ast.Call) else dec
+    return dotted_name(target) in ("dataclass", "dataclasses.dataclass")
+
+
+class ProjectIndex:
+    """Symbol tables over a whole source tree (see module docstring)."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        #: files the parser rejected: (path, line, col, message)
+        self.parse_errors: list[tuple[str, int, int, str]] = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_sources(cls, sources: Iterable[tuple[str, str]]) -> "ProjectIndex":
+        """Build an index from ``(path, source)`` pairs (sorted by path)."""
+        index = cls()
+        index.add_sources(sources)
+        return index
+
+    def add_sources(self, sources: Iterable[tuple[str, str]]) -> None:
+        """Parse and index ``(path, source)`` pairs (sorted by path)."""
+        for path, source in sorted(sources):
+            self._add_module(path, source)
+
+    @classmethod
+    def from_paths(cls, paths: Sequence[Path | str]) -> "ProjectIndex":
+        """Build an index from files/directories on disk."""
+        from repro.staticcheck.runner import iter_python_files
+
+        files = iter_python_files(paths)
+        return cls.from_sources(
+            (str(p), p.read_text(encoding="utf-8")) for p in files
+        )
+
+    def _add_module(self, path: str, source: str) -> None:
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            self.parse_errors.append(
+                (path, exc.lineno or 0, exc.offset or 0, f"syntax error: {exc.msg}")
+            )
+            return
+        name = module_name_for(path)
+        mod = ModuleInfo(path=path, name=name, tree=tree, source=source)
+        self._collect_imports(mod)
+        self._collect_symbols(mod)
+        self.modules[name] = mod
+        for local, fn in mod.functions.items():
+            self.functions[f"{name}.{local}"] = fn
+        for cname, ci in mod.classes.items():
+            self.classes[f"{name}.{cname}"] = ci
+
+    def _collect_imports(self, mod: ModuleInfo) -> None:
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        mod.imports[alias.asname] = alias.name
+                    else:
+                        mod.imports[alias.name.split(".")[0]] = alias.name.split(".")[0]
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                if node.level:  # relative: resolve against this module's package
+                    pkg_parts = mod.name.split(".")[: -node.level]
+                    base = ".".join(pkg_parts + ([node.module] if node.module else []))
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    mod.imports[alias.asname or alias.name] = f"{base}.{alias.name}"
+
+    def _collect_symbols(self, mod: ModuleInfo) -> None:
+        for node in mod.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fi = FunctionInfo(
+                    qualname=f"{mod.name}.{node.name}",
+                    module=mod.name, path=mod.path, node=node,
+                )
+                mod.functions[node.name] = fi
+            elif isinstance(node, ast.ClassDef):
+                ci = ClassInfo(
+                    qualname=f"{mod.name}.{node.name}",
+                    module=mod.name, path=mod.path, node=node,
+                    bases=[b for b in (dotted_name(base) for base in node.bases) if b],
+                    is_dataclass=any(
+                        _is_dataclass_decorator(d) for d in node.decorator_list
+                    ),
+                )
+                for stmt in node.body:
+                    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        fi = FunctionInfo(
+                            qualname=f"{ci.qualname}.{stmt.name}",
+                            module=mod.name, path=mod.path, node=stmt,
+                            cls=node.name,
+                        )
+                        ci.methods[stmt.name] = fi
+                        mod.functions[f"{node.name}.{stmt.name}"] = fi
+                    elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                        stmt.target, ast.Name
+                    ):
+                        ci.fields[stmt.target.id] = stmt.value
+                    elif isinstance(stmt, ast.Assign):
+                        for tgt in stmt.targets:
+                            if isinstance(tgt, ast.Name):
+                                ci.class_attrs[tgt.id] = stmt.value
+                mod.classes[node.name] = ci
+
+    # ------------------------------------------------------------------
+    # name resolution
+    # ------------------------------------------------------------------
+    def resolve(self, module: str, dotted: str) -> str | None:
+        """Resolve a name as used inside ``module`` to a global qualname.
+
+        Handles module-local functions/classes, imported names
+        (``from m import f`` / ``import m as alias`` + ``alias.f``) and
+        dotted attribute chains onto either. Returns ``None`` when the
+        name does not land on an indexed symbol.
+        """
+        mod = self.modules.get(module)
+        if mod is None or not dotted:
+            return None
+        head, _, rest = dotted.partition(".")
+        candidates = []
+        if head in mod.functions or head in mod.classes:
+            candidates.append(f"{module}.{dotted}")
+        if head in mod.imports:
+            target = mod.imports[head]
+            candidates.append(f"{target}.{rest}" if rest else target)
+        candidates.append(dotted)  # already fully qualified
+        for cand in candidates:
+            if cand in self.functions or cand in self.classes:
+                return cand
+            # a class constructor call: Cls → Cls.__init__ stays a class ref
+            if rest and cand.rsplit(".", 1)[0] in self.classes:
+                return cand if cand in self.functions else None
+        return None
+
+    def resolve_class(self, module: str, dotted: str) -> ClassInfo | None:
+        """Like :meth:`resolve` but only returns class targets."""
+        qn = self.resolve(module, dotted)
+        return self.classes.get(qn) if qn else None
+
+    def method_resolution_order(self, cls: ClassInfo) -> list[ClassInfo]:
+        """``cls`` plus its indexed base classes, depth-first, no repeats."""
+        out: list[ClassInfo] = []
+        seen: set[str] = set()
+
+        def visit(ci: ClassInfo) -> None:
+            if ci.qualname in seen:
+                return
+            seen.add(ci.qualname)
+            out.append(ci)
+            for base in ci.bases:
+                bi = self.resolve_class(ci.module, base)
+                if bi is not None:
+                    visit(bi)
+
+        visit(cls)
+        return out

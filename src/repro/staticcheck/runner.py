@@ -7,14 +7,24 @@ import sys
 from pathlib import Path
 from typing import Sequence, TextIO
 
-from repro.staticcheck.diagnostics import Diagnostic, render_human, render_json
-from repro.staticcheck.rules import ALL_CHECKERS
+from repro.staticcheck.diagnostics import (
+    Diagnostic,
+    render_human,
+    render_json,
+    render_sarif,
+)
+from repro.staticcheck.rules import ALL_CHECKERS, RULE_SUMMARIES
 from repro.staticcheck.suppressions import SuppressionTable
 
 __all__ = ["lint_source", "lint_file", "lint_paths", "run"]
 
 #: rule id for files the parser rejects (a syntax error is never clean)
 PARSE_ERROR_RULE = "RPL999"
+
+#: rule ids ``repro lint`` enforces — the bound for unused-suppression
+#: reporting, so ``disable=RPL10x`` (a ``repro check`` rule) is not
+#: miscalled unused by this tool
+LINT_RULE_IDS: frozenset[str] = frozenset(c.rule_id for c in ALL_CHECKERS)
 
 
 def lint_source(source: str, path: str = "<string>") -> list[Diagnostic]:
@@ -37,7 +47,7 @@ def lint_source(source: str, path: str = "<string>") -> list[Diagnostic]:
                 message=f"syntax error: {exc.msg}",
             )
         ]
-    suppressions = SuppressionTable(source, path)
+    suppressions = SuppressionTable(source, path, tree=tree)
     kept: list[Diagnostic] = []
     for checker_cls in ALL_CHECKERS:
         if not checker_cls.applies_to(path):
@@ -47,7 +57,7 @@ def lint_source(source: str, path: str = "<string>") -> list[Diagnostic]:
         for diag in checker.diagnostics:
             if not suppressions.is_suppressed(diag.line, diag.rule):
                 kept.append(diag)
-    kept.extend(suppressions.unused())
+    kept.extend(suppressions.unused(known_rules=LINT_RULE_IDS))
     return kept
 
 
@@ -85,10 +95,17 @@ def run(
     stream: TextIO | None = None,
 ) -> int:
     """CLI driver: lint, print a report, return the exit code (0 = clean)."""
-    if fmt not in ("text", "json"):
-        raise ValueError(f"unknown format {fmt!r}; choose 'text' or 'json'")
+    if fmt not in ("text", "json", "sarif"):
+        raise ValueError(f"unknown format {fmt!r}; choose 'text', 'json' or 'sarif'")
     stream = stream if stream is not None else sys.stdout
     diagnostics = lint_paths(paths)
-    report = render_json(diagnostics) if fmt == "json" else render_human(diagnostics)
+    if fmt == "json":
+        report = render_json(diagnostics)
+    elif fmt == "sarif":
+        report = render_sarif(
+            diagnostics, tool_name="repro-lint", rule_summaries=RULE_SUMMARIES
+        )
+    else:
+        report = render_human(diagnostics)
     print(report, file=stream)
     return 1 if diagnostics else 0

@@ -1,20 +1,37 @@
-"""Same-line suppression comments for ``repro lint``.
+"""Suppression comments for ``repro lint`` and ``repro check``.
 
 Syntax (one or more rule ids, comma-separated)::
 
     d = net.distance(u, v)  # repro-lint: disable=RPL001
     x = random.Random()     # repro-lint: disable=RPL002,RPL003
 
-A suppression silences findings of the listed rules **on its own line
-only**. Suppressions that silence nothing are reported as RPL000 so
-they cannot outlive the violation they were written for.
+A suppression silences findings of the listed rules on the **statement**
+its line belongs to. For one-line statements that is the line itself;
+for multi-line statements (a call spread over several lines, a decorated
+``def``) the directive may sit on any line of the statement — including
+a decorator line or the closing paren — and silences findings anywhere
+in that statement's span. Compound statements (``if``/``for``/``def``…)
+span their decorators through their header only, never their body, so a
+directive on a ``def`` line cannot blanket-silence the whole function.
+
+When no AST is available (syntax-error recovery paths) the table falls
+back to exact-line matching.
+
+Suppressions that silence nothing are reported as RPL000 so they cannot
+outlive the violation they were written for. Because ``repro lint`` and
+``repro check`` enforce disjoint rule sets over the same files, each
+tool passes its own rule ids to :meth:`SuppressionTable.unused` —
+otherwise every ``disable=RPL102`` would be "unused" to lint and every
+``disable=RPL001`` "unused" to check.
 """
 
 from __future__ import annotations
 
+import ast
 import io
 import re
 import tokenize
+from typing import Collection
 
 from repro.staticcheck.diagnostics import Diagnostic
 
@@ -38,40 +55,84 @@ def _iter_comments(source: str) -> list[tuple[int, str]]:
     return out
 
 
-class SuppressionTable:
-    """Per-file map of line number → suppressed rule ids, with use tracking."""
+def _statement_spans(tree: ast.Module) -> list[tuple[int, int]]:
+    """Line span of every statement, headers only for compound statements.
 
-    def __init__(self, source: str, path: str) -> None:
+    Simple statements span ``lineno``..``end_lineno``; statements with a
+    suite (and decorators, for ``def``/``class``) span from their first
+    decorator through the line before their body starts.
+    """
+    spans: list[tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        start = node.lineno
+        for dec in getattr(node, "decorator_list", []):
+            start = min(start, dec.lineno)
+        body = getattr(node, "body", None)
+        if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+            end = max(start, body[0].lineno - 1)
+        else:
+            end = node.end_lineno or node.lineno
+        spans.append((start, end))
+    return spans
+
+
+def _enclosing_span(spans: list[tuple[int, int]], line: int) -> tuple[int, int]:
+    """The smallest statement span containing ``line`` (or just the line)."""
+    best: tuple[int, int] | None = None
+    for lo, hi in spans:
+        if lo <= line <= hi and (best is None or hi - lo < best[1] - best[0]):
+            best = (lo, hi)
+    return best if best is not None else (line, line)
+
+
+class SuppressionTable:
+    """Per-file map of directive → statement span, with use tracking."""
+
+    def __init__(self, source: str, path: str, tree: ast.Module | None = None) -> None:
         self.path = path
-        self._rules_by_line: dict[int, set[str]] = {}
+        spans = _statement_spans(tree) if tree is not None else []
+        #: (directive line, rule id) → (span lo, span hi)
+        self._directives: dict[tuple[int, str], tuple[int, int]] = {}
         self._used: set[tuple[int, str]] = set()
         for lineno, text in _iter_comments(source):
             m = _DIRECTIVE.search(text)
             if m:
-                rules = {r.strip() for r in m.group(1).split(",")}
-                self._rules_by_line.setdefault(lineno, set()).update(rules)
+                span = _enclosing_span(spans, lineno)
+                for rule in (r.strip() for r in m.group(1).split(",")):
+                    self._directives[(lineno, rule)] = span
 
     def is_suppressed(self, line: int, rule: str) -> bool:
         """Whether ``rule`` is silenced on ``line``; marks the directive used."""
-        if rule in self._rules_by_line.get(line, ()):
-            self._used.add((line, rule))
-            return True
-        return False
+        hit = False
+        for (dline, drule), (lo, hi) in self._directives.items():
+            if drule == rule and lo <= line <= hi:
+                self._used.add((dline, drule))
+                hit = True
+        return hit
 
-    def unused(self) -> list[Diagnostic]:
-        """RPL000 findings for every directive entry that silenced nothing."""
+    def unused(self, known_rules: Collection[str] | None = None) -> list[Diagnostic]:
+        """RPL000 findings for every directive entry that silenced nothing.
+
+        ``known_rules`` restricts reporting to the ids the calling tool
+        actually enforces — directives for the *other* tool's rules are
+        not its business to call unused.
+        """
         out = []
-        for line, rules in self._rules_by_line.items():
-            for rule in sorted(rules):
-                if (line, rule) not in self._used:
-                    out.append(
-                        Diagnostic(
-                            path=self.path,
-                            line=line,
-                            col=0,
-                            rule=UNUSED_SUPPRESSION_RULE,
-                            message=f"unused suppression of {rule}: nothing on this "
-                                    "line triggers it — remove the directive",
-                        )
-                    )
+        for (line, rule) in sorted(self._directives):
+            if (line, rule) in self._used:
+                continue
+            if known_rules is not None and rule not in known_rules:
+                continue
+            out.append(
+                Diagnostic(
+                    path=self.path,
+                    line=line,
+                    col=0,
+                    rule=UNUSED_SUPPRESSION_RULE,
+                    message=f"unused suppression of {rule}: nothing in this "
+                            "statement triggers it — remove the directive",
+                )
+            )
         return out

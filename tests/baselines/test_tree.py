@@ -101,6 +101,19 @@ class TestTreeTracker:
         assert res.proxy == 15
         assert res.cost == pytest.approx(NET.distance(12, 0) + NET.distance(0, 15))
 
+    def test_query_from_proxy_skips_the_oracle(self, tracker, monkeypatch):
+        """Regression (RPL103): the local fast path must not solve a
+        distance whose result never reaches the ledger."""
+        tracker.publish("o", 15)
+        calls = []
+        orig = NET.distance
+        monkeypatch.setattr(
+            NET, "distance", lambda u, v: (calls.append((u, v)), orig(u, v))[1]
+        )
+        res = tracker.query("o", 15)
+        assert res.cost == 0.0
+        assert calls == []
+
     def test_query_from_ancestor(self, tracker):
         tracker.publish("o", 15)
         res = tracker.query("o", 0)  # root already holds o

@@ -123,6 +123,19 @@ class TestQuery:
         res = tracker.query("o1", 7)
         assert res.cost == 0.0 and res.proxy == 7
 
+    def test_query_from_proxy_skips_the_oracle(self, tracker, monkeypatch):
+        """Regression (RPL103): the local fast path must not burn a
+        Dijkstra row whose result never reaches the ledger."""
+        tracker.publish("o1", 7)
+        calls = []
+        orig = tracker._dist
+        monkeypatch.setattr(
+            tracker, "_dist", lambda u, v: (calls.append((u, v)), orig(u, v))[1]
+        )
+        res = tracker.query("o1", 7)
+        assert res.cost == 0.0
+        assert calls == []
+
     def test_query_finds_after_publish(self, tracker):
         tracker.publish("o1", 7)
         res = tracker.query("o1", 56)

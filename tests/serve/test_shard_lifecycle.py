@@ -1,0 +1,74 @@
+"""Shard lifecycle regressions — concurrent ``stop()`` must be safe.
+
+Regression for the PR-7 RPL102 finding: ``stop()`` used to guard-read
+``self._worker``, await, and only then clear it. Two concurrent stops
+could both pass the guard, enqueue two ``_STOP`` sentinels, and the
+leftover sentinel — never ``task_done()``-ed — deadlocked every later
+``queue.join()``. The fix claims the worker before the await; these
+tests drive the exact interleaving and time out (fail) on the old code.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.mot import MOTTracker
+from repro.graphs.generators import grid_network
+from repro.hierarchy.structure import build_hierarchy
+from repro.serve import PublishRequest, VirtualClock
+from repro.serve.metrics import ServiceMetrics
+from repro.serve.shard import TrackerShard
+
+NET = grid_network(3, 3)
+
+
+def make_shard(clock):
+    return TrackerShard(
+        shard_id=0,
+        tracker=MOTTracker(build_hierarchy(NET, seed=1)),
+        clock=clock,
+        metrics=ServiceMetrics(),
+        batch_size=4,
+        service_time_base_s=0.001,
+        service_time_per_cost_s=0.0,
+    )
+
+
+def test_concurrent_stop_leaves_no_stale_sentinel():
+    async def scenario():
+        shard = make_shard(VirtualClock())
+        shard.start()
+        fut = shard.submit(PublishRequest("tiger", NET.node_at(0)), 0.0)
+        stop1 = asyncio.create_task(shard.stop())
+        stop2 = asyncio.create_task(shard.stop())
+        await asyncio.sleep(0)  # both stops are now parked on queue.join()
+        await asyncio.wait_for(fut, timeout=2)
+        await asyncio.wait_for(asyncio.gather(stop1, stop2), timeout=2)
+        # exactly one _STOP was enqueued and consumed: nothing lingers,
+        # and a later join() returns instead of deadlocking
+        assert shard._queue.qsize() == 0
+        await asyncio.wait_for(shard._queue.join(), timeout=2)
+        assert shard._worker is None
+
+    asyncio.run(scenario())
+
+
+def test_sequential_stop_is_idempotent():
+    async def scenario():
+        shard = make_shard(VirtualClock())
+        shard.start()
+        await asyncio.wait_for(shard.stop(), timeout=2)
+        await asyncio.wait_for(shard.stop(), timeout=2)  # no worker: no-op
+        assert shard._worker is None
+        assert shard._queue.qsize() == 0
+
+    asyncio.run(scenario())
+
+
+def test_stop_without_start_is_a_no_op():
+    async def scenario():
+        shard = make_shard(VirtualClock())
+        await asyncio.wait_for(shard.stop(), timeout=2)
+        assert shard._worker is None
+
+    asyncio.run(scenario())

@@ -1,0 +1,137 @@
+"""The ``repro check`` verb: exit codes, determinism, SARIF, caching."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.cli import main
+from repro.staticcheck.flow import FLOW_RULE_IDS
+from repro.staticcheck.flow.engine import run_check
+
+CLEAN = """\
+def helper(seed):
+    return seed
+
+def scenario(seed=7):
+    return helper(seed)
+"""
+
+DIRTY = """\
+import random
+
+def make_rng(seed):
+    return random.Random(seed)
+
+def scenario():
+    return make_rng(None)
+"""
+
+
+@pytest.fixture()
+def clean_tree(tmp_path):
+    pkg = tmp_path / "src" / "repro" / "sim"
+    pkg.mkdir(parents=True)
+    (pkg / "clean.py").write_text(CLEAN)
+    return tmp_path / "src"
+
+
+@pytest.fixture()
+def dirty_tree(tmp_path):
+    pkg = tmp_path / "src" / "repro" / "sim"
+    pkg.mkdir(parents=True)
+    (pkg / "dirty.py").write_text(DIRTY)
+    return tmp_path / "src"
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, clean_tree, capsys):
+        assert main(["check", str(clean_tree)]) == 0
+        assert "all checks passed" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, dirty_tree, capsys):
+        assert main(["check", str(dirty_tree)]) == 1
+        assert "RPL101" in capsys.readouterr().out
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main(["check", str(tmp_path / "nope.txt")]) == 2
+        assert "repro check" in capsys.readouterr().err
+
+    def test_repo_self_check_via_cli_is_clean(self, capsys):
+        assert main(["check", "src"]) == 0
+        capsys.readouterr()
+
+
+class TestDeterminism:
+    def test_json_output_byte_identical_across_runs(self, dirty_tree, capsys):
+        main(["check", str(dirty_tree), "--format", "json"])
+        first = capsys.readouterr().out
+        main(["check", str(dirty_tree), "--format", "json"])
+        second = capsys.readouterr().out
+        assert first == second
+        payload = json.loads(first)
+        assert payload["count"] == len(payload["diagnostics"]) == 1
+
+    def test_sarif_output_byte_identical_across_runs(self, dirty_tree, capsys):
+        main(["check", str(dirty_tree), "--sarif"])
+        first = capsys.readouterr().out
+        main(["check", str(dirty_tree), "--sarif"])
+        assert capsys.readouterr().out == first
+
+
+class TestSarifShape:
+    def test_schema_and_rule_metadata(self, dirty_tree, capsys):
+        main(["check", str(dirty_tree), "--sarif"])
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        assert doc["$schema"].endswith("sarif-2.1.0.json")
+        (run,) = doc["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-check"
+        assert {r["id"] for r in driver["rules"]} >= set(FLOW_RULE_IDS)
+        (result,) = run["results"]
+        assert result["ruleId"] == "RPL101"
+        loc = result["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"].endswith("dirty.py")
+        assert loc["region"]["startLine"] == 7
+        # ruleIndex must agree with the rules table
+        assert driver["rules"][result["ruleIndex"]]["id"] == "RPL101"
+
+    def test_lint_sarif_verb_works_too(self, tmp_path, capsys):
+        f = tmp_path / "mod.py"
+        f.write_text("import random\nx = random.random()\n")
+        assert main(["lint", str(f), "--sarif"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["runs"][0]["tool"]["driver"]["name"] == "repro-lint"
+        assert doc["runs"][0]["results"][0]["ruleId"] == "RPL002"
+
+
+class TestCache:
+    def test_cache_file_created_and_results_identical(self, dirty_tree, tmp_path, capsys):
+        cache = tmp_path / "artifacts" / "check.pkl"
+        main(["check", str(dirty_tree), "--format", "json", "--cache", str(cache)])
+        cold = capsys.readouterr().out
+        assert cache.is_file()
+        stamp = cache.stat().st_mtime_ns
+        main(["check", str(dirty_tree), "--format", "json", "--cache", str(cache)])
+        warm = capsys.readouterr().out
+        assert warm == cold
+        assert cache.stat().st_mtime_ns == stamp  # hit: not rewritten
+
+    def test_source_edit_invalidates_the_cache(self, dirty_tree, tmp_path, capsys):
+        cache = tmp_path / "check.pkl"
+        main(["check", str(dirty_tree), "--format", "json", "--cache", str(cache)])
+        capsys.readouterr()
+        (dirty_tree / "repro" / "sim" / "dirty.py").write_text(CLEAN)
+        assert main(["check", str(dirty_tree), "--cache", str(cache)]) == 0
+        assert "all checks passed" in capsys.readouterr().out
+
+    def test_corrupt_cache_is_rebuilt_not_trusted(self, dirty_tree, tmp_path, capsys):
+        cache = tmp_path / "check.pkl"
+        cache.write_bytes(b"not a pickle")
+        assert main(["check", str(dirty_tree), "--cache", str(cache)]) == 1
+        capsys.readouterr()
+
+    def test_run_check_rejects_unknown_format(self, clean_tree):
+        with pytest.raises(ValueError, match="unknown format"):
+            run_check([clean_tree], fmt="yaml")

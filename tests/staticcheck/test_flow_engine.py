@@ -1,0 +1,394 @@
+"""The flow engine's substrate: ProjectIndex, call graph, CFG, dataflow.
+
+Everything runs over small in-memory fixture packages with synthetic
+``src/repro/...`` paths — the same shape the real tree presents — so
+the tests pin the *engine* semantics (module naming, import resolution,
+MRO search, exception edges, worklist convergence) independently of any
+particular rule.
+"""
+
+import ast
+import textwrap
+
+from repro.staticcheck.flow.callgraph import build_call_graph
+from repro.staticcheck.flow.cfg import (
+    ENTRY,
+    EXIT,
+    RAISE,
+    build_cfg,
+    forward_dataflow,
+)
+from repro.staticcheck.flow.modules import ProjectIndex, module_name_for
+
+
+def index_of(**files):
+    """Build an index from ``{dotted_suffix: source}`` fixture modules."""
+    sources = []
+    for dotted, src in files.items():
+        path = "src/repro/" + dotted.replace(".", "/") + ".py"
+        sources.append((path, textwrap.dedent(src)))
+    return ProjectIndex.from_sources(sources)
+
+
+def func_cfg(src):
+    """CFG of the single function in a dedented snippet."""
+    tree = ast.parse(textwrap.dedent(src))
+    func = next(
+        n for n in tree.body if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+    return build_cfg(func)
+
+
+class TestModuleNaming:
+    def test_src_layout(self):
+        assert module_name_for("src/repro/serve/shard.py") == "repro.serve.shard"
+
+    def test_init_names_the_package(self):
+        assert module_name_for("src/repro/serve/__init__.py") == "repro.serve"
+
+    def test_no_src_prefix_falls_back_to_repro(self):
+        assert module_name_for("/x/y/repro/core/mot.py") == "repro.core.mot"
+
+
+class TestProjectIndex:
+    def test_functions_methods_and_classes_indexed(self):
+        idx = index_of(
+            **{
+                "pkg.a": """\
+                class Base:
+                    tag = "b"
+                    def hello(self):
+                        return 1
+
+                class Child(Base):
+                    def extra(self):
+                        return 2
+
+                def free():
+                    return 3
+                """
+            }
+        )
+        assert "repro.pkg.a.free" in idx.functions
+        assert "repro.pkg.a.Base.hello" in idx.functions
+        child = idx.classes["repro.pkg.a.Child"]
+        assert child.bases == ["Base"]
+        mro = [c.name for c in idx.method_resolution_order(child)]
+        assert mro == ["Child", "Base"]
+        assert idx.classes["repro.pkg.a.Base"].class_attrs.keys() == {"tag"}
+
+    def test_dataclass_fields_in_order(self):
+        idx = index_of(
+            **{
+                "pkg.a": """\
+                from dataclasses import dataclass
+
+                @dataclass
+                class Cfg:
+                    rate: float
+                    seed: int | None = None
+                """
+            }
+        )
+        cfg = idx.classes["repro.pkg.a.Cfg"]
+        assert cfg.is_dataclass
+        assert list(cfg.fields) == ["rate", "seed"]
+        default = cfg.fields["seed"]
+        assert isinstance(default, ast.Constant) and default.value is None
+
+    def test_import_resolution_plain_aliased_and_relative(self):
+        idx = index_of(
+            **{
+                "pkg.a": """\
+                def target():
+                    return 0
+                """,
+                "pkg.b": """\
+                from repro.pkg.a import target
+                from repro.pkg import a as mod
+                from . import a
+
+                def calls():
+                    target()
+                    mod.target()
+                    a.target()
+                """,
+            }
+        )
+        b = "repro.pkg.b"
+        assert idx.resolve(b, "target") == "repro.pkg.a.target"
+        assert idx.resolve(b, "mod.target") == "repro.pkg.a.target"
+        assert idx.resolve(b, "a.target") == "repro.pkg.a.target"
+        assert idx.resolve(b, "nonsense") is None
+
+    def test_parse_errors_collected_not_raised(self):
+        idx = ProjectIndex.from_sources([("src/repro/bad.py", "def f(:\n")])
+        assert idx.modules == {}
+        (path, line, _col, msg) = idx.parse_errors[0]
+        assert path == "src/repro/bad.py" and line == 1
+        assert "syntax error" in msg
+
+
+class TestCallGraph:
+    def test_edges_across_modules_and_methods(self):
+        idx = index_of(
+            **{
+                "pkg.a": """\
+                def helper():
+                    return 0
+
+                class Worker:
+                    def step(self):
+                        return self.impl()
+                    def impl(self):
+                        return helper()
+                """,
+                "pkg.b": """\
+                from repro.pkg.a import Worker, helper
+
+                def drive():
+                    helper()
+                    return Worker()
+                """,
+            }
+        )
+        g = build_call_graph(idx)
+        assert g.edges["repro.pkg.b.drive"] == [
+            "repro.pkg.a.Worker",
+            "repro.pkg.a.helper",
+        ]
+        assert g.edges["repro.pkg.a.Worker.step"] == ["repro.pkg.a.Worker.impl"]
+        assert g.edges["repro.pkg.a.Worker.impl"] == ["repro.pkg.a.helper"]
+
+    def test_reachability_forward_and_reverse(self):
+        idx = index_of(
+            **{
+                "pkg.a": """\
+                def leaf():
+                    return 0
+                def mid():
+                    return leaf()
+                def top():
+                    return mid()
+                def lonely():
+                    return 1
+                """
+            }
+        )
+        g = build_call_graph(idx)
+        reach = g.reachable_from(["repro.pkg.a.top"])
+        assert "repro.pkg.a.leaf" in reach and "repro.pkg.a.lonely" not in reach
+        reaching = g.reaching({"repro.pkg.a.leaf"})
+        assert "repro.pkg.a.top" in reaching and "repro.pkg.a.lonely" not in reaching
+        assert g.callers_of("repro.pkg.a.mid") == ["repro.pkg.a.top"]
+
+    def test_unresolvable_calls_add_no_edges(self):
+        idx = index_of(
+            **{
+                "pkg.a": """\
+                import os
+
+                def f(cb):
+                    os.getcwd()
+                    cb()
+                    return print
+                """
+            }
+        )
+        g = build_call_graph(idx)
+        assert g.edges == {}
+
+
+class TestCFG:
+    def test_straight_line_reaches_exit(self):
+        cfg = func_cfg(
+            """\
+            def f():
+                a = 1
+                return a
+            """
+        )
+        kinds = {(s, d): k for s, d, k in cfg.edges()}
+        return_nid = next(
+            nid for nid, st in cfg.nodes.items() if isinstance(st, ast.Return)
+        )
+        assert kinds[(return_nid, EXIT)] == "normal"
+
+    def test_every_statement_gets_an_implicit_exc_edge(self):
+        cfg = func_cfg(
+            """\
+            def f():
+                a = 1
+                b = 2
+                return a + b
+            """
+        )
+        exc_edges = [(s, d) for s, d, k in cfg.edges() if k == "exc"]
+        assert set(exc_edges) == {(nid, RAISE) for nid in cfg.nodes}
+
+    def test_try_routes_body_exceptions_to_handler(self):
+        cfg = func_cfg(
+            """\
+            def f():
+                try:
+                    risky()
+                except ValueError:
+                    handle()
+                return 1
+            """
+        )
+        nid_of = {
+            ast.unparse(st).strip(): nid
+            for nid, st in cfg.nodes.items()
+            if isinstance(st, ast.Expr)
+        }
+        edges = {(s, d, k) for s, d, k in cfg.edges()}
+        # the risky statement's exc edge lands in the handler, not RAISE
+        assert (nid_of["risky()"], nid_of["handle()"], "exc") in edges
+        assert (nid_of["risky()"], RAISE, "exc") not in edges
+        # the handler itself may raise out of the function
+        assert (nid_of["handle()"], RAISE, "exc") in edges
+
+    def test_explicit_raise_has_raise_kind_and_no_fallthrough(self):
+        cfg = func_cfg(
+            """\
+            def f(x):
+                if x:
+                    raise ValueError(x)
+                return 0
+            """
+        )
+        raise_nid = next(
+            nid for nid, st in cfg.nodes.items() if isinstance(st, ast.Raise)
+        )
+        outs = dict(cfg.succ[raise_nid])
+        assert outs == {RAISE: "raise"} or set(outs.items()) == {
+            (RAISE, "raise"),
+            (RAISE, "exc"),
+        }
+        # nothing flows from the raise onward to the return
+        return_nid = next(
+            nid for nid, st in cfg.nodes.items() if isinstance(st, ast.Return)
+        )
+        assert return_nid not in outs
+
+    def test_finally_runs_on_the_exception_path_too(self):
+        cfg = func_cfg(
+            """\
+            def f():
+                try:
+                    risky()
+                finally:
+                    cleanup()
+                return 1
+            """
+        )
+        nid_of = {
+            ast.unparse(st).strip(): nid
+            for nid, st in cfg.nodes.items()
+            if isinstance(st, ast.Expr)
+        }
+        edges = {(s, d, k) for s, d, k in cfg.edges()}
+        assert (nid_of["risky()"], nid_of["cleanup()"], "exc") in edges
+        # after the finally suite the exception continues outward
+        assert (nid_of["cleanup()"], RAISE, "exc") in edges
+
+    def test_while_true_has_no_false_exit(self):
+        cfg = func_cfg(
+            """\
+            def f(q):
+                while True:
+                    item = q.get()
+                    if item is None:
+                        return item
+            """
+        )
+        while_nid = next(
+            nid for nid, st in cfg.nodes.items() if isinstance(st, ast.While)
+        )
+        assert (EXIT, "normal") not in cfg.succ[while_nid]
+
+
+class TestForwardDataflow:
+    def test_join_at_if_merge_is_applied(self):
+        cfg = func_cfg(
+            """\
+            def f(x):
+                if x:
+                    a = 1
+                else:
+                    a = 2
+                return a
+            """
+        )
+
+        def transfer(nid, stmt, state):
+            if isinstance(stmt, ast.Assign):
+                val = stmt.value.value
+                return state | {stmt.targets[0].id: frozenset({val})}
+            return state
+
+        def join(a, b):
+            keys = set(a) | set(b)
+            return {k: a.get(k, frozenset()) | b.get(k, frozenset()) for k in keys}
+
+        in_states, _ = forward_dataflow(cfg, {}, transfer, join, kinds=("normal",))
+        return_nid = next(
+            nid for nid, st in cfg.nodes.items() if isinstance(st, ast.Return)
+        )
+        assert in_states[return_nid]["a"] == frozenset({1, 2})
+
+    def test_exc_edges_carry_the_pre_statement_state(self):
+        cfg = func_cfg(
+            """\
+            def f():
+                try:
+                    a = compute()
+                except ValueError:
+                    recover()
+                return 0
+            """
+        )
+
+        def transfer(nid, stmt, state):
+            if isinstance(stmt, ast.Assign):
+                return state | {stmt.targets[0].id: True}
+            return state
+
+        def join(a, b):
+            # a variable only *definitely* exists if it does on every path
+            return {k: a[k] and b[k] for k in set(a) & set(b)} | {
+                k: False for k in set(a) ^ set(b)
+            }
+
+        in_states, _ = forward_dataflow(cfg, {}, transfer, join)
+        handler_nid = next(
+            nid
+            for nid, st in cfg.nodes.items()
+            if isinstance(st, ast.Expr) and "recover" in ast.unparse(st)
+        )
+        # the assignment may have raised before binding: `a` is not
+        # definitely assigned inside the handler
+        assert in_states[handler_nid].get("a", False) is False
+
+    def test_loop_reaches_fixed_point(self):
+        cfg = func_cfg(
+            """\
+            def f(n):
+                total = 0
+                while n:
+                    total = total + 1
+                return total
+            """
+        )
+        seen = []
+
+        def transfer(nid, stmt, state):
+            seen.append(nid)
+            if isinstance(stmt, ast.Assign):
+                return min(state + 1, 3)
+            return state
+
+        in_states, _ = forward_dataflow(cfg, 0, transfer, max, kinds=("normal",))
+        assert in_states[EXIT] >= 1
+        assert len(seen) < 100  # converged, did not spin

@@ -1,0 +1,101 @@
+"""Statement-span suppression semantics (the PR-7 matching fix).
+
+Before this fix a directive only silenced findings on its *exact* line,
+so a suppression on the closing paren of a multi-line call — or on a
+decorator — silently did nothing (and then got reported as unused).
+Directives now bind to the full span of the statement their line
+belongs to; compound statements bind decorators-through-header only.
+"""
+
+import textwrap
+
+from repro.staticcheck import lint_source
+from repro.staticcheck.runner import LINT_RULE_IDS
+from repro.staticcheck.suppressions import SuppressionTable
+
+
+def lint(src, path="src/repro/fake.py"):
+    return [(d.rule, d.line) for d in lint_source(textwrap.dedent(src), path)]
+
+
+class TestStatementSpans:
+    def test_directive_on_last_line_of_multiline_call_silences(self):
+        # RPL002 anchors at the call's first line (3); the directive sits
+        # on the closing-paren line (5) of the same statement
+        src = """\
+        import random
+
+        rng = random.Random(
+            # chosen by fair dice roll
+        )  # repro-lint: disable=RPL002
+        """
+        assert lint(src) == []
+
+    def test_directive_on_first_line_still_works(self):
+        src = """\
+        import random
+
+        rng = random.Random(  # repro-lint: disable=RPL002
+        )
+        """
+        assert lint(src) == []
+
+    def test_directive_on_decorator_line_covers_the_def_header(self):
+        # RPL006 (blocking call in async def) anchors inside the body and
+        # must NOT be silenced by a header directive...
+        src = """\
+        import time
+
+        @decorated  # repro-lint: disable=RPL006
+        async def worker(self):
+            time.sleep(1)
+        """
+        got = lint(src, path="src/repro/serve/x.py")
+        # ...so the body finding survives and the directive is unused
+        assert ("RPL006", 5) in got
+        assert ("RPL000", 3) in got
+
+    def test_unrelated_line_in_another_statement_is_not_covered(self):
+        src = """\
+        import random
+
+        a = 1  # repro-lint: disable=RPL002
+        rng = random.Random()
+        """
+        got = lint(src)
+        assert ("RPL002", 4) in got
+        assert ("RPL000", 3) in got
+
+    def test_rpl000_anchors_at_the_directive_line(self):
+        src = """\
+        x = (
+            1,
+            2,  # repro-lint: disable=RPL001
+        )
+        """
+        assert lint(src) == [("RPL000", 3)]
+
+
+class TestKnownRules:
+    SRC = "a = 1  # repro-lint: disable=RPL103\n"
+
+    def test_unknown_to_lint_not_reported_by_lint(self):
+        assert lint(self.SRC) == []
+
+    def test_unused_without_known_rules_reports_everything(self):
+        table = SuppressionTable(self.SRC, "f.py")
+        assert [(d.rule, d.line) for d in table.unused()] == [("RPL000", 1)]
+
+    def test_unused_with_known_rules_filters(self):
+        table = SuppressionTable(self.SRC, "f.py")
+        assert table.unused(known_rules=LINT_RULE_IDS) == []
+        assert len(table.unused(known_rules={"RPL103"})) == 1
+
+
+class TestFallbackWithoutTree:
+    def test_exact_line_matching_still_applies(self):
+        table = SuppressionTable(
+            "d = net.distance(u, v)  # repro-lint: disable=RPL001\n", "f.py"
+        )
+        assert table.is_suppressed(1, "RPL001")
+        assert not table.is_suppressed(2, "RPL001")
