@@ -43,9 +43,10 @@ Commands:
   AST lint rules (RPL001–RPL007, see :mod:`repro.staticcheck`) over
   source trees;
 - ``check [PATHS…] [--format json|sarif] [--cache PATH]`` — run the
-  project-wide interprocedural analyses (RPL101–RPL104: seed taint,
+  project-wide interprocedural analyses (RPL101–RPL105: seed taint,
   await-atomicity races, ledger conservation, backend protocol
-  conformance; see :mod:`repro.staticcheck.flow`). ``--cache`` persists
+  conformance, worker frame-protocol totality; see
+  :mod:`repro.staticcheck.flow`). ``--cache`` persists
   the parsed index/call graph keyed on a source hash.
 
 ``python -m repro --version`` prints the installed package version
@@ -259,6 +260,9 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
 
     from repro.serve.bench import ServeBenchConfig, run_serve_bench
 
+    # --workers implies a wall clock unless one was chosen explicitly
+    # (worker processes cannot run under the deterministic virtual clock)
+    clock = args.clock or ("wall" if args.workers > 0 else "virtual")
     try:
         cfg = ServeBenchConfig(
             nodes=args.nodes,
@@ -266,13 +270,14 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             moves_per_object=args.moves,
             num_queries=args.queries,
             shards=args.shards,
+            workers=args.workers,
             rate=args.rate,
             seed=args.seed,
             batch_size=args.batch,
             queue_capacity=args.queue_capacity,
             rate_limit=args.rate_limit,
             service_time_base_s=args.service_time_ms * 1e-3,
-            clock=args.clock,
+            clock=clock,
             metrics_snapshot_interval_s=(
                 args.snapshot_interval if args.snapshot_interval > 0 else None
             ),
@@ -503,6 +508,9 @@ def main(argv: list[str] | None = None) -> int:
     p_sb.add_argument("--moves", type=int, default=20, help="moves per object")
     p_sb.add_argument("--queries", type=int, default=200)
     p_sb.add_argument("--shards", type=int, default=4, help="tracker shard workers")
+    p_sb.add_argument("--workers", type=int, default=0,
+                      help="fork N shard worker processes (0 = in-process "
+                           "asyncio shards; implies --clock wall)")
     p_sb.add_argument("--rate", type=float, default=500.0,
                       help="offered load in ops/s (open-loop Poisson arrivals)")
     p_sb.add_argument("--seed", type=int, default=7,
@@ -515,8 +523,9 @@ def main(argv: list[str] | None = None) -> int:
                       help="admission token-bucket rate in ops/s (default: off)")
     p_sb.add_argument("--service-time-ms", type=float, default=1.0,
                       help="virtual per-op service time in milliseconds")
-    p_sb.add_argument("--clock", choices=("virtual", "wall"), default="virtual",
-                      help="virtual = deterministic replay; wall = real latencies")
+    p_sb.add_argument("--clock", choices=("virtual", "wall"), default=None,
+                      help="virtual = deterministic replay; wall = real latencies "
+                           "(default: virtual, or wall when --workers > 0)")
     p_sb.add_argument("--snapshot-interval", type=float, default=0.5,
                       help="metrics snapshot period in service-clock seconds (0 = off)")
     p_sb.add_argument("--trace", default=None, metavar="PATH",
@@ -567,7 +576,7 @@ def main(argv: list[str] | None = None) -> int:
     p_lint.set_defaults(fn=_cmd_lint)
 
     p_check = sub.add_parser(
-        "check", help="run the interprocedural flow analyses (RPL101-RPL104)"
+        "check", help="run the interprocedural flow analyses (RPL101-RPL105)"
     )
     p_check.add_argument("paths", nargs="*", metavar="PATH",
                          help="files or directories (default: src)")

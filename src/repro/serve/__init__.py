@@ -7,9 +7,20 @@ request-serving system, the ROADMAP's "serves heavy traffic" substrate:
   :class:`Overloaded` backpressure rejection;
 - :mod:`repro.serve.clock` — wall vs deterministic virtual time;
 - :mod:`repro.serve.shard` — :class:`TrackerShard` workers: hash
-  partition, per-wakeup batching, query coalescing, oracle prefetch;
+  partition, per-wakeup batching, query coalescing, oracle prefetch
+  (the clock-free apply path lives in :class:`ShardCore`);
+- :mod:`repro.serve.hashring` — consistent-hash object → shard
+  routing (SHA-256 ring, ~K/n key movement on resize);
+- :mod:`repro.serve.transport` — length-prefixed pickle framing over
+  socket pairs: the worker-process message boundary;
+- :mod:`repro.serve.worker` — forked shard worker processes
+  (:func:`worker_main`) and their in-service
+  :class:`ProcessShardHandle` fronts;
+- :mod:`repro.serve.snapshot` — shard snapshot/restore plus
+  split/merge for elastic resizing and crash-restart;
 - :mod:`repro.serve.service` — :class:`TrackingService`: admission
-  control (token bucket + bounded queues) and graceful drain;
+  control (token bucket + bounded queues), healthcheck and graceful
+  drain;
 - :mod:`repro.serve.client` — the async :class:`ServiceClient` API;
 - :mod:`repro.serve.loadgen` — seeded open-loop arrival replay of
   :mod:`repro.sim.workload` traces at a target ops/s;
@@ -40,6 +51,7 @@ from repro.serve.audit import AuditReport, audit_service
 from repro.serve.bench import ServeBenchConfig, run_serve_bench
 from repro.serve.client import ServiceClient
 from repro.serve.clock import VirtualClock, WallClock
+from repro.serve.hashring import HashRing
 from repro.serve.loadgen import Arrival, LoadgenResult, arrival_trace, replay, trace_digest
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.protocol import (
@@ -51,7 +63,17 @@ from repro.serve.protocol import (
     kind_of,
 )
 from repro.serve.service import ServiceConfig, TokenBucket, TrackingService, shard_index
-from repro.serve.shard import QueryRecord, TrackerShard
+from repro.serve.shard import QueryRecord, ShardCore, TrackerShard, shard_sli
+from repro.serve.snapshot import (
+    ShardSnapshot,
+    capture_snapshot,
+    merge_snapshots,
+    restore_snapshot,
+    snapshot_from_bytes,
+    snapshot_to_bytes,
+    split_snapshot,
+)
+from repro.serve.worker import ProcessShardHandle, ShardWorker, WorkerSpec
 
 __all__ = [
     "AuditReport",
@@ -78,5 +100,18 @@ __all__ = [
     "TrackingService",
     "shard_index",
     "QueryRecord",
+    "ShardCore",
     "TrackerShard",
+    "shard_sli",
+    "HashRing",
+    "ShardSnapshot",
+    "capture_snapshot",
+    "restore_snapshot",
+    "snapshot_to_bytes",
+    "snapshot_from_bytes",
+    "split_snapshot",
+    "merge_snapshots",
+    "ProcessShardHandle",
+    "ShardWorker",
+    "WorkerSpec",
 ]

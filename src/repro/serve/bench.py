@@ -22,6 +22,12 @@ open-loop arrival trace, replay it against a sharded
 Under the default virtual clock the entire report is deterministic:
 two runs with the same configuration are byte-identical (the property
 ``tests/serve/test_loadgen.py`` locks in).
+
+With ``workers > 0`` the same bench drives forked shard processes on
+the wall clock instead: the report additionally carries ``health``
+(pids, modes) and ``per_shard`` SLIs (p50/p99 latency, drop ratio,
+sustained ops/s per shard), and the audit still gates the exit code —
+byte-identity is traded for real parallelism.
 """
 
 from __future__ import annotations
@@ -41,6 +47,7 @@ from repro.serve.audit import audit_service
 from repro.serve.clock import VirtualClock, WallClock
 from repro.serve.loadgen import LoadgenResult, arrival_trace, replay, trace_digest
 from repro.serve.service import ServiceConfig, TrackingService
+from repro.serve.shard import shard_sli
 from repro.sim.workload import make_workload
 
 __all__ = ["ServeBenchConfig", "run_serve_bench"]
@@ -55,6 +62,9 @@ class ServeBenchConfig:
     moves_per_object: int = 20
     num_queries: int = 200
     shards: int = 4
+    #: 0 = in-process asyncio shards; N > 0 forks N worker processes
+    #: (wall clock required — see repro.serve.worker)
+    workers: int = 0
     rate: float = 500.0  # offered load, ops/s
     seed: int = 7
     batch_size: int = 16
@@ -78,6 +88,10 @@ class ServeBenchConfig:
             raise ValueError("rate must be positive")
         if self.clock not in ("virtual", "wall"):
             raise ValueError('clock must be "virtual" or "wall"')
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0 (0 = in-process shards)")
+        if self.workers > 0 and self.clock != "wall":
+            raise ValueError('workers > 0 requires clock="wall"')
         if self.distance_backend not in ("auto", "full", "lazy", "landmark", "memmap"):
             raise ValueError(f"unknown distance_backend {self.distance_backend!r}")
 
@@ -90,6 +104,7 @@ class ServeBenchConfig:
         """The :class:`ServiceConfig` this bench drives."""
         return ServiceConfig(
             shards=self.shards,
+            workers=self.workers,
             batch_size=self.batch_size,
             queue_capacity=self.queue_capacity,
             rate_limit=self.rate_limit,
@@ -114,9 +129,13 @@ def _latency_ms(stat: TimerStat) -> dict[str, float]:
 
 async def _drive(
     service: TrackingService, workload, trace
-) -> LoadgenResult:
+) -> tuple[LoadgenResult, dict]:
     await service.start()
-    return await replay(service, workload, trace)
+    # probe while workers are alive: for process shards this is a real
+    # health-frame round trip, not just a liveness flag on the handle
+    health = await service.healthcheck()
+    result = await replay(service, workload, trace)
+    return result, health
 
 
 def run_serve_bench(cfg: ServeBenchConfig | None = None) -> dict:
@@ -138,6 +157,12 @@ def run_serve_bench(cfg: ServeBenchConfig | None = None) -> dict:
     )
     trace = arrival_trace(workload, cfg.rate, seed=cfg.seed)
     clock = VirtualClock() if cfg.clock == "virtual" else WallClock()
+    if cfg.workers > 0 and cfg.distance_backend in ("full", "memmap"):
+        # materialize/attach the distance matrix BEFORE the workers
+        # fork: a memmap backend attaches read-only and its pages are
+        # then shared via the OS page cache across every worker instead
+        # of computed (or copied) once per process
+        net.distance(net.node_at(0), net.node_at(0))
     service = TrackingService(
         net, cfg.service_config(), seed=cfg.seed, clock=clock
     )
@@ -152,7 +177,7 @@ def run_serve_bench(cfg: ServeBenchConfig | None = None) -> dict:
             stack.enter_context(
                 tracing(sink=writer, time_source=lambda: service.clock.now)
             )
-        result = asyncio.run(_drive(service, workload, trace))
+        result, health = asyncio.run(_drive(service, workload, trace))
         if cfg.trace_path is not None:
             trace_info = {"path": cfg.trace_path, "events": writer.events_written}
 
@@ -184,6 +209,10 @@ def run_serve_bench(cfg: ServeBenchConfig | None = None) -> dict:
             },
         },
         "achieved_throughput_ops_s": result.throughput_ops_s,
+        "per_shard": [
+            shard_sli(shard, result.makespan_s) for shard in service.shards
+        ],
+        "health": health,
         "service": metrics.as_dict(),
         "prometheus": render_prometheus(metrics.perf_view()),
         "snapshots": list(service.snapshots),

@@ -89,6 +89,11 @@ class LoadgenResult:
     rejected_queue: int = 0
     failed: int = 0
     completed: int = 0
+    #: bring-up publishes, tracked apart from the timed run: they are
+    #: not offered load, so they must not leak into completed counts,
+    #: latency percentiles or throughput (steady-state SLIs)
+    warmup_published: int = 0
+    warmup_completed: int = 0
     first_arrival_t: float = 0.0
     last_completion_t: float = 0.0
     responses: list = field(default_factory=list, repr=False)
@@ -115,6 +120,10 @@ class LoadgenResult:
             },
             "failed": self.failed,
             "completed": self.completed,
+            "warmup": {
+                "published": self.warmup_published,
+                "completed": self.warmup_completed,
+            },
             "makespan_s": self.makespan_s,
             "throughput_ops_s": self.throughput_ops_s,
         }
@@ -131,13 +140,16 @@ async def replay(
     """
     result = LoadgenResult()
     # -- warm-up: register every object at time zero, admission-exempt
-    # (bring-up is not offered load; see TrackingService.submit_warmup)
+    # (bring-up is not offered load; see TrackingService.submit_warmup).
+    # Warm-up futures are settled apart from the timed ops so bring-up
+    # never inflates completed counts, latency stats or throughput.
     publish_futs = [
         service.submit_warmup(PublishRequest(obj, start))
         for obj, start in workload.starts.items()
     ]
+    result.warmup_published = len(publish_futs)
     # -- open loop ----------------------------------------------------
-    futures: list[asyncio.Future] = list(publish_futs)
+    futures: list[asyncio.Future] = []
     if trace:
         result.first_arrival_t = trace[0].t
     for arrival in trace:
@@ -166,6 +178,11 @@ async def replay(
                 result.rejected_queue += 1
     # -- graceful drain ------------------------------------------------
     await service.stop()
+    for item in await asyncio.gather(*publish_futs, return_exceptions=True):
+        if isinstance(item, BaseException):
+            result.failed += 1
+        else:
+            result.warmup_completed += 1
     settled = await asyncio.gather(*futures, return_exceptions=True)
     for item in settled:
         if isinstance(item, BaseException):

@@ -41,6 +41,9 @@ class ServiceMetrics:
     """Counters and distributions of one :class:`TrackingService` run."""
 
     admitted: dict[str, int] = field(default_factory=dict)  # per op kind
+    #: bring-up ops (admission-exempt warm-up publishes), kept out of
+    #: ``admitted`` so steady-state SLI denominators exclude them
+    warmup: dict[str, int] = field(default_factory=dict)
     completed: dict[str, int] = field(default_factory=dict)
     failed: int = 0  # ops whose future carried an exception
     rejected_rate: int = 0
@@ -62,6 +65,17 @@ class ServiceMetrics:
         self.admitted[kind] = self.admitted.get(kind, 0) + 1
         self.queue_depth.add(float(depth))
         PERF.incr("serve.admitted")
+
+    def record_warmup(self, kind: str) -> None:
+        """One bring-up request bypassed admission control (warm-up).
+
+        Deliberately *not* :meth:`record_admission`: warm-up publishes
+        used to land in ``admitted`` and inflated every rate that
+        divides by admitted ops (regression
+        ``test_warmup_not_counted_as_admitted``).
+        """
+        self.warmup[kind] = self.warmup.get(kind, 0) + 1
+        PERF.incr("serve.warmup")
 
     def record_rejection(self, reason: str) -> None:
         """One request bounced by admission control (``rate``/``queue``)."""
@@ -104,8 +118,13 @@ class ServiceMetrics:
     # ------------------------------------------------------------------
     @property
     def total_admitted(self) -> int:
-        """Admitted operations across all kinds."""
+        """Admitted operations across all kinds (warm-up excluded)."""
         return sum(self.admitted.values())
+
+    @property
+    def total_warmup(self) -> int:
+        """Bring-up operations across all kinds."""
+        return sum(self.warmup.values())
 
     @property
     def total_completed(self) -> int:
@@ -123,6 +142,8 @@ class ServiceMetrics:
         out: dict[str, int] = {}
         for kind, n in sorted(self.admitted.items()):
             out[f"serve.admitted.{kind}"] = n
+        for kind, n in sorted(self.warmup.items()):
+            out[f"serve.warmup.{kind}"] = n
         for kind, n in sorted(self.completed.items()):
             out[f"serve.completed.{kind}"] = n
         out["serve.failed"] = self.failed
@@ -157,6 +178,7 @@ class ServiceMetrics:
         """JSON-ready snapshot of every counter and distribution."""
         return {
             "admitted": dict(sorted(self.admitted.items())),
+            "warmup": dict(sorted(self.warmup.items())),
             "completed": dict(sorted(self.completed.items())),
             "failed": self.failed,
             "rejected": {

@@ -1,12 +1,15 @@
-"""`TrackingService` — the in-process front door of the MOT structure.
+"""`TrackingService` — the front door of the MOT structure.
 
 One service instance owns:
 
 - a hierarchy built **once** over the shared :class:`SensorNetwork`,
-- ``shards`` :class:`~repro.serve.shard.TrackerShard` workers, each
-  with its own :class:`~repro.core.mot.MOTTracker` over that hierarchy
-  (objects are hash-partitioned with a stable CRC32, so placement does
-  not depend on ``PYTHONHASHSEED``),
+- ``shards`` shard backends — in-process
+  :class:`~repro.serve.shard.TrackerShard` workers by default, or
+  (``workers > 0``) forked worker processes behind
+  :class:`~repro.serve.worker.ProcessShardHandle`s — objects are
+  partitioned with a :class:`~repro.serve.hashring.HashRing`
+  (SHA-256-based, so placement does not depend on ``PYTHONHASHSEED``
+  and resizing the fleet moves only ~K/n keys),
 - admission control: a token-bucket rate limiter over the whole
   service plus a bounded per-shard queue, both rejecting with
   :class:`~repro.serve.protocol.Overloaded` and a ``retry_after`` hint,
@@ -14,13 +17,14 @@ One service instance owns:
 
 Shutdown is graceful: :meth:`stop` releases the clock, drains every
 queue to empty, resolves every admitted future, then retires the
-workers — no admitted operation is ever dropped.
+workers — no admitted operation is ever dropped. ``stop`` is
+idempotent and concurrency-safe: the drain runs once, memoized as a
+task every caller awaits.
 """
 
 from __future__ import annotations
 
 import asyncio
-import zlib
 from dataclasses import dataclass
 from typing import Hashable, Union
 
@@ -30,6 +34,7 @@ from repro.graphs.network import SensorNetwork
 from repro.hierarchy.structure import build_hierarchy
 from repro.obs.trace import TRACER
 from repro.serve.clock import VirtualClock, WallClock
+from repro.serve.hashring import HashRing
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.protocol import (
     OpResponse,
@@ -39,22 +44,40 @@ from repro.serve.protocol import (
     kind_of,
 )
 from repro.serve.shard import TrackerShard
+from repro.serve.worker import ProcessShardHandle, WorkerSpec
 
 Node = Hashable
 
 __all__ = ["ServiceConfig", "TokenBucket", "TrackingService", "shard_index"]
 
+#: shared rings for the module-level ``shard_index`` helper — one ring
+#: per fleet size, identical to the ring a TrackingService of that size
+#: routes with, so helper and service always agree on placement
+_DEFAULT_RINGS: dict[int, HashRing] = {}
+
 
 def shard_index(obj: str, shards: int) -> int:
-    """Stable shard of ``obj``: CRC32 partition, hash-seed independent."""
-    return zlib.crc32(str(obj).encode("utf-8")) % shards
+    """Stable shard of ``obj`` on a ``shards``-sized consistent-hash ring.
+
+    Hash-seed independent (SHA-256 ring points) and identical to
+    :meth:`TrackingService.shard_of`'s routing for the same fleet size.
+    """
+    ring = _DEFAULT_RINGS.get(shards)
+    if ring is None:
+        ring = _DEFAULT_RINGS[shards] = HashRing(range(shards))
+    return ring.shard_for(obj)
 
 
 @dataclass(frozen=True)
 class ServiceConfig:
     """Tunable knobs of one :class:`TrackingService`.
 
-    - ``shards`` — worker count; objects are CRC32-partitioned.
+    - ``shards`` — shard count; objects are partitioned on a
+      consistent-hash ring (see :mod:`repro.serve.hashring`).
+    - ``workers`` — 0 (default) runs every shard as an in-process
+      asyncio worker; ``N > 0`` forks ``N`` worker *processes* instead
+      (and overrides ``shards`` as the shard count). Worker processes
+      require a wall clock — see :mod:`repro.serve.worker`.
     - ``batch_size`` — max operations one shard drains per wakeup.
     - ``queue_capacity`` — max admitted-but-unserviced ops per shard;
       beyond it, submits are rejected ``Overloaded("queue")``.
@@ -74,6 +97,7 @@ class ServiceConfig:
     """
 
     shards: int = 4
+    workers: int = 0
     batch_size: int = 16
     queue_capacity: int = 64
     rate_limit: float | None = None
@@ -86,6 +110,8 @@ class ServiceConfig:
     def __post_init__(self) -> None:
         if self.shards < 1:
             raise ValueError("shards must be >= 1")
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0 (0 = in-process shards)")
         if self.batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         if self.queue_capacity < 1:
@@ -101,6 +127,16 @@ class ServiceConfig:
             and self.metrics_snapshot_interval_s <= 0
         ):
             raise ValueError("metrics_snapshot_interval_s must be positive (or None)")
+
+    @property
+    def multiprocess(self) -> bool:
+        """Whether shards run as forked worker processes."""
+        return self.workers > 0
+
+    @property
+    def num_shards(self) -> int:
+        """Effective shard count (``workers`` overrides ``shards``)."""
+        return self.workers if self.workers > 0 else self.shards
 
 
 class TokenBucket:
@@ -133,6 +169,10 @@ class TokenBucket:
         return (1.0 - self.tokens) / self.rate
 
 
+#: one shard backend, either side of the process boundary
+Shard = Union[TrackerShard, ProcessShardHandle]
+
+
 class TrackingService:
     """Sharded, batching, backpressured front end over MOT trackers."""
 
@@ -152,6 +192,11 @@ class TrackingService:
         # VirtualClock is opt-in for loadgen/bench replays, whose
         # arrival process is the clock's driver.
         self.clock = clock if clock is not None else WallClock()
+        if self.config.multiprocess and self.clock.virtual:
+            raise ValueError(
+                "workers > 0 requires a wall clock: virtual-time determinism "
+                "needs every transition on one cooperative loop"
+            )
         self.mot_config = mot_config or MOTConfig()
         self.metrics = ServiceMetrics()
         #: the one hierarchy every shard tracker (and the audit
@@ -164,17 +209,11 @@ class TrackingService:
             special_parent_gap=self.mot_config.special_parent_gap,
             use_parent_sets=self.mot_config.use_parent_sets,
         )
-        self.shards = [
-            TrackerShard(
-                shard_id=i,
-                tracker=MOTTracker(self.hierarchy, self.mot_config),
-                clock=self.clock,
-                metrics=self.metrics,
-                batch_size=self.config.batch_size,
-                service_time_base_s=self.config.service_time_base_s,
-                service_time_per_cost_s=self.config.service_time_per_cost_s,
-            )
-            for i in range(self.config.shards)
+        num_shards = self.config.num_shards
+        #: object → shard routing; shard ids double as list indices
+        self.ring = HashRing(range(num_shards))
+        self.shards: list[Shard] = [
+            self._make_shard(i) for i in range(num_shards)
         ]
         self._bucket = (
             TokenBucket(self.config.rate_limit, self.config.burst, self.clock.now)
@@ -186,12 +225,36 @@ class TrackingService:
         self._last_snapshot_t: float | None = None
         self._started = False
         self._closed = False
+        self._drain_task: asyncio.Future | None = None
+
+    def _make_shard(self, shard_id: int) -> Shard:
+        if self.config.multiprocess:
+            return ProcessShardHandle(
+                shard_id=shard_id,
+                spec=WorkerSpec(
+                    shard_id=shard_id,
+                    hierarchy=self.hierarchy,
+                    mot_config=self.mot_config,
+                ),
+                clock=self.clock,
+                metrics=self.metrics,
+                batch_size=self.config.batch_size,
+            )
+        return TrackerShard(
+            shard_id=shard_id,
+            tracker=MOTTracker(self.hierarchy, self.mot_config),
+            clock=self.clock,
+            metrics=self.metrics,
+            batch_size=self.config.batch_size,
+            service_time_base_s=self.config.service_time_base_s,
+            service_time_per_cost_s=self.config.service_time_per_cost_s,
+        )
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> None:
-        """Spawn every shard worker."""
+        """Spawn every shard worker (tasks or forked processes)."""
         if self._closed:
             raise RuntimeError("service is closed")
         for shard in self.shards:
@@ -199,10 +262,22 @@ class TrackingService:
         self._started = True
 
     async def stop(self) -> None:
-        """Graceful drain: finish every admitted op, then retire workers."""
-        if not self._started or self._closed:
+        """Graceful drain: finish every admitted op, then retire workers.
+
+        Memoizes the drain as a task (claim-before-await, the same
+        discipline as :meth:`TrackerShard.stop`): a concurrent second
+        ``stop()`` awaits the *same* drain instead of returning while
+        shards are still draining, and later calls are no-ops.
+        """
+        if not self._started:
             self._closed = True
             return
+        task = self._drain_task
+        if task is None:
+            task = self._drain_task = asyncio.ensure_future(self._drain())
+        await asyncio.shield(task)
+
+    async def _drain(self) -> None:
         self._closed = True
         self.clock.release()
         for shard in self.shards:
@@ -218,9 +293,9 @@ class TrackingService:
     # ------------------------------------------------------------------
     # submission
     # ------------------------------------------------------------------
-    def shard_of(self, obj: str) -> TrackerShard:
-        """The shard that owns ``obj``."""
-        return self.shards[shard_index(obj, len(self.shards))]
+    def shard_of(self, obj: str) -> Shard:
+        """The shard that owns ``obj`` (consistent-hash routing)."""
+        return self.shards[self.ring.shard_for(obj)]
 
     def submit_nowait(self, req: Request) -> asyncio.Future:
         """Admit + enqueue one request; the open-loop entry point.
@@ -228,33 +303,56 @@ class TrackingService:
         Raises :class:`Overloaded` synchronously when admission control
         rejects; otherwise returns the future of the op's
         :class:`OpResponse`.
+
+        The queue bound is checked **before** the rate limiter takes a
+        token: a queue-rejected op must be token-neutral, otherwise
+        rejected ops burn tokens that admissible ones never get and
+        effective throughput sags below ``rate_limit`` under queue
+        pressure (the regression
+        ``test_queue_rejection_is_token_neutral`` locks this order in).
         """
         if not self._started or self._closed:
             raise RuntimeError("service is not running")
         t = self.clock.now
         kind = kind_of(req)
+        shard = self.shard_of(req.obj)
+        if shard.depth >= self.config.queue_capacity:
+            shard.rejected += 1
+            self.metrics.record_rejection("queue")
+            retry = self._queue_retry_after(shard, t)
+            if TRACER.enabled:
+                TRACER.event(
+                    "serve.reject", obj=str(req.obj), reason="queue", retry_after=retry
+                )
+            raise Overloaded("queue", retry)
         if self._bucket is not None and not (
             self.config.exempt_publish and isinstance(req, PublishRequest)
         ):
             retry = self._bucket.try_admit(t)
             if retry > 0.0:
+                shard.rejected += 1
                 self.metrics.record_rejection("rate")
                 if TRACER.enabled:
                     TRACER.event(
                         "serve.reject", obj=str(req.obj), reason="rate", retry_after=retry
                     )
                 raise Overloaded("rate", retry)
-        shard = self.shard_of(req.obj)
-        if shard.depth >= self.config.queue_capacity:
-            self.metrics.record_rejection("queue")
-            retry = max(shard.busy_until - t, self.config.service_time_base_s)
-            if TRACER.enabled:
-                TRACER.event(
-                    "serve.reject", obj=str(req.obj), reason="queue", retry_after=retry
-                )
-            raise Overloaded("queue", retry)
         self.metrics.record_admission(kind, shard.depth)
         return shard.submit(req, t)
+
+    def _queue_retry_after(self, shard: Shard, t: float) -> float:
+        """A useful ``retry_after`` for a full queue under either clock.
+
+        Virtual mode knows the shard's busy horizon exactly. Under a
+        wall clock ``busy_until`` never advances (completions are real
+        clock readings), so the old ``busy_until - t`` collapsed to the
+        constant ``service_time_base_s`` regardless of backlog; estimate
+        instead from what is actually queued: ``depth`` ops at the
+        configured per-op service time.
+        """
+        if self.clock.virtual:
+            return max(shard.busy_until - t, self.config.service_time_base_s)
+        return max(1, shard.depth) * self.config.service_time_base_s
 
     async def submit(self, req: Request) -> OpResponse:
         """Admit one request and wait for its completion."""
@@ -266,19 +364,38 @@ class TrackingService:
         Registering the object catalogue before the timed run opens is
         service bring-up, not offered load: it must neither consume
         rate tokens nor bounce off a queue bound sized for steady-state
-        traffic. The load generator uses this for its warm-up
-        publishes; everything after bring-up goes through
-        :meth:`submit_nowait`.
+        traffic. It is counted under the separate ``warmup`` metric —
+        **not** ``record_admission`` — so bring-up does not inflate the
+        admitted-ops denominators that steady-state SLIs divide by.
+        The load generator uses this for its warm-up publishes;
+        everything after bring-up goes through :meth:`submit_nowait`.
         """
         if not self._started or self._closed:
             raise RuntimeError("service is not running")
         shard = self.shard_of(req.obj)
-        self.metrics.record_admission(kind_of(req), shard.depth)
+        self.metrics.record_warmup(kind_of(req))
         return shard.submit(req, self.clock.now)
 
     # ------------------------------------------------------------------
     # inspection
     # ------------------------------------------------------------------
+    async def healthcheck(self) -> dict:
+        """Liveness of every shard backend plus a service-level verdict.
+
+        For worker processes the probe is a real ``health`` frame
+        round-trip through the worker's queue — a hung or dead worker
+        fails the probe, not just a dead process handle.
+        """
+        shards = [await shard.health() for shard in self.shards]
+        return {
+            "ok": all(s["alive"] for s in shards),
+            "multiprocess": self.config.multiprocess,
+            "started": self._started,
+            "closed": self._closed,
+            "depth": self.total_depth,
+            "shards": shards,
+        }
+
     def snapshot(self) -> dict:
         """One timestamped copy of the service counters, appended to
         :attr:`snapshots` and returned.
@@ -312,10 +429,16 @@ class TrackingService:
         return self.snapshot()
 
     def merged_ledger(self) -> CostLedger:
-        """All shard trackers' cost ledgers folded into one."""
+        """All shards' cost ledgers folded into one.
+
+        Uniform across the process boundary: an in-process shard reads
+        its tracker's live ledger, a process handle the ledger its
+        worker shipped home in the final frame (so call after
+        :meth:`stop` in multiprocess mode).
+        """
         total = CostLedger()
         for shard in self.shards:
-            total.merge(shard.tracker.ledger)
+            total.merge(shard.ledger)
         return total
 
     @property

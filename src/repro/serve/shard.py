@@ -9,6 +9,12 @@ spine/DL entries, a shard holding a subset of the objects answers
 queries bit-identically to a sequential tracker holding all of them —
 the property the consistency audit (:mod:`repro.serve.audit`) checks.
 
+The clock-free part of a shard — tracker, epoch map, op log, query
+log, batch application with query coalescing and move prefetch — lives
+in :class:`ShardCore`, which :mod:`repro.serve.worker` reuses verbatim
+on the far side of the process boundary: one apply path, two
+schedulers (an asyncio task here, a blocking frame loop there).
+
 Per wakeup the shard:
 
 1. gates on the service clock in virtual mode (it may not run ahead of
@@ -41,8 +47,10 @@ import asyncio
 from dataclasses import dataclass
 from typing import Hashable, Union
 
+from repro.core.costs import CostLedger
 from repro.core.mot import MOTTracker
 from repro.obs.trace import TRACER
+from repro.perf import TimerStat
 from repro.serve.clock import VirtualClock, WallClock
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.protocol import (
@@ -53,10 +61,11 @@ from repro.serve.protocol import (
     Request,
     kind_of,
 )
+from repro.serve.snapshot import ShardSnapshot, capture_snapshot, restore_snapshot
 
 Node = Hashable
 
-__all__ = ["TrackerShard", "QueryRecord"]
+__all__ = ["ShardCore", "TrackerShard", "QueryRecord", "shard_sli"]
 
 #: queue sentinel that stops the worker after the queue fully drains
 _STOP = object()
@@ -83,6 +92,123 @@ class _Admitted:
     future: asyncio.Future
 
 
+class ShardCore:
+    """The clock-free state and apply path of one shard.
+
+    Owns the tracker and the three audit-facing structures: per-object
+    epochs, the applied op log, and the answered-query log. Everything
+    here is synchronous and scheduler-agnostic — the asyncio
+    :class:`TrackerShard` and the process-boundary
+    :class:`~repro.serve.worker.ShardWorker` both drive it.
+    """
+
+    def __init__(self, tracker: MOTTracker) -> None:
+        self.tracker = tracker
+        #: per-object applied-move count (the audit's version number)
+        self.epochs: dict[str, int] = {}
+        #: applied ops per object: [("publish", proxy), ("move", new), ...]
+        self.oplog: dict[str, list[tuple[str, Node]]] = {}
+        #: every answered query in execution order
+        self.query_log: list[QueryRecord] = []
+
+    def prefetch_moves(self, reqs: list[Request]) -> int:
+        """Warm oracle rows for the batch's move endpoints in one solve.
+
+        Chains each object's in-batch trajectory from its current proxy
+        and resolves all hop pairs through ``pair_distances`` — the
+        optimal-cost lookups the moves are about to issue then hit the
+        row cache instead of running one Dijkstra each (lazy mode).
+        """
+        chains: dict[str, list[Node]] = {}
+        for req in reqs:
+            if not isinstance(req, MoveRequest):
+                continue
+            chain = chains.get(req.obj)
+            if chain is None:
+                try:
+                    cur = self.tracker.proxy_of(req.obj)
+                except KeyError:
+                    continue  # unpublished: the op itself will fail below
+                chain = chains[req.obj] = [cur]
+            chain.append(req.new_proxy)
+        pairs = [
+            (c[i], c[i + 1])
+            for c in chains.values()
+            for i in range(len(c) - 1)
+            if c[i] != c[i + 1]
+        ]
+        if pairs:
+            self.tracker.net.pair_distances(pairs)
+        return len(pairs)
+
+    def apply_one(
+        self,
+        req: Request,
+        answered: dict[tuple[str, int, Node], tuple[Node, float]],
+    ) -> tuple[Node, float, int, bool]:
+        """Apply one request; returns (proxy, cost, epoch, coalesced)."""
+        if isinstance(req, PublishRequest):
+            res = self.tracker.publish(req.obj, req.proxy)
+            self.epochs[req.obj] = 0
+            self.oplog.setdefault(req.obj, []).append(("publish", req.proxy))
+            return req.proxy, res.cost, 0, False
+        if isinstance(req, MoveRequest):
+            res = self.tracker.move(req.obj, req.new_proxy)
+            epoch = self.epochs[req.obj] + 1
+            self.epochs[req.obj] = epoch
+            self.oplog[req.obj].append(("move", req.new_proxy))
+            return req.new_proxy, res.cost, epoch, False
+        if isinstance(req, QueryRequest):
+            epoch = self.epochs.get(req.obj, -1)
+            hit = answered.get((req.obj, epoch, req.source))
+            if hit is not None:
+                proxy, cost = hit
+                self.query_log.append(
+                    QueryRecord(req.obj, epoch, req.source, proxy, cost, coalesced=True)
+                )
+                return proxy, cost, epoch, True
+            res = self.tracker.query(req.obj, req.source)
+            answered[(req.obj, epoch, req.source)] = (res.proxy, res.cost)
+            self.query_log.append(
+                QueryRecord(req.obj, epoch, req.source, res.proxy, res.cost, coalesced=False)
+            )
+            return res.proxy, res.cost, epoch, False
+        raise TypeError(f"not a service request: {req!r}")
+
+
+def shard_sli(shard, makespan_s: float | None = None) -> dict:
+    """Per-shard SLIs: p50/p99 latency, drop ratio, sustained ops/s.
+
+    Works on anything with the shard counter attributes — the
+    in-process :class:`TrackerShard` and the process-boundary
+    :class:`~repro.serve.worker.ProcessShardHandle` alike. ``ops_s``
+    needs the run's makespan from the caller (the shard does not know
+    when the run started); omit it and the rate is reported as 0.
+    """
+    submitted = shard.submitted
+    rejected = shard.rejected
+    offered = submitted + rejected
+    lat = shard.latency
+    return {
+        "shard_id": shard.shard_id,
+        "submitted": submitted,
+        "completed": shard.completed_ops,
+        "rejected": rejected,
+        "drop_ratio": rejected / offered if offered else 0.0,
+        "objects": len(shard.oplog),
+        "latency_ms": {
+            "p50_ms": lat.percentile(50.0) * 1e3,
+            "p99_ms": lat.percentile(99.0) * 1e3,
+            "max_ms": lat.max_s * 1e3,
+        },
+        "ops_s": (
+            shard.completed_ops / makespan_s
+            if makespan_s is not None and makespan_s > 0
+            else 0.0
+        ),
+    }
+
+
 class TrackerShard:
     """One queue + one worker + one MOT instance (see module docstring)."""
 
@@ -97,7 +223,7 @@ class TrackerShard:
         service_time_per_cost_s: float,
     ) -> None:
         self.shard_id = shard_id
-        self.tracker = tracker
+        self.core = ShardCore(tracker)
         self.clock = clock
         self.metrics = metrics
         self.batch_size = batch_size
@@ -108,15 +234,42 @@ class TrackerShard:
         self.depth = 0
         #: virtual-mode service horizon: when this shard frees up
         self.busy_until = 0.0
-        #: per-object applied-move count (the audit's version number)
-        self.epochs: dict[str, int] = {}
-        #: applied ops per object: [("publish", proxy), ("move", new), ...]
-        self.oplog: dict[str, list[tuple[str, Node]]] = {}
-        #: every answered query in execution order
-        self.query_log: list[QueryRecord] = []
+        #: per-shard SLI counters (see :func:`shard_sli`)
+        self.submitted = 0
+        self.rejected = 0
+        self.completed_ops = 0
+        self.latency = TimerStat()
 
         self._queue: asyncio.Queue = asyncio.Queue()
         self._worker: asyncio.Task | None = None
+
+    # ------------------------------------------------------------------
+    # core state views (the audit and the service read these)
+    # ------------------------------------------------------------------
+    @property
+    def tracker(self) -> MOTTracker:
+        """The shard's MOT instance."""
+        return self.core.tracker
+
+    @property
+    def epochs(self) -> dict[str, int]:
+        """Per-object applied-move counts."""
+        return self.core.epochs
+
+    @property
+    def oplog(self) -> dict[str, list[tuple[str, Node]]]:
+        """Applied operations per object, in order."""
+        return self.core.oplog
+
+    @property
+    def query_log(self) -> list[QueryRecord]:
+        """Every answered query in execution order."""
+        return self.core.query_log
+
+    @property
+    def ledger(self) -> CostLedger:
+        """The shard tracker's cost ledger (uniform with process handles)."""
+        return self.core.tracker.ledger
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -138,6 +291,7 @@ class TrackerShard:
         """
         fut: asyncio.Future = asyncio.get_running_loop().create_future()
         self.depth += 1
+        self.submitted += 1
         self._queue.put_nowait(_Admitted(req, arrival_t, fut))
         return fut
 
@@ -156,6 +310,25 @@ class TrackerShard:
         self._worker = None
         self._queue.put_nowait(_STOP)
         await worker
+
+    async def health(self) -> dict:
+        """Liveness probe, uniform with the process-handle flavour."""
+        worker = self._worker
+        return {
+            "shard_id": self.shard_id,
+            "mode": "inprocess",
+            "alive": worker is not None and not worker.done(),
+            "depth": self.depth,
+            "objects": len(self.core.oplog),
+        }
+
+    async def snapshot(self) -> ShardSnapshot:
+        """Capture this shard's state (quiesce first: drain or stop)."""
+        return capture_snapshot(self.core, self.shard_id)
+
+    async def restore(self, snap: ShardSnapshot) -> None:
+        """Rebuild state from ``snap``; the shard must still be empty."""
+        restore_snapshot(self.core, snap)
 
     # ------------------------------------------------------------------
     # worker
@@ -195,7 +368,7 @@ class TrackerShard:
     def _apply_batch(self, batch: list[_Admitted]) -> None:
         virtual = self.clock.virtual
         start = max(self.busy_until, self.clock.now) if virtual else self.clock.now
-        prefetched = self._prefetch_moves(batch)
+        prefetched = self.core.prefetch_moves([item.req for item in batch])
         answered: dict[tuple[str, int, Node], tuple[Node, float]] = {}
         elapsed = 0.0
         for item in batch:
@@ -208,7 +381,9 @@ class TrackerShard:
             )
             with sp:
                 try:
-                    proxy, cost, epoch, coalesced = self._apply_one(item.req, answered)
+                    proxy, cost, epoch, coalesced = self.core.apply_one(
+                        item.req, answered
+                    )
                 except Exception as exc:  # noqa: BLE001 — failures belong to the caller
                     if sp:
                         sp.annotate(failed=True, error=type(exc).__name__)
@@ -241,74 +416,11 @@ class TrackerShard:
                 completion_t=completion,
             )
             self.depth -= 1
+            self.completed_ops += 1
+            self.latency.add(resp.latency_s)
             self.metrics.record_completion(kind, resp.latency_s, coalesced)
             if not item.future.done():
                 item.future.set_result(resp)
         if virtual:
             self.busy_until = start + elapsed
         self.metrics.record_batch(len(batch), prefetched)
-
-    def _prefetch_moves(self, batch: list[_Admitted]) -> int:
-        """Warm oracle rows for the batch's move endpoints in one solve.
-
-        Chains each object's in-batch trajectory from its current proxy
-        and resolves all hop pairs through ``pair_distances`` — the
-        optimal-cost lookups the moves are about to issue then hit the
-        row cache instead of running one Dijkstra each (lazy mode).
-        """
-        chains: dict[str, list[Node]] = {}
-        for item in batch:
-            req = item.req
-            if not isinstance(req, MoveRequest):
-                continue
-            chain = chains.get(req.obj)
-            if chain is None:
-                try:
-                    cur = self.tracker.proxy_of(req.obj)
-                except KeyError:
-                    continue  # unpublished: the op itself will fail below
-                chain = chains[req.obj] = [cur]
-            chain.append(req.new_proxy)
-        pairs = [
-            (c[i], c[i + 1])
-            for c in chains.values()
-            for i in range(len(c) - 1)
-            if c[i] != c[i + 1]
-        ]
-        if pairs:
-            self.tracker.net.pair_distances(pairs)
-        return len(pairs)
-
-    def _apply_one(
-        self,
-        req: Request,
-        answered: dict[tuple[str, int, Node], tuple[Node, float]],
-    ) -> tuple[Node, float, int, bool]:
-        """Apply one request; returns (proxy, cost, epoch, coalesced)."""
-        if isinstance(req, PublishRequest):
-            res = self.tracker.publish(req.obj, req.proxy)
-            self.epochs[req.obj] = 0
-            self.oplog.setdefault(req.obj, []).append(("publish", req.proxy))
-            return req.proxy, res.cost, 0, False
-        if isinstance(req, MoveRequest):
-            res = self.tracker.move(req.obj, req.new_proxy)
-            epoch = self.epochs[req.obj] + 1
-            self.epochs[req.obj] = epoch
-            self.oplog[req.obj].append(("move", req.new_proxy))
-            return req.new_proxy, res.cost, epoch, False
-        if isinstance(req, QueryRequest):
-            epoch = self.epochs.get(req.obj, -1)
-            hit = answered.get((req.obj, epoch, req.source))
-            if hit is not None:
-                proxy, cost = hit
-                self.query_log.append(
-                    QueryRecord(req.obj, epoch, req.source, proxy, cost, coalesced=True)
-                )
-                return proxy, cost, epoch, True
-            res = self.tracker.query(req.obj, req.source)
-            answered[(req.obj, epoch, req.source)] = (res.proxy, res.cost)
-            self.query_log.append(
-                QueryRecord(req.obj, epoch, req.source, res.proxy, res.cost, coalesced=False)
-            )
-            return res.proxy, res.cost, epoch, False
-        raise TypeError(f"not a service request: {req!r}")

@@ -1,0 +1,201 @@
+"""Shard snapshot/restore — serialized MOT shard state for migration.
+
+A :class:`ShardSnapshot` is the portable value of one shard: the
+per-object epoch map, the applied op log, the answered-query log and
+the accrued cost ledger. It is a plain picklable dataclass, so it
+crosses the worker process boundary as-is (the ``snapshot`` /
+``restore`` frames of :mod:`repro.serve.transport`) and round-trips
+through :func:`snapshot_to_bytes` / :func:`snapshot_from_bytes` for
+on-disk checkpoints.
+
+Restore is **replay-based**: rather than serializing the tracker's
+internal DL/SDL/spine representation (private state the tracker is
+free to re-shape), restore replays the op log through the public
+``publish``/``move`` API against a fresh tracker over the same
+hierarchy. Determinism of the MOT structure makes the rebuilt state
+bit-identical to the original; the ledger is then overwritten with the
+snapshot's ledger so costs are carried once, not re-accrued (the
+replay's own accrual is discarded with the interim ledger). This is
+the same argument the consistency audit rests on — a snapshot that
+restores wrong would also fail its shard's audit.
+
+On top of capture/restore, :func:`split_snapshot` and
+:func:`merge_snapshots` rebalance object ownership for elastic
+resizing: split partitions one shard's objects by a routing function
+(a new :class:`~repro.serve.hashring.HashRing`'s ``shard_for``), merge
+folds several shards into one. Cost ledgers are aggregates and cannot
+be attributed per object, so a split hands the whole ledger to the
+lowest-numbered output part — totals across the fleet stay conserved,
+which is what the merged-ledger report checks.
+"""
+
+from __future__ import annotations
+
+import copy
+import pickle
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable, Sequence
+
+from repro.core.costs import CostLedger
+
+Node = Hashable
+
+__all__ = [
+    "ShardSnapshot",
+    "capture_snapshot",
+    "restore_snapshot",
+    "snapshot_to_bytes",
+    "snapshot_from_bytes",
+    "split_snapshot",
+    "merge_snapshots",
+]
+
+#: bump when the snapshot layout changes; restore refuses other versions
+SNAPSHOT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ShardSnapshot:
+    """Frozen, picklable state of one shard at a drain point."""
+
+    shard_id: int
+    epochs: dict[str, int]
+    oplog: dict[str, list[tuple[str, Node]]]
+    query_log: tuple  # QueryRecord entries, execution order
+    ledger: CostLedger
+    version: int = SNAPSHOT_VERSION
+
+    @property
+    def objects(self) -> tuple[str, ...]:
+        """Objects owned by the snapshotted shard, sorted."""
+        return tuple(sorted(self.oplog))
+
+
+def capture_snapshot(core, shard_id: int) -> ShardSnapshot:
+    """Deep-copy ``core``'s state into a :class:`ShardSnapshot`.
+
+    ``core`` is a :class:`~repro.serve.shard.ShardCore` (duck-typed to
+    avoid a module cycle): anything with ``epochs``/``oplog``/
+    ``query_log`` and a ``tracker.ledger``.
+    """
+    return ShardSnapshot(
+        shard_id=shard_id,
+        epochs=dict(core.epochs),
+        oplog={obj: list(ops) for obj, ops in core.oplog.items()},
+        query_log=tuple(core.query_log),
+        ledger=copy.deepcopy(core.tracker.ledger),
+    )
+
+
+def restore_snapshot(core, snap: ShardSnapshot) -> None:
+    """Rebuild ``snap``'s state inside the empty shard ``core``.
+
+    Replays the op log through the tracker's public API (see module
+    docstring), then installs the snapshot's epoch map, logs and
+    ledger. ``core.tracker`` must be fresh — restoring over live
+    objects would interleave two histories.
+    """
+    if snap.version != SNAPSHOT_VERSION:
+        raise ValueError(
+            f"snapshot version {snap.version} != supported {SNAPSHOT_VERSION}"
+        )
+    if core.epochs or core.oplog:
+        raise ValueError("restore requires an empty shard core")
+    for obj, ops in snap.oplog.items():
+        for op, node in ops:
+            if op == "publish":
+                core.tracker.publish(obj, node)
+            elif op == "move":
+                core.tracker.move(obj, node)
+            else:
+                raise ValueError(f"unknown oplog entry {op!r} for {obj!r}")
+    core.epochs = dict(snap.epochs)
+    core.oplog = {obj: list(ops) for obj, ops in snap.oplog.items()}
+    core.query_log = list(snap.query_log)
+    # carry accrued costs once: the replay's own accrual is discarded
+    core.tracker.ledger = copy.deepcopy(snap.ledger)
+
+
+def snapshot_to_bytes(snap: ShardSnapshot) -> bytes:
+    """Serialize for a transport frame or an on-disk checkpoint."""
+    return pickle.dumps(snap, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def snapshot_from_bytes(data: bytes) -> ShardSnapshot:
+    """Inverse of :func:`snapshot_to_bytes` (version-checked)."""
+    snap = pickle.loads(data)
+    if not isinstance(snap, ShardSnapshot):
+        raise TypeError(f"not a ShardSnapshot: {type(snap).__name__}")
+    if snap.version != SNAPSHOT_VERSION:
+        raise ValueError(
+            f"snapshot version {snap.version} != supported {SNAPSHOT_VERSION}"
+        )
+    return snap
+
+
+def split_snapshot(
+    snap: ShardSnapshot,
+    assign: Callable[[str], int],
+    shard_ids: Sequence[int],
+) -> dict[int, ShardSnapshot]:
+    """Partition one snapshot into per-shard snapshots by ``assign``.
+
+    Every object (with its epochs, ops and query records) lands in the
+    part ``assign(obj)`` selects; the aggregate ledger goes to the
+    lowest shard id (see module docstring). Each listed shard gets a
+    part, empty or not, so a caller can restore the whole fleet.
+    """
+    if not shard_ids:
+        raise ValueError("split needs at least one target shard")
+    parts: dict[int, dict] = {
+        sid: {"epochs": {}, "oplog": {}, "query_log": []} for sid in shard_ids
+    }
+    for obj, ops in snap.oplog.items():
+        sid = assign(obj)
+        if sid not in parts:
+            raise KeyError(f"assign({obj!r}) -> {sid}, not a target shard")
+        parts[sid]["oplog"][obj] = list(ops)
+        if obj in snap.epochs:
+            parts[sid]["epochs"][obj] = snap.epochs[obj]
+    for rec in snap.query_log:
+        parts[assign(rec.obj)]["query_log"].append(rec)
+    ledger_owner = min(shard_ids)
+    return {
+        sid: ShardSnapshot(
+            shard_id=sid,
+            epochs=part["epochs"],
+            oplog=part["oplog"],
+            query_log=tuple(part["query_log"]),
+            ledger=(
+                copy.deepcopy(snap.ledger) if sid == ledger_owner else CostLedger()
+            ),
+        )
+        for sid, part in parts.items()
+    }
+
+
+def merge_snapshots(snaps: Iterable[ShardSnapshot], shard_id: int) -> ShardSnapshot:
+    """Fold several shards' snapshots into one owning shard.
+
+    Object sets must be disjoint (they are, for snapshots taken from a
+    consistently-routed fleet); ledgers merge additively.
+    """
+    epochs: dict[str, int] = {}
+    oplog: dict[str, list[tuple[str, Node]]] = {}
+    query_log: list = []
+    ledger = CostLedger()
+    for snap in snaps:
+        overlap = set(snap.oplog) & set(oplog)
+        if overlap:
+            raise ValueError(f"snapshots share objects: {sorted(overlap)[:5]}")
+        epochs.update(snap.epochs)
+        oplog.update({obj: list(ops) for obj, ops in snap.oplog.items()})
+        query_log.extend(snap.query_log)
+        ledger.merge(snap.ledger)
+    return ShardSnapshot(
+        shard_id=shard_id,
+        epochs=epochs,
+        oplog=oplog,
+        query_log=tuple(query_log),
+        ledger=ledger,
+    )

@@ -1,0 +1,161 @@
+"""Framed message transport between the service and shard workers.
+
+The process boundary speaks one wire format: a 4-byte big-endian
+unsigned length prefix followed by a pickled ``(kind, payload)`` pair.
+Pickle (highest protocol) is the codec because every payload is a
+plain repro dataclass or builtin container — no third-party schema
+dependency, and the worker is always the same code version as the
+parent (it is forked from it), so pickle's version-coupling caveat
+does not apply.
+
+Frame kinds form a closed protocol. Parent → worker requests and
+worker → parent replies are enumerated here — :data:`REQUEST_KINDS` /
+:data:`REPLY_KINDS` — and the RPL105 flow rule holds
+``repro.serve.worker``'s handler table to exactly the request set, so
+a kind added on one side cannot silently fall through on the other.
+
+Two channel flavours wrap one AF_UNIX stream socket pair:
+
+- :class:`Channel` — blocking; the worker process side. A worker has
+  nothing to do between frames, so blocking reads are the right shape.
+- :class:`AsyncChannel` — the service side; non-blocking socket driven
+  through ``loop.sock_recv`` / ``loop.sock_sendall`` so a slow worker
+  never stalls the event loop (the RPL006 contract).
+
+Both ends treat EOF mid-frame as :class:`ChannelClosed` — a worker
+that died uncleanly surfaces as a transport error, not a short read.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+import socket
+import struct
+from typing import Any
+
+__all__ = [
+    "AsyncChannel",
+    "Channel",
+    "ChannelClosed",
+    "FRAME_KINDS",
+    "REPLY_KINDS",
+    "REQUEST_KINDS",
+    "decode_body",
+    "encode_frame",
+]
+
+#: parent → worker request kinds; the worker handler table must cover
+#: every one of these (enforced statically by RPL105)
+REQUEST_KINDS: tuple[str, ...] = ("batch", "health", "snapshot", "restore", "stop")
+
+#: worker → parent reply kinds
+REPLY_KINDS: tuple[str, ...] = (
+    "ready",
+    "results",
+    "healthy",
+    "snapshot_data",
+    "restored",
+    "final",
+)
+
+FRAME_KINDS: tuple[str, ...] = REQUEST_KINDS + REPLY_KINDS
+
+_HEADER = struct.Struct("!I")
+
+#: refuse absurd frames instead of allocating unbounded buffers — a
+#: corrupt length prefix must fail loudly, not OOM the parent
+MAX_FRAME_BYTES = 1 << 30
+
+
+class ChannelClosed(ConnectionError):
+    """The peer closed the socket mid-conversation (worker death)."""
+
+
+def encode_frame(kind: str, payload: Any) -> bytes:
+    """One wire frame: length prefix + pickled ``(kind, payload)``."""
+    if kind not in FRAME_KINDS:
+        raise ValueError(f"unknown frame kind {kind!r}")
+    body = pickle.dumps((kind, payload), protocol=pickle.HIGHEST_PROTOCOL)
+    if len(body) > MAX_FRAME_BYTES:
+        raise ValueError(f"frame of {len(body)} bytes exceeds MAX_FRAME_BYTES")
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> tuple[str, Any]:
+    """Inverse of :func:`encode_frame` for the post-prefix bytes."""
+    kind, payload = pickle.loads(body)
+    if kind not in FRAME_KINDS:
+        raise ValueError(f"unknown frame kind {kind!r}")
+    return kind, payload
+
+
+def socket_pair() -> tuple[socket.socket, socket.socket]:
+    """A connected AF_UNIX stream pair: (parent end, worker end)."""
+    return socket.socketpair()
+
+
+class Channel:
+    """Blocking frame channel — the worker-process side of the pair."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        sock.setblocking(True)
+        self._sock = sock
+
+    def send(self, kind: str, payload: Any = None) -> None:
+        self._sock.sendall(encode_frame(kind, payload))
+
+    def recv(self) -> tuple[str, Any]:
+        header = self._recv_exact(_HEADER.size)
+        (length,) = _HEADER.unpack(header)
+        if length > MAX_FRAME_BYTES:
+            raise ValueError(f"frame of {length} bytes exceeds MAX_FRAME_BYTES")
+        return decode_body(self._recv_exact(length))
+
+    def _recv_exact(self, n: int) -> bytes:
+        chunks: list[bytes] = []
+        remaining = n
+        while remaining > 0:
+            chunk = self._sock.recv(remaining)
+            if not chunk:
+                raise ChannelClosed(f"peer closed with {remaining} bytes pending")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def close(self) -> None:
+        self._sock.close()
+
+
+class AsyncChannel:
+    """Event-loop frame channel — the service side of the pair."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        sock.setblocking(False)
+        self._sock = sock
+
+    async def send(self, kind: str, payload: Any = None) -> None:
+        loop = asyncio.get_running_loop()
+        await loop.sock_sendall(self._sock, encode_frame(kind, payload))
+
+    async def recv(self) -> tuple[str, Any]:
+        header = await self._recv_exact(_HEADER.size)
+        (length,) = _HEADER.unpack(header)
+        if length > MAX_FRAME_BYTES:
+            raise ValueError(f"frame of {length} bytes exceeds MAX_FRAME_BYTES")
+        return decode_body(await self._recv_exact(length))
+
+    async def _recv_exact(self, n: int) -> bytes:
+        loop = asyncio.get_running_loop()
+        chunks: list[bytes] = []
+        remaining = n
+        while remaining > 0:
+            chunk = await loop.sock_recv(self._sock, remaining)
+            if not chunk:
+                raise ChannelClosed(f"peer closed with {remaining} bytes pending")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def close(self) -> None:
+        self._sock.close()

@@ -13,7 +13,7 @@ time, this package sees the whole source tree at once:
   graph **with exception edges** and runs forward worklist dataflow
   over it;
 - :mod:`~repro.staticcheck.flow.flowrules` implements the
-  interprocedural rule families RPL101–RPL104 on top of all three;
+  interprocedural rule families RPL101–RPL105 on top of all three;
 - :mod:`~repro.staticcheck.flow.engine` is the ``repro check`` driver:
   index → call graph → rules → suppression filtering → report, with an
   optional on-disk cache of the parsed index keyed on a source hash.
@@ -29,6 +29,8 @@ RPL103    ledger conservation: a distance-oracle cost must flow into
           exactly one ledger/perf sink on every CFG path
 RPL104    protocol conformance: classes registered via
           ``register_backend`` must implement ``DistanceBackend``
+RPL105    worker protocol totality: the ``repro.serve.worker`` handler
+          table must mirror the transport's frame-kind tables
 ========  ==============================================================
 """
 

@@ -1,4 +1,4 @@
-"""The interprocedural rule families RPL101–RPL104.
+"""The interprocedural rule families RPL101–RPL105.
 
 Each checker consumes the whole :class:`ProjectIndex` (and the call
 graph) instead of one file, so findings can name facts a per-line rule
@@ -859,12 +859,146 @@ class BackendProtocolChecker(FlowChecker):
         return None
 
 
+# ======================================================================
+# RPL105 — worker frame-protocol totality
+# ======================================================================
+class WorkerProtocolChecker(FlowChecker):
+    """RPL105 — the worker handler table must mirror the transport protocol.
+
+    The process boundary is a closed protocol: ``repro.serve.transport``
+    enumerates the frame kinds, ``repro.serve.worker`` dispatches
+    request frames through its module-level ``_HANDLERS`` table. Nothing
+    ties the two together at runtime until a frame actually arrives — a
+    request kind added to the transport without a handler is a
+    ``KeyError`` inside a forked child, surfacing on the parent as an
+    opaque :class:`ChannelClosed` after the worker dies. This rule
+    closes the gap statically:
+
+    - the handler table's keys must equal ``REQUEST_KINDS`` exactly —
+      no uncovered request, no unreachable handler;
+    - every literal kind passed to a ``.send(...)`` call in the worker
+      module must be an enumerated frame kind (requests + replies), so
+      a typo'd frame fails the build instead of the codec check at
+      runtime.
+    """
+
+    rule_id = "RPL105"
+    summary = "worker frame protocol out of sync with the transport kind tables"
+
+    _TRANSPORT_SUFFIX = "serve.transport"
+    _WORKER_SUFFIX = "serve.worker"
+    _TABLE = "_HANDLERS"
+
+    def check_project(self, index: ProjectIndex, graph: CallGraph) -> None:
+        transport = self._module_by_suffix(index, self._TRANSPORT_SUFFIX)
+        worker = self._module_by_suffix(index, self._WORKER_SUFFIX)
+        if transport is None or worker is None:
+            return  # only half the protocol in scope: nothing to hold together
+        request_kinds = self._string_tuple(transport.tree, "REQUEST_KINDS")
+        reply_kinds = self._string_tuple(transport.tree, "REPLY_KINDS")
+        table = self._handler_table(worker.tree)
+        if request_kinds is not None and table is not None:
+            node, keys = table
+            for kind in sorted(set(request_kinds) - set(keys)):
+                self.report(
+                    worker.path, node,
+                    f"request kind {kind!r} has no {self._TABLE} handler — "
+                    "it would KeyError inside the worker process",
+                )
+            for kind in sorted(set(keys) - set(request_kinds)):
+                self.report(
+                    worker.path, node,
+                    f"{self._TABLE} key {kind!r} is not in the transport's "
+                    "REQUEST_KINDS — an unreachable handler",
+                )
+        if request_kinds is None or reply_kinds is None:
+            return
+        frame_kinds = set(request_kinds) | set(reply_kinds)
+        for call, kind in self._send_literals(worker.tree):
+            if kind not in frame_kinds:
+                self.report(
+                    worker.path, call,
+                    f"send of unknown frame kind {kind!r} — not in the "
+                    "transport's REQUEST_KINDS/REPLY_KINDS",
+                )
+
+    # -- the two protocol halves ---------------------------------------
+    @staticmethod
+    def _module_by_suffix(index: ProjectIndex, suffix: str):
+        names = sorted(
+            n for n in index.modules if n == suffix or n.endswith("." + suffix)
+        )
+        return index.modules[names[0]] if names else None
+
+    @staticmethod
+    def _string_tuple(tree: ast.Module, name: str) -> tuple[str, ...] | None:
+        """A module-level all-string tuple/list constant, if present."""
+        for stmt in tree.body:
+            if (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and stmt.targets[0].id == name
+            ):
+                value = stmt.value
+            elif (
+                isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and stmt.target.id == name
+                and stmt.value is not None
+            ):
+                value = stmt.value
+            else:
+                continue
+            if isinstance(value, (ast.Tuple, ast.List)) and all(
+                isinstance(e, ast.Constant) and isinstance(e.value, str)
+                for e in value.elts
+            ):
+                return tuple(e.value for e in value.elts)
+            return None  # computed (e.g. FRAME_KINDS = A + B): not comparable
+        return None
+
+    def _handler_table(self, tree: ast.Module):
+        """The module-level ``_HANDLERS`` dict with all-string keys."""
+        for stmt in tree.body:
+            if (
+                isinstance(stmt, ast.Assign)
+                and any(
+                    isinstance(t, ast.Name) and t.id == self._TABLE
+                    for t in stmt.targets
+                )
+                and isinstance(stmt.value, ast.Dict)
+            ):
+                keys = [
+                    k.value
+                    for k in stmt.value.keys
+                    if isinstance(k, ast.Constant) and isinstance(k.value, str)
+                ]
+                if len(keys) == len(stmt.value.keys):
+                    return stmt, tuple(keys)
+        return None
+
+    @staticmethod
+    def _send_literals(tree: ast.Module):
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "send"
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                yield node, node.args[0].value
+
+
 #: every interprocedural rule, in id order
 FLOW_CHECKERS: tuple[type[FlowChecker], ...] = (
     SeedTaintChecker,
     AwaitAtomicityChecker,
     LedgerConservationChecker,
     BackendProtocolChecker,
+    WorkerProtocolChecker,
 )
 
 #: rule id → one-line summary (docs page and SARIF metadata)

@@ -1,4 +1,4 @@
-"""Shard lifecycle regressions — concurrent ``stop()`` must be safe.
+"""Shard and service lifecycle regressions — concurrent ``stop()`` races.
 
 Regression for the PR-7 RPL102 finding: ``stop()`` used to guard-read
 ``self._worker``, await, and only then clear it. Two concurrent stops
@@ -6,6 +6,13 @@ could both pass the guard, enqueue two ``_STOP`` sentinels, and the
 leftover sentinel — never ``task_done()``-ed — deadlocked every later
 ``queue.join()``. The fix claims the worker before the await; these
 tests drive the exact interleaving and time out (fail) on the old code.
+
+The service had the dual bug one layer up: ``TrackingService.stop``
+set ``_closed = True`` *before* awaiting the shard drains, so a second
+concurrent ``stop()`` saw the flag and returned while shards were
+still draining — callers sequenced after it observed undrained queues
+and unresolved futures. The fix memoizes the drain as a task every
+caller awaits (`test_concurrent_service_stop_waits_for_drain`).
 """
 
 import asyncio
@@ -15,7 +22,12 @@ import pytest
 from repro.core.mot import MOTTracker
 from repro.graphs.generators import grid_network
 from repro.hierarchy.structure import build_hierarchy
-from repro.serve import PublishRequest, VirtualClock
+from repro.serve import (
+    PublishRequest,
+    ServiceConfig,
+    TrackingService,
+    VirtualClock,
+)
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.shard import TrackerShard
 
@@ -70,5 +82,56 @@ def test_stop_without_start_is_a_no_op():
         shard = make_shard(VirtualClock())
         await asyncio.wait_for(shard.stop(), timeout=2)
         assert shard._worker is None
+
+    asyncio.run(scenario())
+
+
+def test_concurrent_service_stop_waits_for_drain():
+    """A second ``stop()`` must ride the same drain, not return early."""
+
+    async def scenario():
+        cfg = ServiceConfig(shards=2, batch_size=1, queue_capacity=1000)
+        service = TrackingService(NET, cfg, seed=3, clock=VirtualClock())
+        await service.start()
+        futs = [
+            service.submit_nowait(PublishRequest(f"obj-{i}", NET.node_at(i % NET.n)))
+            for i in range(32)
+        ]
+        # stretch the drain across extra loop iterations so a second
+        # stop() has a real mid-drain window to (wrongly) return in
+        last_shard_drained = asyncio.Event()
+        orig_stop = service.shards[1].stop
+
+        async def slow_stop():
+            await asyncio.sleep(0)
+            await asyncio.sleep(0)
+            await orig_stop()
+            last_shard_drained.set()
+
+        service.shards[1].stop = slow_stop
+        stop1 = asyncio.create_task(service.stop())
+        await asyncio.sleep(0)  # stop1 claims the drain and starts waiting
+        stop2 = asyncio.create_task(service.stop())
+        await asyncio.wait_for(stop2, timeout=2)
+        # pre-fix, stop2 saw `_closed` already set and returned mid-drain,
+        # before the last shard had retired
+        assert last_shard_drained.is_set()
+        assert all(f.done() for f in futs)
+        assert service.total_depth == 0
+        await asyncio.wait_for(stop1, timeout=2)
+        # later stops stay cheap no-ops on the memoized (finished) drain
+        await asyncio.wait_for(service.stop(), timeout=2)
+        assert service._drain_task is not None and service._drain_task.done()
+
+    asyncio.run(scenario())
+
+
+def test_service_stop_before_start_only_closes():
+    async def scenario():
+        service = TrackingService(NET, ServiceConfig(shards=1), seed=3)
+        await asyncio.wait_for(service.stop(), timeout=2)
+        assert service._drain_task is None
+        with pytest.raises(RuntimeError, match="closed"):
+            await service.start()
 
     asyncio.run(scenario())

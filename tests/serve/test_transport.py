@@ -1,0 +1,124 @@
+"""Wire-format and channel behaviour of the worker transport."""
+
+import asyncio
+import struct
+import threading
+
+import pytest
+
+from repro.serve.transport import (
+    FRAME_KINDS,
+    MAX_FRAME_BYTES,
+    REPLY_KINDS,
+    REQUEST_KINDS,
+    AsyncChannel,
+    Channel,
+    ChannelClosed,
+    decode_body,
+    encode_frame,
+    socket_pair,
+)
+
+
+class TestFrameCodec:
+    def test_round_trip_every_kind(self):
+        for kind in FRAME_KINDS:
+            payload = {"kind": kind, "data": [1, 2.5, "x", None]}
+            frame = encode_frame(kind, payload)
+            (length,) = struct.unpack("!I", frame[:4])
+            assert length == len(frame) - 4
+            assert decode_body(frame[4:]) == (kind, payload)
+
+    def test_unknown_kind_refused_on_encode(self):
+        with pytest.raises(ValueError, match="unknown frame kind"):
+            encode_frame("teleport", None)
+
+    def test_unknown_kind_refused_on_decode(self):
+        import pickle
+
+        body = pickle.dumps(("teleport", None))
+        with pytest.raises(ValueError, match="unknown frame kind"):
+            decode_body(body)
+
+    def test_protocol_is_closed_and_disjoint(self):
+        # the request/reply split is what lets RPL105 hold the worker
+        # handler table to exactly the request half
+        assert set(REQUEST_KINDS) | set(REPLY_KINDS) == set(FRAME_KINDS)
+        assert not set(REQUEST_KINDS) & set(REPLY_KINDS)
+
+
+class TestBlockingChannel:
+    def test_send_recv_across_a_thread(self):
+        a_sock, b_sock = socket_pair()
+        a, b = Channel(a_sock), Channel(b_sock)
+        try:
+            echoed = []
+
+            def peer():
+                kind, payload = b.recv()
+                echoed.append((kind, payload))
+                b.send("results", {"echo": payload})
+
+            t = threading.Thread(target=peer)
+            t.start()
+            a.send("batch", [1, 2, 3])
+            assert a.recv() == ("results", {"echo": [1, 2, 3]})
+            t.join(timeout=5)
+            assert echoed == [("batch", [1, 2, 3])]
+        finally:
+            a.close()
+            b.close()
+
+    def test_peer_close_raises_channel_closed(self):
+        a_sock, b_sock = socket_pair()
+        a, b = Channel(a_sock), Channel(b_sock)
+        b.close()
+        with pytest.raises(ChannelClosed):
+            a.recv()
+        a.close()
+
+    def test_oversized_length_prefix_refused(self):
+        a_sock, b_sock = socket_pair()
+        a = Channel(a_sock)
+        try:
+            b_sock.sendall(struct.pack("!I", MAX_FRAME_BYTES + 1))
+            with pytest.raises(ValueError, match="exceeds MAX_FRAME_BYTES"):
+                a.recv()
+        finally:
+            a.close()
+            b_sock.close()
+
+
+class TestAsyncChannel:
+    def test_async_to_blocking_round_trip(self):
+        async def scenario():
+            parent_sock, child_sock = socket_pair()
+            parent = AsyncChannel(parent_sock)
+            child = Channel(child_sock)
+
+            def peer():
+                kind, payload = child.recv()
+                child.send("healthy", {"seen": kind, "n": payload})
+
+            t = threading.Thread(target=peer)
+            t.start()
+            try:
+                await parent.send("health", 7)
+                assert await parent.recv() == ("healthy", {"seen": "health", "n": 7})
+            finally:
+                t.join(timeout=5)
+                parent.close()
+                child.close()
+
+        asyncio.run(scenario())
+
+    def test_peer_death_raises_channel_closed(self):
+        async def scenario():
+            parent_sock, child_sock = socket_pair()
+            parent = AsyncChannel(parent_sock)
+            child_sock.close()
+            with pytest.raises(ChannelClosed):
+                await parent.recv()
+            parent.close()
+
+        asyncio.run(scenario())

@@ -570,6 +570,104 @@ class TestRPL104:
 
 
 # ----------------------------------------------------------------------
+# RPL105 — worker frame-protocol totality
+# ----------------------------------------------------------------------
+_TRANSPORT = """\
+REQUEST_KINDS = ("batch", "health", "stop")
+REPLY_KINDS = ("ready", "results", "healthy", "final")
+FRAME_KINDS = REQUEST_KINDS + REPLY_KINDS
+"""
+
+_WORKER = """\
+class Worker:
+    def handle_batch(self, payload):
+        return "results", payload
+    def handle_health(self, payload):
+        return "healthy", None
+    def handle_stop(self, payload):
+        return "final", None
+
+_HANDLERS = {
+    "batch": Worker.handle_batch,
+    "health": Worker.handle_health,
+    "stop": Worker.handle_stop,
+}
+
+def worker_main(chan):
+    chan.send("ready", None)
+    while True:
+        kind, payload = chan.recv()
+        reply_kind, reply = _HANDLERS[kind](Worker(), payload)
+        chan.send(reply_kind, reply)
+        if kind == "stop":
+            return
+"""
+
+
+class TestRPL105:
+    def test_in_sync_protocol_is_clean(self):
+        found = check(
+            **{"serve.transport": _TRANSPORT, "serve.worker": _WORKER}
+        )
+        assert found == []
+
+    def test_uncovered_request_kind_fires_at_the_table(self):
+        transport = _TRANSPORT.replace(
+            '"batch", "health", "stop"', '"batch", "health", "snapshot", "stop"'
+        )
+        found = check(**{"serve.transport": transport, "serve.worker": _WORKER})
+        # the _HANDLERS assignment is the anchor: that is where the
+        # missing "snapshot" handler belongs
+        assert ("RPL105", "src/repro/serve/worker.py", 9) in found
+        assert rules_of(found) == ["RPL105"]
+
+    def test_unreachable_handler_key_fires(self):
+        worker = _WORKER.replace(
+            '"stop": Worker.handle_stop,',
+            '"stop": Worker.handle_stop,\n    "teleport": Worker.handle_stop,',
+        )
+        found = check(**{"serve.transport": _TRANSPORT, "serve.worker": worker})
+        assert ("RPL105", "src/repro/serve/worker.py", 9) in found
+        assert rules_of(found) == ["RPL105"]
+
+    def test_unknown_send_literal_fires(self):
+        worker = _WORKER.replace(
+            'chan.send("ready", None)', 'chan.send("raedy", None)'
+        )
+        found = check(**{"serve.transport": _TRANSPORT, "serve.worker": worker})
+        assert ("RPL105", "src/repro/serve/worker.py", 16) in found
+        assert rules_of(found) == ["RPL105"]
+
+    def test_reply_kind_send_literals_are_allowed(self):
+        worker = _WORKER.replace(
+            'chan.send("ready", None)', 'chan.send("healthy", None)'
+        )
+        found = check(**{"serve.transport": _TRANSPORT, "serve.worker": worker})
+        assert found == []
+
+    def test_rule_stands_down_without_both_modules(self):
+        assert check(**{"serve.transport": _TRANSPORT}) == []
+        assert check(**{"serve.worker": _WORKER}) == []
+
+    def test_rpl102_covers_the_worker_module(self):
+        # the new module lives under repro/serve, so the await-atomicity
+        # family watches it too: the classic claim-after-await race in a
+        # ProcessShardHandle-shaped class must still be flagged
+        found = check(
+            **{
+                "serve.worker": """\
+                class Handle:
+                    async def stop(self):
+                        pump = self._pump
+                        await pump
+                        self._pump = None
+                """
+            }
+        )
+        assert ("RPL102", "src/repro/serve/worker.py", 5) in found
+
+
+# ----------------------------------------------------------------------
 # engine-level behaviour shared by every family
 # ----------------------------------------------------------------------
 class TestEngineBehaviour:

@@ -205,7 +205,10 @@ def test_serve_bench_trace_and_diff_round_trip(tmp_path, capsys):
     assert report["trace"]["path"] == str(t1)
     assert report["trace"]["events"] > 0
     assert report["snapshots"]
-    assert "repro_serve_admitted_publish_total" in report["prometheus"]
+    # bring-up publishes are warmup, not offered load: they surface
+    # under the warmup counter and never inflate admission metrics
+    assert "repro_serve_warmup_publish_total" in report["prometheus"]
+    assert "repro_serve_admitted_publish_total" not in report["prometheus"]
     assert main(SERVE_BENCH_SMALL + ["--trace", str(t2)]) == 0
     capsys.readouterr()
     # same seed, virtual clock: the two traces must be byte-identical
