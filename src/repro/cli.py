@@ -35,6 +35,14 @@ Commands:
   [--ignore-timing]`` — aggregate a JSONL span trace, or compare two
   traces event-by-event (the determinism check: two same-seed
   virtual-clock serve-bench traces must be identical);
+- ``eval [--scenario NAME …] [--suite smoke|full] [--check [BASELINE]]
+  [--write-baseline PATH] …`` — run registered scenario packs through
+  the standardized eval harness (sequential reference + serve layer,
+  chaos section for fault-plan scenarios) and emit one canonical
+  EvalReport; ``--check`` gates the report against committed
+  per-scenario baselines with tolerance bands, ``--write-baseline``
+  regenerates them, ``--list`` prints the catalog (see
+  :mod:`repro.scenarios` and ``docs/EVAL.md``);
 - ``serve-demo [--seed N]`` — a guided tour of the service layer
   (sharding, a coalesced query, an ``Overloaded`` rejection);
 - ``demo [--seed N]`` — a 30-second guided tour (the quickstart on one
@@ -56,8 +64,9 @@ Exit codes (uniform across subcommands):
 
 - ``0`` — success: the command ran and every gated check passed;
 - ``1`` — a check failed: lint findings (``lint``/``check``), a failed
-  consistency audit (``chaos``, ``serve-bench``, ``audit-backend``),
-  diverging traces (``trace diff``);
+  consistency audit (``chaos``, ``serve-bench``, ``audit-backend``,
+  ``eval``), diverging traces (``trace diff``), a baseline regression
+  (``eval --check``);
 - ``2`` — usage error: unknown subcommand/flag (argparse) or an
   invalid argument value caught by the command itself (e.g. an unknown
   figure name).
@@ -297,6 +306,102 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     else:
         print(text)
     return 0 if report["audit"]["ok"] else 1
+
+
+def _cmd_eval(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.scenarios import (
+        EvalConfig,
+        all_scenarios,
+        canonical_json,
+        compare_eval_reports,
+        get_scenario,
+        run_suite,
+        write_baseline,
+    )
+
+    if args.list:
+        for name, spec in all_scenarios().items():
+            tags = ",".join(spec.tags)
+            chaos = " +chaos" if spec.fault_plan else ""
+            print(f"{name:>22}  [{tags}]{chaos}  {spec.description}")
+        return 0
+
+    # --workers implies a wall clock unless one was chosen explicitly
+    # (worker processes cannot run under the deterministic virtual clock)
+    clock = args.clock or ("wall" if args.workers > 0 else "virtual")
+    try:
+        cfg = EvalConfig(
+            scale=args.suite,
+            seed=args.seed,
+            shards=args.shards,
+            workers=args.workers,
+            clock=clock,
+            rate=args.rate,
+            distance_backend=args.distance_backend,
+        )
+        names = args.scenario or None
+        if names:
+            for name in names:
+                get_scenario(name)  # unknown names are usage errors, not crashes
+        report = run_suite(cfg, names=names)
+    except ValueError as exc:
+        print(f"repro eval: {exc}", file=sys.stderr)
+        return 2
+
+    text = canonical_json(report)
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text + "\n")
+        print(f"wrote {out}")
+    else:
+        print(text)
+
+    if args.write_baseline:
+        path = Path(args.write_baseline)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(write_baseline(report), indent=1, sort_keys=True) + "\n"
+        )
+        print(f"wrote baseline {path}")
+
+    ok = all(
+        rep["serve"]["audit_ok"] and rep.get("chaos", {}).get("consistency_ok", True)
+        for rep in report["scenarios"].values()
+    )
+    if not ok:
+        print("repro eval: consistency audit failed", file=sys.stderr)
+
+    if args.check is not None:
+        base_path = Path(args.check)
+        try:
+            baseline = json.loads(base_path.read_text())
+        except (OSError, ValueError) as exc:
+            print(f"repro eval: cannot read baseline {base_path}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if baseline.get("version") != report["version"]:
+            print(f"repro eval: baseline schema version "
+                  f"{baseline.get('version')} != {report['version']} — "
+                  f"regenerate with --write-baseline", file=sys.stderr)
+            return 1
+        result = compare_eval_reports(report, baseline)
+        if result["ok"]:
+            print(f"eval gate: ok ({result['checked']} checks, "
+                  f"{len(report['scenarios'])} scenarios)")
+        else:
+            for f in result["failures"]:
+                where = f"{f['scenario']}" + (f".{f['metric']}" if f["metric"] else "")
+                print(f"eval gate: {f['kind']} at {where}: "
+                      f"current={f['current']!r} baseline={f['baseline']!r} "
+                      f"tolerance={f['tolerance']!r}", file=sys.stderr)
+            print(f"eval gate: {len(result['failures'])} failure(s) over "
+                  f"{result['checked']} checks", file=sys.stderr)
+            return 1
+
+    return 0 if ok else 1
 
 
 def _cmd_serve_demo(args: argparse.Namespace) -> int:
@@ -555,6 +660,42 @@ def main(argv: list[str] | None = None) -> int:
                            help="strip t0_s/duration_s before comparing "
                                 "(for wall-clock traces)")
     p_tr_diff.set_defaults(fn=_cmd_trace)
+
+    p_ev = sub.add_parser(
+        "eval",
+        help="run scenario packs through the eval harness, gate on baselines",
+    )
+    p_ev.add_argument("--scenario", action="append", metavar="NAME",
+                      help="run only this scenario (repeatable; default: all)")
+    p_ev.add_argument("--suite", choices=("smoke", "full"), default="smoke",
+                      help="scale ladder rung to evaluate at")
+    p_ev.add_argument("--list", action="store_true",
+                      help="list registered scenarios and exit")
+    p_ev.add_argument("--seed", type=int, default=7,
+                      help="workload + arrival-process + hierarchy seed")
+    p_ev.add_argument("--shards", type=int, default=4,
+                      help="tracker shard workers of the serve section")
+    p_ev.add_argument("--workers", type=int, default=0,
+                      help="fork N shard worker processes (0 = in-process "
+                           "asyncio shards; implies --clock wall)")
+    p_ev.add_argument("--clock", choices=("virtual", "wall"), default=None,
+                      help="virtual = deterministic, byte-identical reports; "
+                           "wall = real latencies (default: virtual, or wall "
+                           "when --workers > 0)")
+    p_ev.add_argument("--rate", type=float, default=500.0,
+                      help="serve-section offered load in ops/s")
+    p_ev.add_argument("--distance-backend",
+                      choices=("auto", "full", "lazy", "landmark", "memmap"),
+                      default="auto",
+                      help="distance backend of the scenario networks")
+    p_ev.add_argument("--check", nargs="?", metavar="BASELINE",
+                      const="benchmarks/eval_baselines.json", default=None,
+                      help="gate the report against this committed baseline "
+                           "(default path: benchmarks/eval_baselines.json)")
+    p_ev.add_argument("--write-baseline", metavar="PATH", default=None,
+                      help="distill the report into a baseline file at PATH")
+    p_ev.add_argument("--out", help="write the report here instead of stdout")
+    p_ev.set_defaults(fn=_cmd_eval)
 
     p_sd = sub.add_parser("serve-demo", help="guided tour of the service layer")
     p_sd.add_argument("--seed", type=int, default=0,

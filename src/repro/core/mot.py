@@ -234,7 +234,10 @@ class MOTTracker:
             raise ValueError(f"object {obj!r} is already published")
         if proxy not in self.net:
             raise KeyError(f"{proxy!r} is not a sensor of this network")
-        with TRACER.span("publish", obj=str(obj)) as sp:
+        # the proxy/src/dst/source annotations make sequential traces
+        # *replayable*: repro.scenarios.replay reconstructs the exact
+        # Workload from the JSONL record (digest-checked round trip)
+        with TRACER.span("publish", obj=str(obj), proxy=proxy) as sp:
             path = self.hs.dpath(proxy)
             # publish always walks the whole detection path, so its hop
             # distances can be resolved in one batched oracle call
@@ -277,14 +280,14 @@ class MOTTracker:
             # message counts are not diluted by moves that did no work.
             self.ledger.record_noop_move()
             if TRACER.enabled:
-                TRACER.event("move", obj=str(obj), cost=0.0, noop=True)
+                TRACER.event("move", obj=str(obj), cost=0.0, noop=True, dst=old_proxy)
             return MoveResult(
                 obj=obj, old_proxy=old_proxy, new_proxy=new_proxy,
                 cost=0.0, up_cost=0.0, down_cost=0.0, peak_level=0, optimal_cost=0.0,
             )
         optimal = self._dist(old_proxy, new_proxy)
 
-        with TRACER.span("move", obj=str(obj)) as sp:
+        with TRACER.span("move", obj=str(obj), src=old_proxy, dst=new_proxy) as sp:
             # -- insert: climb DPath(new_proxy) until the object is found --
             spine = self._spine[obj]
             spine_pos = {e.hnode: i for i, e in enumerate(spine)}
@@ -362,14 +365,14 @@ class MOTTracker:
             # waste a Dijkstra row that never reaches the ledger (RPL103)
             self.ledger.record_query(0.0, 0.0)
             if TRACER.enabled:
-                TRACER.event("query", obj=str(obj), cost=0.0, level=0, local=True)
+                TRACER.event("query", obj=str(obj), cost=0.0, level=0, local=True, source=source)
             return QueryResult(
                 obj=obj, source=source, proxy=proxy, cost=0.0,
                 found_level=0, via_sdl=False, optimal_cost=0.0,
             )
         optimal = self._dist(source, proxy)
 
-        with TRACER.span("query", obj=str(obj)) as sp:
+        with TRACER.span("query", obj=str(obj), source=source) as sp:
             spine = self._spine[obj]
             spine_pos = {e.hnode: i for i, e in enumerate(spine)}
             path = self.hs.dpath(source)

@@ -22,6 +22,7 @@ __all__ = [
     "JsonlTraceWriter",
     "encode_event",
     "read_trace",
+    "write_trace",
     "summarize_trace",
     "diff_traces",
 ]
@@ -85,6 +86,26 @@ def read_trace(path: Union[str, Path]) -> "list[dict[str, Any]]":
                 raise ValueError(
                     f"{path}:{lineno}: not a JSONL trace line: {exc}"
                 ) from exc
+    return out
+
+
+def write_trace(
+    path: Union[str, Path],
+    events: "Iterable[Union[SpanEvent, dict[str, Any]]]",
+) -> Path:
+    """Write ``events`` to ``path`` in canonical JSONL (inverse of
+    :func:`read_trace`).
+
+    Accepts finished :class:`SpanEvent` objects or already-decoded
+    event dicts; each becomes one :func:`encode_event` line, so a
+    ``read_trace`` → ``write_trace`` round trip is byte-identical.
+    Returns the written path.
+    """
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with out.open("w", encoding="utf-8") as fh:
+        for ev in events:
+            fh.write(encode_event(ev) + "\n")
     return out
 
 

@@ -1,0 +1,69 @@
+"""Scenario packs and the standardized ``repro eval`` harness.
+
+The subsystem behind ``python -m repro eval``:
+
+- :mod:`repro.scenarios.registry` — the declarative scenario catalog
+  (:func:`register_scenario`, :class:`ScenarioSpec`, scale ladder);
+- :mod:`repro.scenarios.packs` — the built-in pack (Zipf flash crowd,
+  rush hour, hotspot drift, adversarial handover, churn-under-faults,
+  trace replay), registered on import;
+- :mod:`repro.scenarios.harness` — runs a scenario through both the
+  sequential reference and the serve layer into one canonical
+  EvalReport;
+- :mod:`repro.scenarios.gate` — tolerance-banded comparison against
+  committed per-scenario baselines (the CI regression gate);
+- :mod:`repro.scenarios.replay` — reconstructs workloads from obs
+  JSONL traces (the record → replay → digest round trip).
+
+Importing this package registers the built-in pack.
+"""
+
+from repro.scenarios.gate import (
+    GATE_METRICS,
+    compare_eval_reports,
+    write_baseline,
+)
+from repro.scenarios.harness import (
+    EvalConfig,
+    canonical_json,
+    metric_at,
+    run_scenario,
+    run_suite,
+)
+from repro.scenarios.registry import (
+    DEFAULT_SCALES,
+    ScenarioScale,
+    ScenarioSpec,
+    all_scenarios,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+from repro.scenarios.replay import (
+    record_workload_trace,
+    workload_from_events,
+    workload_from_trace,
+)
+
+from repro.scenarios import packs  # noqa: F401  (registers the built-in pack)
+
+__all__ = [
+    "DEFAULT_SCALES",
+    "EvalConfig",
+    "GATE_METRICS",
+    "ScenarioScale",
+    "ScenarioSpec",
+    "all_scenarios",
+    "canonical_json",
+    "compare_eval_reports",
+    "get_scenario",
+    "metric_at",
+    "record_workload_trace",
+    "register_scenario",
+    "run_scenario",
+    "run_suite",
+    "scenario_names",
+    "workload_from_events",
+    "workload_from_trace",
+    "write_baseline",
+]

@@ -1,0 +1,149 @@
+"""Baseline comparison for EvalReports (`repro eval --check`).
+
+CI commits one baseline file (``benchmarks/eval_baselines.json``,
+written by ``repro eval --write-baseline``) holding, per scenario, the
+workload digest and a curated set of gate metrics with per-metric
+tolerance bands. :func:`compare_eval_reports` re-checks a fresh suite
+report against it:
+
+- digests compare **exactly** — scenario content drift (a generator
+  edit, a seed change, an RNG-order regression) is always a failure,
+  never absorbed by a tolerance band;
+- integer-exact metrics (operation counts, load counts, admission
+  outcomes) use tolerance ``0.0``;
+- cost ratios and latency percentiles get small bands, compared with
+  :func:`repro.core.costs.close_to` (floats are never ``==``-compared
+  — RPL004 applies to the gate too).
+
+The comparator is deliberately one-sided about *schema*: a scenario
+present in the baseline but missing from the current run fails
+(``missing_scenario``), and so does a new scenario with no baseline
+(``unknown_scenario``) — regenerate the baseline when the pack changes.
+"""
+
+from __future__ import annotations
+
+from repro.core.costs import close_to
+from repro.scenarios.harness import metric_at
+
+__all__ = ["GATE_METRICS", "write_baseline", "compare_eval_reports"]
+
+#: (metric path, relative tolerance) pairs the gate checks when present.
+#: Counts are exact; ratios/latencies get bands sized to the observed
+#: same-seed stability of each section (virtual clock ⇒ tight).
+GATE_METRICS: "tuple[tuple[str, float], ...]" = (
+    ("sequential.maintenance_cost_ratio", 0.05),
+    ("sequential.query_cost_ratio", 0.05),
+    ("sequential.maintenance_ops", 0.0),
+    ("sequential.noop_moves", 0.0),
+    ("sequential.query_ops", 0.0),
+    ("sequential.load.max_load", 0.0),
+    ("sequential.load.above_threshold", 0.0),
+    ("serve.ledger.maintenance_cost_ratio", 0.05),
+    ("serve.ledger.query_cost_ratio", 0.05),
+    ("serve.loadgen.completed", 0.0),
+    ("serve.loadgen.rejected.total", 0.0),
+    ("serve.latency_ms.all.p99_ms", 0.15),
+    ("serve.audit_ok", 0.0),
+    ("chaos.consistency_ok", 0.0),
+    ("chaos.maintenance_cost_ratio", 0.10),
+    ("chaos.churn.rehome_ops", 0.0),
+)
+
+
+def write_baseline(report: dict) -> dict:
+    """Distill a suite report into the committed baseline shape.
+
+    Only the gate metrics actually present in each scenario report are
+    pinned (chaos paths only exist for fault-plan scenarios), each next
+    to the tolerance it will be checked with — the baseline file is
+    self-describing, so widening a band is a reviewed diff.
+    """
+    scenarios = {}
+    for name, rep in report["scenarios"].items():
+        metrics: dict = {}
+        tolerances: dict = {}
+        for path, tol in GATE_METRICS:
+            found, value = metric_at(rep, path)
+            if found:
+                metrics[path] = value
+                tolerances[path] = tol
+        scenarios[name] = {
+            "digest": rep["digest"],
+            "metrics": metrics,
+            "tolerances": tolerances,
+        }
+    return {
+        "version": report.get("version", 1),
+        "suite": report["suite"],
+        "scenarios": scenarios,
+    }
+
+
+def _check_value(cur: object, base: object, tol: float) -> "tuple[bool, str]":
+    """(passed, failure kind) for one metric value pair."""
+    # bool first: bool is an int subclass, and audit_ok must flip the
+    # gate on any change, not compare as 0.0 vs 1.0
+    if isinstance(base, bool) or isinstance(cur, bool):
+        return (cur is base, "out_of_band")
+    if isinstance(base, (int, float)) and isinstance(cur, (int, float)):
+        return (close_to(float(cur), float(base), tol=tol), "out_of_band")
+    if isinstance(base, str) and isinstance(cur, str):
+        return (cur == base, "out_of_band")
+    return (False, "type_mismatch")
+
+
+def compare_eval_reports(current: dict, baseline: dict) -> dict:
+    """Gate a fresh suite report against a committed baseline.
+
+    Returns ``{"ok", "checked", "failures": [...]}`` where each failure
+    carries ``scenario``/``metric``/``kind``/``current``/``baseline``/
+    ``tolerance``. ``ok`` is True iff there are no failures.
+    """
+    failures: list = []
+    checked = 0
+    cur_scenarios = current.get("scenarios", {})
+    base_scenarios = baseline.get("scenarios", {})
+
+    def fail(scenario, metric, kind, cur=None, base=None, tol=None) -> None:
+        failures.append(
+            {
+                "scenario": scenario,
+                "metric": metric,
+                "kind": kind,
+                "current": cur,
+                "baseline": base,
+                "tolerance": tol,
+            }
+        )
+
+    for name in sorted(base_scenarios):
+        if name not in cur_scenarios:
+            fail(name, None, "missing_scenario")
+            continue
+        rep = cur_scenarios[name]
+        base = base_scenarios[name]
+        checked += 1
+        if rep.get("digest") != base.get("digest"):
+            fail(
+                name,
+                "digest",
+                "digest_mismatch",
+                cur=rep.get("digest"),
+                base=base.get("digest"),
+            )
+        for path, base_value in sorted(base.get("metrics", {}).items()):
+            tol = float(base.get("tolerances", {}).get(path, 0.0))
+            found, cur_value = metric_at(rep, path)
+            if not found:
+                fail(name, path, "missing_metric", base=base_value, tol=tol)
+                continue
+            checked += 1
+            passed, kind = _check_value(cur_value, base_value, tol)
+            if not passed:
+                fail(name, path, kind, cur=cur_value, base=base_value, tol=tol)
+    for name in sorted(cur_scenarios):
+        if name not in base_scenarios:
+            fail(name, None, "unknown_scenario")
+
+    return {"ok": not failures, "checked": checked, "failures": failures}

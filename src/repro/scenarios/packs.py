@@ -1,0 +1,212 @@
+"""The built-in scenario pack (ROADMAP item 4's workload catalog).
+
+Six scenarios spanning the regimes the related work says diverge:
+
+- ``zipf-flash-crowd`` — skewed object popularity with a query storm on
+  the head object: the serve layer's coalescing/admission regime;
+- ``rush-hour`` — commuter flows, phase-correlated directional traffic
+  (Płaczek's communication-aware tracking motivates this regime);
+- ``hotspot-drift`` — attractor-biased movement plus Zipf queries:
+  spatial *and* popularity skew at once;
+- ``adversarial-handover`` — every object oscillates across the single
+  adjacency whose detection paths diverge highest in the hierarchy,
+  maximizing per-move maintenance cost (the Eppstein–Goodrich–Löffler
+  few-handovers adversary aimed at MOT's proxy boundaries);
+- ``churn-faults`` — a random-walk workload executed under an injected
+  :class:`~repro.sim.faults.FaultPlan` (message loss, jitter, staggered
+  crash windows), reporting the chaos/churn section on top of the
+  standard metrics;
+- ``trace-replay`` — records a seeded workload as an obs JSONL trace,
+  reconstructs it with :mod:`repro.scenarios.replay`, digest-checks the
+  round trip, and evaluates the *reconstructed* workload.
+
+Import this module for its side effect (registration); the harness and
+CLI do so through :mod:`repro.scenarios` itself.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.chaos import build_fault_plan
+from repro.experiments.config import ChaosExperiment
+from repro.graphs.network import SensorNetwork
+from repro.hierarchy.structure import build_hierarchy
+from repro.scenarios.registry import (
+    ScenarioScale,
+    register_scenario,
+)
+from repro.scenarios.replay import record_workload_trace, workload_from_events
+from repro.sim.faults import FaultPlan
+from repro.sim.mobility import oscillation_trajectories
+from repro.sim.workload import (
+    Workload,
+    make_workload,
+    workload_digest,
+    workload_from_trajectories,
+)
+
+__all__ = ["boundary_edge"]
+
+
+@register_scenario(
+    "zipf-flash-crowd",
+    description="Zipf-skewed object popularity with a flash-crowd query storm "
+    "on the most popular object",
+    tags=("skew", "queries", "serve"),
+)
+def _zipf_flash_crowd(net: SensorNetwork, scale: ScenarioScale, seed: int) -> Workload:
+    return make_workload(
+        net,
+        num_objects=scale.num_objects,
+        moves_per_object=scale.moves_per_object,
+        num_queries=scale.num_queries,
+        seed=seed,
+        query_popularity="zipf",
+        zipf_exponent=1.2,
+        flash_crowd_fraction=0.25,
+    )
+
+
+@register_scenario(
+    "rush-hour",
+    description="commuter flows: every object commutes home-to-work and back "
+    "in phase-correlated directional waves",
+    tags=("mobility", "directional"),
+)
+def _rush_hour(net: SensorNetwork, scale: ScenarioScale, seed: int) -> Workload:
+    return make_workload(
+        net,
+        num_objects=scale.num_objects,
+        moves_per_object=scale.moves_per_object,
+        num_queries=scale.num_queries,
+        seed=seed,
+        mobility="commuter",
+    )
+
+
+@register_scenario(
+    "hotspot-drift",
+    description="hotspot-biased movement with Zipf query popularity: spatial "
+    "and popularity skew combined",
+    tags=("mobility", "skew"),
+)
+def _hotspot_drift(net: SensorNetwork, scale: ScenarioScale, seed: int) -> Workload:
+    return make_workload(
+        net,
+        num_objects=scale.num_objects,
+        moves_per_object=scale.moves_per_object,
+        num_queries=scale.num_queries,
+        seed=seed,
+        mobility="hotspot",
+        query_popularity="zipf",
+    )
+
+
+def boundary_edge(net: SensorNetwork, seed: int) -> "tuple":
+    """The adjacency whose detection paths diverge highest in ``HS``.
+
+    Builds the same hierarchy the eval tracker will use (same seed) and
+    scores every edge ``(u, v)`` by the lowest level at which
+    ``DPath(u)`` and ``DPath(v)`` first share a node — the level a move
+    across that edge must climb to. The maximizing edge is the §1.3
+    worst case *aimed at MOT itself* rather than at a spanning tree:
+    oscillating across it forces every maintenance operation to pay the
+    highest available climb (Eppstein et al.'s adversarial mover).
+    """
+    hs = build_hierarchy(net, seed=seed)
+    dpaths = {v: hs.dpath(v) for v in net.nodes}
+    best_edge = None
+    best_level = 0
+    edges = sorted(
+        (tuple(sorted(e, key=net.index_of)) for e in net.graph.edges()),
+        key=lambda e: (net.index_of(e[0]), net.index_of(e[1])),
+    )
+    for u, v in edges:
+        pu, pv = dpaths[u], dpaths[v]
+        meet = hs.h + 1  # disjoint all the way (cannot happen at the root)
+        for level in range(1, hs.h + 1):
+            if set(pu[level]) & set(pv[level]):
+                meet = level
+                break
+        if meet > best_level:
+            best_level = meet
+            best_edge = (u, v)
+    assert best_edge is not None, "a connected network has at least one edge"
+    return best_edge
+
+
+@register_scenario(
+    "adversarial-handover",
+    description="all objects oscillate across the adjacency with the highest "
+    "detection-path divergence, maximizing maintenance cost",
+    tags=("adversarial", "maintenance"),
+)
+def _adversarial_handover(
+    net: SensorNetwork, scale: ScenarioScale, seed: int
+) -> Workload:
+    edge = boundary_edge(net, seed)
+    trajectories = oscillation_trajectories(
+        net,
+        num_objects=scale.num_objects,
+        moves_per_object=scale.moves_per_object,
+        seed=seed,
+        edge=edge,
+    )
+    return workload_from_trajectories(
+        net, trajectories, num_queries=scale.num_queries, seed=seed
+    )
+
+
+def _churn_fault_plan(net: SensorNetwork, scale: ScenarioScale, seed: int) -> FaultPlan:
+    exp = ChaosExperiment(
+        side=scale.side,
+        num_objects=scale.num_objects,
+        moves_per_object=scale.moves_per_object,
+        num_queries=scale.num_queries,
+        seed=seed,
+        message_loss=0.1,
+        delay_jitter=0.25,
+        num_crashes=2,
+        crash_duration=30.0,
+        fault_seed=seed + 101,
+    )
+    return build_fault_plan(exp, net)
+
+
+@register_scenario(
+    "churn-faults",
+    description="random-walk workload under message loss, latency jitter and "
+    "staggered crash/restart windows (chaos + churn accounting)",
+    tags=("faults", "churn", "chaos"),
+    fault_plan=_churn_fault_plan,
+)
+def _churn_faults(net: SensorNetwork, scale: ScenarioScale, seed: int) -> Workload:
+    return make_workload(
+        net,
+        num_objects=scale.num_objects,
+        moves_per_object=scale.moves_per_object,
+        num_queries=scale.num_queries,
+        seed=seed,
+    )
+
+
+@register_scenario(
+    "trace-replay",
+    description="records a seeded workload as an obs JSONL trace, replays it "
+    "through the trace loader, and evaluates the digest-checked reconstruction",
+    tags=("replay", "obs"),
+)
+def _trace_replay(net: SensorNetwork, scale: ScenarioScale, seed: int) -> Workload:
+    base = make_workload(
+        net,
+        num_objects=scale.num_objects,
+        moves_per_object=scale.moves_per_object,
+        num_queries=scale.num_queries,
+        seed=seed,
+    )
+    events = record_workload_trace(net, base, seed=seed)
+    rebuilt = workload_from_events(events, net)
+    if workload_digest(rebuilt) != workload_digest(base):
+        raise RuntimeError(
+            "trace-replay round trip lost information: digests diverge"
+        )
+    return rebuilt

@@ -1,0 +1,197 @@
+"""Declarative scenario registry (`repro eval`'s catalog).
+
+A *scenario* is a named, seeded workload generator plus the schema of
+metrics its evaluation report must carry. Packs register scenarios with
+the :func:`register_scenario` decorator::
+
+    @register_scenario(
+        "rush-hour",
+        description="commuter flows: directional morning/evening waves",
+        tags=("mobility", "skew"),
+    )
+    def _gen(net: SensorNetwork, scale: ScenarioScale, seed: int) -> Workload:
+        return make_workload(net, scale.num_objects, ..., mobility="commuter")
+
+and the eval harness (:mod:`repro.scenarios.harness`) runs every
+registered scenario through the sequential tracker and the serve layer,
+emitting one :data:`EvalReport <repro.scenarios.harness.run_scenario>`
+per scenario. The registry is deliberately declarative: scenario
+*identity* is (name, scale, seed) and the generated workload is
+digest-stamped (:func:`repro.sim.workload.workload_digest`), so the CI
+gate can pin exact workload content per scenario.
+
+Scenarios with a ``fault_plan`` hook additionally run the concurrent
+simulator under that :class:`~repro.sim.faults.FaultPlan` and report
+the chaos/churn section (see the ``churn-faults`` pack scenario).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional
+
+from repro.graphs.network import SensorNetwork
+from repro.sim.faults import FaultPlan
+from repro.sim.workload import Workload
+
+__all__ = [
+    "ScenarioScale",
+    "ScenarioSpec",
+    "register_scenario",
+    "get_scenario",
+    "all_scenarios",
+    "scenario_names",
+    "DEFAULT_SCALES",
+    "EXPECTED_METRICS_BASE",
+    "EXPECTED_METRICS_CHAOS",
+]
+
+#: generator signature: (network, scale, seed) -> workload
+Generator = Callable[[SensorNetwork, "ScenarioScale", int], Workload]
+#: fault-plan hook signature: (network, scale, seed) -> plan
+FaultPlanFactory = Callable[[SensorNetwork, "ScenarioScale", int], FaultPlan]
+
+_NAME_RE = re.compile(r"^[a-z0-9]+(-[a-z0-9]+)*$")
+
+
+@dataclass(frozen=True)
+class ScenarioScale:
+    """One named size of a scenario (grid side × workload shape)."""
+
+    side: int
+    num_objects: int
+    moves_per_object: int
+    num_queries: int
+
+    def __post_init__(self) -> None:
+        if self.side < 2:
+            raise ValueError("side must be >= 2")
+        if self.num_objects < 1 or self.moves_per_object < 0 or self.num_queries < 0:
+            raise ValueError("need >= 1 object and >= 0 moves/queries")
+
+    def as_dict(self) -> dict:
+        """JSON-ready view (embedded in every scenario report)."""
+        return {
+            "side": self.side,
+            "num_objects": self.num_objects,
+            "moves_per_object": self.moves_per_object,
+            "num_queries": self.num_queries,
+        }
+
+
+#: the standard scale ladder: "smoke" gates CI, "full" is the
+#: measurement scale perf work (ROADMAP items 3/5) reports against
+DEFAULT_SCALES: "dict[str, ScenarioScale]" = {
+    "smoke": ScenarioScale(side=8, num_objects=12, moves_per_object=20, num_queries=60),
+    "full": ScenarioScale(side=16, num_objects=48, moves_per_object=60, num_queries=300),
+}
+
+#: metric paths (dot-separated into the scenario report) every
+#: scenario's EvalReport must carry — the expected-metric schema
+EXPECTED_METRICS_BASE: tuple = (
+    "digest",
+    "sequential.maintenance_cost_ratio",
+    "sequential.query_cost_ratio",
+    "sequential.maintenance_ops",
+    "sequential.query_ops",
+    "sequential.load.max_load",
+    "sequential.load.above_threshold",
+    "serve.loadgen.completed",
+    "serve.latency_ms.all.p99_ms",
+    "serve.ledger.maintenance_cost_ratio",
+    "serve.ledger.query_cost_ratio",
+    "serve.audit_ok",
+)
+
+#: fault-plan scenarios additionally report the chaos/churn section
+EXPECTED_METRICS_CHAOS: tuple = EXPECTED_METRICS_BASE + (
+    "chaos.consistency_ok",
+    "chaos.maintenance_cost_ratio",
+    "chaos.churn.rehome_ops",
+)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One registered scenario: generator + metadata + metric schema."""
+
+    name: str
+    description: str
+    generate: Generator
+    tags: tuple = ()
+    scales: Mapping[str, ScenarioScale] = field(default_factory=lambda: DEFAULT_SCALES)
+    expected_metrics: tuple = EXPECTED_METRICS_BASE
+    fault_plan: Optional[FaultPlanFactory] = None
+
+    def scale(self, name: str) -> ScenarioScale:
+        """The named scale, with a helpful error for unknown names."""
+        try:
+            return self.scales[name]
+        except KeyError:
+            raise ValueError(
+                f"scenario {self.name!r} has no scale {name!r}; "
+                f"choose from {sorted(self.scales)}"
+            ) from None
+
+
+_REGISTRY: "dict[str, ScenarioSpec]" = {}
+
+
+def register_scenario(
+    name: str,
+    *,
+    description: str,
+    tags: tuple = (),
+    scales: "Mapping[str, ScenarioScale] | None" = None,
+    expected_metrics: "tuple | None" = None,
+    fault_plan: Optional[FaultPlanFactory] = None,
+) -> Callable[[Generator], Generator]:
+    """Decorator: register the decorated generator under ``name``.
+
+    Names are kebab-case (CLI-friendly); double registration is an
+    error (a pack reloading under a different import path should fail
+    loudly, not shadow). ``expected_metrics`` defaults to the base
+    schema, plus the chaos section when a ``fault_plan`` is given.
+    """
+    if not _NAME_RE.match(name):
+        raise ValueError(f"scenario name {name!r} is not kebab-case")
+
+    def deco(fn: Generator) -> Generator:
+        if name in _REGISTRY:
+            raise ValueError(f"scenario {name!r} is already registered")
+        metrics = expected_metrics
+        if metrics is None:
+            metrics = EXPECTED_METRICS_CHAOS if fault_plan else EXPECTED_METRICS_BASE
+        _REGISTRY[name] = ScenarioSpec(
+            name=name,
+            description=description,
+            generate=fn,
+            tags=tuple(tags),
+            scales=dict(scales) if scales is not None else DEFAULT_SCALES,
+            expected_metrics=tuple(metrics),
+            fault_plan=fault_plan,
+        )
+        return fn
+
+    return deco
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """The registered spec, with the known names in the error message."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; registered: {scenario_names()}"
+        ) from None
+
+
+def all_scenarios() -> "dict[str, ScenarioSpec]":
+    """Every registered scenario, sorted by name (a copy)."""
+    return {name: _REGISTRY[name] for name in sorted(_REGISTRY)}
+
+
+def scenario_names() -> "list[str]":
+    """Sorted registered names."""
+    return sorted(_REGISTRY)

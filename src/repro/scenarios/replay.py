@@ -1,0 +1,150 @@
+"""Trace replay: reconstruct a :class:`Workload` from an obs JSONL trace.
+
+The obs layer's sequential traces are *replayable*: core MOT spans
+carry enough annotations (``publish``: the start proxy; ``move``: the
+``src``/``dst`` proxies, ``dst`` alone on no-op events; ``query``: the
+``source`` sensor) to rebuild the exact operation sequence that
+produced them. :func:`workload_from_trace` inverts a recorded trace
+back into a workload whose :func:`~repro.sim.workload.workload_digest`
+matches the original — the record → replay → digest round trip the
+``trace-replay`` scenario and its test lock in.
+
+Only *sequential* traces replay exactly: a serve-layer trace interleaves
+per-shard batches, so its global move order differs from the workload's
+even though each object's order is preserved. Record with
+:func:`record_workload_trace` (or any one-by-one traced run) to get a
+replayable artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Union
+
+from repro.baselines.traffic import TrafficProfile
+from repro.core.mot import MOTTracker
+from repro.graphs.network import SensorNetwork
+from repro.obs.export import encode_event, read_trace
+from repro.obs.trace import json_safe, tracing
+from repro.sim.workload import MoveOp, QueryOp, Workload
+
+__all__ = [
+    "record_workload_trace",
+    "workload_from_events",
+    "workload_from_trace",
+]
+
+
+def record_workload_trace(
+    net: SensorNetwork, workload: Workload, seed: int = 0
+) -> "list[dict[str, Any]]":
+    """Run ``workload`` through a sequential MOT with tracing; return events.
+
+    Events come back as decoded dicts in the exact on-disk JSONL shape
+    (each is round-tripped through :func:`encode_event`), so writing
+    them with :func:`repro.obs.export.write_trace` and re-reading with
+    :func:`read_trace` is lossless.
+    """
+    events: list = []
+    tracker = MOTTracker.build(net, seed=seed)
+    with tracing(sink=events.append, time_source=None):
+        for obj, start in workload.starts.items():
+            tracker.publish(obj, start)
+        for m in workload.moves:
+            tracker.move(m.obj, m.new)
+        for q in workload.queries:
+            tracker.query(q.obj, q.source)
+    return [json.loads(encode_event(ev)) for ev in events]
+
+
+def _node_lookup(net: SensorNetwork) -> "dict[str, Any]":
+    """Map each node's canonical JSON encoding back to the node object.
+
+    Annotations pass through :func:`repro.obs.trace.json_safe` on the
+    way out (ints/strs unchanged, tuples to lists, everything else to
+    ``repr``), so keying on the sorted-key JSON encoding of the same
+    transform inverts any node labelling a network can carry.
+    """
+    return {
+        json.dumps(json_safe(node), sort_keys=True): node for node in net.nodes
+    }
+
+
+def workload_from_events(
+    events: "Iterable[dict[str, Any]]", net: SensorNetwork
+) -> Workload:
+    """Rebuild the workload a sequential trace over ``net`` recorded.
+
+    Non-operation events (``build``, ``serve.*``, message/retry point
+    events) are skipped; ``publish``/``move``/``query`` events must
+    carry the replay annotations (traces recorded before those existed
+    raise ``ValueError``). Trace order becomes workload order, which is
+    exactly the execution order of a one-by-one run.
+    """
+    lookup = _node_lookup(net)
+
+    def decode(index: int, value: Any) -> Any:
+        key = json.dumps(value, sort_keys=True)
+        try:
+            return lookup[key]
+        except KeyError:
+            raise ValueError(
+                f"trace event {index}: {value!r} is not a sensor of this network"
+            ) from None
+
+    starts: dict[str, Any] = {}
+    moves: list[MoveOp] = []
+    queries: list[QueryOp] = []
+    seq: dict[str, int] = {}
+    for i, ev in enumerate(events):
+        kind = ev.get("kind")
+        if kind not in ("publish", "move", "query"):
+            continue
+        obj = ev.get("obj")
+        if not isinstance(obj, str):
+            raise ValueError(f"trace event {i}: {kind} event without an object id")
+        ann = ev.get("annotations", {})
+        if kind == "publish":
+            if obj in starts:
+                raise ValueError(f"trace event {i}: object {obj!r} published twice")
+            if "proxy" not in ann:
+                raise ValueError(
+                    f"trace event {i}: publish without a 'proxy' annotation "
+                    "(recorded before trace replay existed?)"
+                )
+            starts[obj] = decode(i, ann["proxy"])
+            seq[obj] = 0
+        elif kind == "move":
+            if obj not in starts:
+                raise ValueError(f"trace event {i}: move of unpublished object {obj!r}")
+            if "dst" not in ann:
+                raise ValueError(
+                    f"trace event {i}: move without a 'dst' annotation "
+                    "(recorded before trace replay existed?)"
+                )
+            new = decode(i, ann["dst"])
+            # no-op moves carry only dst (the unchanged proxy)
+            old = decode(i, ann["src"]) if "src" in ann else new
+            seq[obj] += 1
+            moves.append(MoveOp(obj=obj, old=old, new=new, seq=seq[obj]))
+        else:  # query
+            if obj not in starts:
+                raise ValueError(f"trace event {i}: query of unpublished object {obj!r}")
+            if "source" not in ann:
+                raise ValueError(
+                    f"trace event {i}: query without a 'source' annotation "
+                    "(recorded before trace replay existed?)"
+                )
+            queries.append(QueryOp(obj=obj, source=decode(i, ann["source"])))
+    if not starts:
+        raise ValueError("trace contains no publish events — nothing to replay")
+    traffic = TrafficProfile.from_moves(net, [(m.old, m.new) for m in moves])
+    return Workload(
+        net=net, starts=starts, moves=moves, queries=queries, traffic=traffic
+    )
+
+
+def workload_from_trace(path: Union[str, Path], net: SensorNetwork) -> Workload:
+    """:func:`workload_from_events` over a JSONL trace file on disk."""
+    return workload_from_events(read_trace(path), net)

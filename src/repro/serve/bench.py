@@ -50,7 +50,7 @@ from repro.serve.service import ServiceConfig, TrackingService
 from repro.serve.shard import shard_sli
 from repro.sim.workload import make_workload
 
-__all__ = ["ServeBenchConfig", "run_serve_bench"]
+__all__ = ["ServeBenchConfig", "drive_workload", "run_serve_bench"]
 
 
 @dataclass(frozen=True)
@@ -155,6 +155,19 @@ def run_serve_bench(cfg: ServeBenchConfig | None = None) -> dict:
         seed=cfg.seed,
         mobility=cfg.mobility,  # type: ignore[arg-type]
     )
+    return drive_workload(net, workload, cfg)
+
+
+def drive_workload(net, workload, cfg: ServeBenchConfig) -> dict:
+    """Drive one prebuilt workload through a service; return the report.
+
+    The measurement half of :func:`run_serve_bench`, factored out so
+    other harnesses (``repro eval``'s scenario runs) can replay *their*
+    workloads through the identical load-generation, clocking, tracing
+    and audit plumbing. ``cfg`` supplies every service knob; its
+    ``nodes``/``num_objects``/... fields are reporting metadata here —
+    the ``net``/``workload`` arguments are what actually runs.
+    """
     trace = arrival_trace(workload, cfg.rate, seed=cfg.seed)
     clock = VirtualClock() if cfg.clock == "virtual" else WallClock()
     if cfg.workers > 0 and cfg.distance_backend in ("full", "memmap"):
@@ -192,7 +205,7 @@ def run_serve_bench(cfg: ServeBenchConfig | None = None) -> dict:
         "config": asdict(cfg),
         "network": {
             "nodes": net.n,
-            "grid_side": side,
+            "grid_side": cfg.grid_side,
             "distance_mode": net.distance_mode,
             "distance_backend": net.distance_mode,
         },

@@ -16,7 +16,13 @@ generate the per-object proxy trajectories used by the workloads:
   (water holes, road junctions, gateways): most legs end near a hotspot,
   so detection rates concentrate on few adjacencies. The most favourable
   regime for traffic-conscious baselines, used by the
-  workload-sensitivity ablation.
+  workload-sensitivity ablation;
+- **commuter** — rush-hour directional flows: every object lives near a
+  "home" anchor, commutes along a shortest path to a "work" anchor on
+  the far side of the network, mills around the destination for a few
+  moves, then commutes back. Traffic is strongly directional and phase-
+  correlated across objects — the regime Płaczek's communication-aware
+  trackers exploit and the scenario pack's ``rush_hour`` workload.
 """
 
 from __future__ import annotations
@@ -33,6 +39,7 @@ __all__ = [
     "waypoint_trajectories",
     "hotspot_trajectories",
     "oscillation_trajectories",
+    "commuter_trajectories",
 ]
 
 
@@ -137,6 +144,68 @@ def hotspot_trajectories(
                 leg = net.shortest_path(cur, target)[1:]
             cur = leg.pop(0)
             path.append(cur)
+        out[f"{object_prefix}{i}"] = path
+    return out
+
+
+def commuter_trajectories(
+    net: SensorNetwork,
+    num_objects: int,
+    moves_per_object: int,
+    seed: int = 0,
+    object_prefix: str = "obj",
+    dwell: int = 4,
+    zone_radius: float = 2.0,
+) -> dict[str, list[Node]]:
+    """Per-object trajectories under the commuter (rush-hour) model.
+
+    A "home" anchor is drawn uniformly and the "work" anchor is the
+    sensor farthest from it (one batched row solve), so every commute
+    crosses the network. Each object starts in the home zone (within
+    ``zone_radius`` of the anchor), walks a shortest path to a sensor
+    in the work zone, mills around for ``dwell`` random-walk moves,
+    then commutes back and dwells at home — repeating until
+    ``moves_per_object`` moves are emitted. All objects commute in the
+    same direction at roughly the same phase, producing the directional
+    rush-hour adjacency skew the scenario pack stresses.
+    """
+    if num_objects < 1 or moves_per_object < 0:
+        raise ValueError("need >= 1 object and >= 0 moves")
+    if dwell < 0:
+        raise ValueError("dwell must be >= 0")
+    rng = random.Random(seed)
+    home = rng.choice(net.nodes)
+    row = net.distances_from(home)
+    work = net.node_at(int(row.argmax()))
+    zones = {
+        "home": net.k_neighborhood(home, zone_radius),
+        "work": net.k_neighborhood(work, zone_radius),
+    }
+    out: dict[str, list[Node]] = {}
+    for i in range(num_objects):
+        cur = rng.choice(zones["home"])
+        path = [cur]
+        place = "home"
+        leg: list[Node] = []
+        dwell_left = 0
+        while len(path) - 1 < moves_per_object:
+            if dwell_left > 0:
+                # mill around the current zone: one random-walk step
+                dwell_left -= 1
+                cur = rng.choice(net.neighbors(cur))
+                path.append(cur)
+                continue
+            if not leg:
+                place = "work" if place == "home" else "home"
+                target = rng.choice(zones[place])
+                if target == cur:
+                    dwell_left = max(dwell, 1)
+                    continue
+                leg = net.shortest_path(cur, target)[1:]
+            cur = leg.pop(0)
+            path.append(cur)
+            if not leg:  # arrived: dwell before the return commute
+                dwell_left = dwell
         out[f"{object_prefix}{i}"] = path
     return out
 

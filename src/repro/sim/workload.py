@@ -15,6 +15,7 @@ A :class:`Workload` bundles everything one experiment repetition needs:
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass, field
 from typing import Hashable, Literal
@@ -22,6 +23,7 @@ from typing import Hashable, Literal
 from repro.baselines.traffic import TrafficProfile
 from repro.graphs.network import SensorNetwork
 from repro.sim.mobility import (
+    commuter_trajectories,
     hotspot_trajectories,
     oscillation_trajectories,
     random_walk_trajectories,
@@ -30,7 +32,14 @@ from repro.sim.mobility import (
 
 Node = Hashable
 
-__all__ = ["MoveOp", "QueryOp", "Workload", "make_workload"]
+__all__ = [
+    "MoveOp",
+    "QueryOp",
+    "Workload",
+    "make_workload",
+    "workload_from_trajectories",
+    "workload_digest",
+]
 
 
 @dataclass(frozen=True)
@@ -98,17 +107,36 @@ def make_workload(
     moves_per_object: int,
     num_queries: int = 0,
     seed: int = 0,
-    mobility: Literal["random_walk", "waypoint", "hotspot", "oscillation"] = "random_walk",
+    mobility: Literal[
+        "random_walk", "waypoint", "hotspot", "oscillation", "commuter"
+    ] = "random_walk",
+    query_popularity: Literal["uniform", "zipf"] = "uniform",
+    zipf_exponent: float = 1.1,
+    flash_crowd_fraction: float = 0.0,
+    flash_crowd_start: float = 0.5,
 ) -> Workload:
     """Generate the §8 workload shape.
 
     Trajectories come from the chosen mobility model; the global move
     order interleaves objects uniformly at random while preserving each
     object's own order (shuffle of object tokens). Queries pair uniform
-    sources with uniform objects. The traffic profile counts the exact
-    adjacency crossings of the move sequence.
+    sources with objects drawn per ``query_popularity``:
+
+    - ``"uniform"`` (the default, bit-identical to the historical
+      generator) — every object equally likely;
+    - ``"zipf"`` — object ``r`` (in registration order) drawn with
+      weight ``1 / (r + 1) ** zipf_exponent``, the standard skewed
+      popularity model: a few celebrities absorb most queries.
+
+    ``flash_crowd_fraction > 0`` additionally carves that fraction of
+    the query sequence into one contiguous burst (starting at relative
+    position ``flash_crowd_start``) in which *every* query targets the
+    most popular object — a query storm on one celebrity, the workload
+    regime query coalescing exists for. Sources stay uniform.
+
+    The traffic profile counts the exact adjacency crossings of the
+    move sequence.
     """
-    rng = random.Random(seed ^ 0x5EED)
     if mobility == "random_walk":
         trajectories = random_walk_trajectories(net, num_objects, moves_per_object, seed)
     elif mobility == "waypoint":
@@ -117,8 +145,56 @@ def make_workload(
         trajectories = hotspot_trajectories(net, num_objects, moves_per_object, seed)
     elif mobility == "oscillation":
         trajectories = oscillation_trajectories(net, num_objects, moves_per_object, seed)
+    elif mobility == "commuter":
+        trajectories = commuter_trajectories(net, num_objects, moves_per_object, seed)
     else:
         raise ValueError(f"unknown mobility model {mobility!r}")
+
+    return workload_from_trajectories(
+        net,
+        trajectories,
+        num_queries=num_queries,
+        seed=seed,
+        query_popularity=query_popularity,
+        zipf_exponent=zipf_exponent,
+        flash_crowd_fraction=flash_crowd_fraction,
+        flash_crowd_start=flash_crowd_start,
+    )
+
+
+def workload_from_trajectories(
+    net: SensorNetwork,
+    trajectories: dict[str, list[Node]],
+    num_queries: int = 0,
+    seed: int = 0,
+    query_popularity: Literal["uniform", "zipf"] = "uniform",
+    zipf_exponent: float = 1.1,
+    flash_crowd_fraction: float = 0.0,
+    flash_crowd_start: float = 0.5,
+) -> Workload:
+    """Interleave explicit per-object trajectories into a :class:`Workload`.
+
+    The second half of :func:`make_workload` — scenario packs that
+    build their own trajectories (e.g. adversarial boundary oscillation
+    on a chosen edge) come through here so the move interleaving and
+    query drawing stay byte-identical with the standard generator.
+    All trajectories must have equal length (one shared move budget).
+    """
+    if query_popularity not in ("uniform", "zipf"):
+        raise ValueError(f"unknown query_popularity {query_popularity!r}")
+    if zipf_exponent <= 0:
+        raise ValueError("zipf_exponent must be positive")
+    if not 0.0 <= flash_crowd_fraction <= 1.0:
+        raise ValueError("flash_crowd_fraction must be in [0, 1]")
+    if not 0.0 <= flash_crowd_start <= 1.0:
+        raise ValueError("flash_crowd_start must be in [0, 1]")
+    if not trajectories:
+        raise ValueError("need at least one trajectory")
+    lengths = {len(path) for path in trajectories.values()}
+    if len(lengths) != 1:
+        raise ValueError("all trajectories must have the same length")
+    moves_per_object = lengths.pop() - 1
+    rng = random.Random(seed ^ 0x5EED)
 
     starts = {obj: path[0] for obj, path in trajectories.items()}
 
@@ -135,10 +211,48 @@ def make_workload(
         cursor[obj] = i + 1
 
     objects = list(trajectories)
-    queries = [
-        QueryOp(obj=rng.choice(objects), source=rng.choice(net.nodes))
-        for _ in range(num_queries)
-    ]
+    if query_popularity == "uniform":
+        # the historical draw, kept byte-identical for existing seeds
+        queries = [
+            QueryOp(obj=rng.choice(objects), source=rng.choice(net.nodes))
+            for _ in range(num_queries)
+        ]
+    else:
+        weights = [1.0 / (r + 1) ** zipf_exponent for r in range(len(objects))]
+        queries = [
+            QueryOp(obj=rng.choices(objects, weights=weights)[0], source=rng.choice(net.nodes))
+            for _ in range(num_queries)
+        ]
+    burst = round(flash_crowd_fraction * num_queries)
+    if burst > 0:
+        # overwrite one contiguous window with a storm on the head object
+        lo = min(round(flash_crowd_start * num_queries), num_queries - burst)
+        queries[lo : lo + burst] = [
+            QueryOp(obj=objects[0], source=q.source) for q in queries[lo : lo + burst]
+        ]
 
     traffic = TrafficProfile.from_moves(net, [(m.old, m.new) for m in moves])
     return Workload(net=net, starts=starts, moves=moves, queries=queries, traffic=traffic)
+
+
+def workload_digest(workload: Workload) -> str:
+    """SHA-256 over the workload's exact content (the scenario digest).
+
+    Hashes the network size plus every start, move and query in order —
+    two workloads digest equal iff an executor would see the identical
+    operation sequence. ``repro eval`` stamps each scenario report with
+    this digest so the CI gate can tell "the generator changed" apart
+    from "the tracker regressed", and the trace-replay round-trip test
+    asserts record → replay preserves it.
+    """
+    h = hashlib.sha256()
+    h.update(repr(workload.net.n).encode())
+    for obj, start in workload.starts.items():
+        h.update(repr((obj, start)).encode())
+    h.update(b"|moves")
+    for m in workload.moves:
+        h.update(repr((m.obj, m.old, m.new, m.seq)).encode())
+    h.update(b"|queries")
+    for q in workload.queries:
+        h.update(repr((q.obj, q.source)).encode())
+    return h.hexdigest()

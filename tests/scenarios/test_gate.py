@@ -1,0 +1,121 @@
+"""Baseline comparator: tolerance bands, digests, schema drift."""
+
+import copy
+
+from repro.scenarios import compare_eval_reports, run_suite, write_baseline
+
+# one smoke suite reused by every comparator test (the comparator is
+# pure, so mutating deep copies of this is safe and fast)
+_SUITE = None
+
+
+def suite():
+    global _SUITE
+    if _SUITE is None:
+        _SUITE = run_suite(names=["rush-hour", "churn-faults"])
+    return copy.deepcopy(_SUITE)
+
+
+def test_self_comparison_passes():
+    report = suite()
+    result = compare_eval_reports(report, write_baseline(report))
+    assert result["ok"] is True
+    assert result["failures"] == []
+    assert result["checked"] > 0
+
+
+def test_baseline_pins_digest_and_tolerances():
+    base = write_baseline(suite())
+    rh = base["scenarios"]["rush-hour"]
+    assert len(rh["digest"]) == 64
+    assert rh["tolerances"]["sequential.maintenance_ops"] == 0.0
+    assert rh["tolerances"]["sequential.maintenance_cost_ratio"] > 0.0
+    # chaos metrics only pinned for fault-plan scenarios
+    assert "chaos.consistency_ok" not in rh["metrics"]
+    assert "chaos.consistency_ok" in base["scenarios"]["churn-faults"]["metrics"]
+
+
+def test_within_band_drift_passes_and_beyond_fails():
+    report = suite()
+    base = write_baseline(report)
+    path = "sequential.maintenance_cost_ratio"
+    value = base["scenarios"]["rush-hour"]["metrics"][path]
+    tol = base["scenarios"]["rush-hour"]["tolerances"][path]
+
+    drifted = suite()
+    drifted["scenarios"]["rush-hour"]["sequential"]["maintenance_cost_ratio"] = (
+        value * (1 + tol * 0.5)
+    )
+    assert compare_eval_reports(drifted, base)["ok"] is True
+
+    regressed = suite()
+    regressed["scenarios"]["rush-hour"]["sequential"]["maintenance_cost_ratio"] = (
+        value * (1 + tol * 3)
+    )
+    result = compare_eval_reports(regressed, base)
+    assert result["ok"] is False
+    assert result["failures"][0]["kind"] == "out_of_band"
+    assert result["failures"][0]["metric"] == path
+
+
+def test_zero_tolerance_counts_are_exact():
+    report = suite()
+    base = write_baseline(report)
+    bumped = suite()
+    bumped["scenarios"]["rush-hour"]["sequential"]["maintenance_ops"] += 1
+    result = compare_eval_reports(bumped, base)
+    assert result["ok"] is False
+    kinds = {(f["metric"], f["kind"]) for f in result["failures"]}
+    assert ("sequential.maintenance_ops", "out_of_band") in kinds
+
+
+def test_digest_mismatch_is_never_tolerated():
+    report = suite()
+    base = write_baseline(report)
+    changed = suite()
+    changed["scenarios"]["rush-hour"]["digest"] = "0" * 64
+    result = compare_eval_reports(changed, base)
+    assert result["ok"] is False
+    assert any(f["kind"] == "digest_mismatch" for f in result["failures"])
+
+
+def test_bool_flip_fails_even_as_number():
+    report = suite()
+    base = write_baseline(report)
+    flipped = suite()
+    # audit_ok True -> 1 would pass a naive numeric close_to; the gate
+    # must treat bools as categorical
+    flipped["scenarios"]["rush-hour"]["serve"]["audit_ok"] = 1
+    result = compare_eval_reports(flipped, base)
+    assert result["ok"] is False
+    assert any(f["metric"] == "serve.audit_ok" for f in result["failures"])
+
+
+def test_scenario_set_drift_fails_both_ways():
+    report = suite()
+    base = write_baseline(report)
+
+    missing = suite()
+    del missing["scenarios"]["rush-hour"]
+    kinds = [f["kind"] for f in compare_eval_reports(missing, base)["failures"]]
+    assert "missing_scenario" in kinds
+
+    extra = suite()
+    extra["scenarios"]["brand-new"] = extra["scenarios"]["rush-hour"]
+    kinds = [f["kind"] for f in compare_eval_reports(extra, base)["failures"]]
+    assert "unknown_scenario" in kinds
+
+
+def test_missing_and_mistyped_metrics_fail():
+    report = suite()
+    base = write_baseline(report)
+
+    thin = suite()
+    del thin["scenarios"]["rush-hour"]["sequential"]["maintenance_ops"]
+    kinds = [f["kind"] for f in compare_eval_reports(thin, base)["failures"]]
+    assert "missing_metric" in kinds
+
+    mistyped = suite()
+    mistyped["scenarios"]["rush-hour"]["sequential"]["maintenance_ops"] = "lots"
+    kinds = [f["kind"] for f in compare_eval_reports(mistyped, base)["failures"]]
+    assert "type_mismatch" in kinds

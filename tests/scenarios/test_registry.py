@@ -1,0 +1,78 @@
+"""Registry completeness and registration validation."""
+
+import pytest
+
+from repro.scenarios import (
+    DEFAULT_SCALES,
+    ScenarioScale,
+    all_scenarios,
+    get_scenario,
+    scenario_names,
+)
+from repro.scenarios.registry import (
+    EXPECTED_METRICS_BASE,
+    EXPECTED_METRICS_CHAOS,
+    register_scenario,
+)
+from repro.sim.workload import workload_digest
+
+
+def test_builtin_pack_has_at_least_five_scenarios():
+    names = scenario_names()
+    assert len(names) >= 5
+    for expected in (
+        "zipf-flash-crowd",
+        "rush-hour",
+        "adversarial-handover",
+        "churn-faults",
+        "trace-replay",
+    ):
+        assert expected in names
+
+
+def test_every_scenario_generates_at_smoke_scale(grid8):
+    scale = DEFAULT_SCALES["smoke"]
+    for name, spec in all_scenarios().items():
+        wl = spec.generate(grid8, scale, 3)
+        assert len(wl.starts) == scale.num_objects, name
+        assert len(wl.moves) == scale.num_objects * scale.moves_per_object, name
+        assert len(wl.queries) == scale.num_queries, name
+        # same seed regenerates the identical workload
+        again = spec.generate(grid8, scale, 3)
+        assert workload_digest(again) == workload_digest(wl), name
+
+
+def test_every_scenario_declares_metadata():
+    for spec in all_scenarios().values():
+        assert spec.description
+        assert "smoke" in spec.scales and "full" in spec.scales
+        assert spec.expected_metrics
+        expected = (
+            EXPECTED_METRICS_CHAOS if spec.fault_plan else EXPECTED_METRICS_BASE
+        )
+        assert set(expected) <= set(spec.expected_metrics), spec.name
+
+
+def test_unknown_scenario_and_scale_raise():
+    with pytest.raises(ValueError, match="unknown scenario"):
+        get_scenario("no-such-scenario")
+    spec = get_scenario("rush-hour")
+    with pytest.raises(ValueError, match="has no scale"):
+        spec.scale("galactic")
+
+
+def test_register_rejects_bad_names_and_duplicates():
+    with pytest.raises(ValueError, match="kebab-case"):
+        register_scenario("Not_Kebab", description="x")
+    with pytest.raises(ValueError, match="already registered"):
+
+        @register_scenario("rush-hour", description="shadow")
+        def _shadow(net, scale, seed):  # pragma: no cover
+            raise AssertionError
+
+
+def test_scenario_scale_validation():
+    with pytest.raises(ValueError):
+        ScenarioScale(side=1, num_objects=2, moves_per_object=2, num_queries=2)
+    with pytest.raises(ValueError):
+        ScenarioScale(side=4, num_objects=0, moves_per_object=2, num_queries=2)

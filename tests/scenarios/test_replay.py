@@ -1,0 +1,106 @@
+"""Trace replay: record → replay → digest round trips and error cases."""
+
+import pytest
+
+from repro.obs.export import read_trace, write_trace
+from repro.scenarios import (
+    record_workload_trace,
+    workload_from_events,
+    workload_from_trace,
+)
+from repro.sim.workload import make_workload, workload_digest
+
+
+def _workload(net, **kw):
+    defaults = dict(num_objects=4, moves_per_object=6, num_queries=8, seed=5)
+    defaults.update(kw)
+    return make_workload(net, **defaults)
+
+
+def test_round_trip_preserves_digest(grid8):
+    wl = _workload(grid8)
+    events = record_workload_trace(grid8, wl, seed=5)
+    rebuilt = workload_from_events(events, grid8)
+    assert workload_digest(rebuilt) == workload_digest(wl)
+    assert rebuilt.starts == wl.starts
+    assert rebuilt.moves == wl.moves
+    assert [(q.obj, q.source) for q in rebuilt.queries] == [
+        (q.obj, q.source) for q in wl.queries
+    ]
+
+
+def test_round_trip_through_a_trace_file(grid8, tmp_path):
+    wl = _workload(grid8, seed=11)
+    events = record_workload_trace(grid8, wl, seed=11)
+    path = write_trace(tmp_path / "run" / "trace.jsonl", events)
+    assert path.exists()
+    rebuilt = workload_from_trace(path, grid8)
+    assert workload_digest(rebuilt) == workload_digest(wl)
+    # the writer is canonical: re-reading yields the exact same events
+    assert list(read_trace(path)) == events
+
+
+def test_noop_moves_survive_the_round_trip(grid4):
+    # a single-node oscillation is impossible, but repeated moves to the
+    # current proxy are recorded as no-op events carrying only `dst`
+    wl = _workload(grid4, num_objects=2, moves_per_object=4, num_queries=0)
+    events = record_workload_trace(grid4, wl, seed=5)
+    # rewrite one move into a self-move at the workload level instead:
+    # replay an explicit noop through the tracker
+    from repro.sim.workload import MoveOp, Workload
+
+    obj = next(iter(wl.starts))
+    start = wl.starts[obj]
+    noop_wl = Workload(
+        net=grid4,
+        starts={obj: start},
+        moves=[MoveOp(obj=obj, old=start, new=start, seq=1)],
+        queries=[],
+        traffic=wl.traffic,
+    )
+    events = record_workload_trace(grid4, noop_wl, seed=5)
+    rebuilt = workload_from_events(events, grid4)
+    assert rebuilt.moves == noop_wl.moves
+    assert workload_digest(rebuilt) == workload_digest(noop_wl)
+
+
+def test_non_operation_events_are_skipped(grid8):
+    wl = _workload(grid8)
+    events = record_workload_trace(grid8, wl, seed=5)
+    events.insert(0, {"kind": "build", "obj": None, "annotations": {}})
+    events.append({"kind": "message", "obj": "obj0", "annotations": {}})
+    rebuilt = workload_from_events(events, grid8)
+    assert workload_digest(rebuilt) == workload_digest(wl)
+
+
+def test_error_cases(grid8):
+    wl = _workload(grid8)
+    events = record_workload_trace(grid8, wl, seed=5)
+
+    with pytest.raises(ValueError, match="nothing to replay"):
+        workload_from_events([], grid8)
+
+    unpublished = [e for e in events if e["kind"] != "publish"]
+    with pytest.raises(ValueError, match="unpublished"):
+        workload_from_events(unpublished, grid8)
+
+    stripped = [dict(e) for e in events]
+    for e in stripped:
+        if e["kind"] == "move":
+            e["annotations"] = {
+                k: v for k, v in e["annotations"].items() if k not in ("src", "dst")
+            }
+    with pytest.raises(ValueError, match="without a 'dst'"):
+        workload_from_events(stripped, grid8)
+
+    doubled = events + [e for e in events if e["kind"] == "publish"][:1]
+    with pytest.raises(ValueError, match="published twice"):
+        workload_from_events(doubled, grid8)
+
+
+def test_foreign_nodes_are_rejected(grid8, grid4):
+    wl = _workload(grid8)
+    events = record_workload_trace(grid8, wl, seed=5)
+    # grid8 sensors beyond 4x4 don't exist on grid4
+    with pytest.raises(ValueError, match="not a sensor"):
+        workload_from_events(events, grid4)

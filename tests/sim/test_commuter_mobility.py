@@ -1,0 +1,78 @@
+"""Commuter (rush-hour) mobility model."""
+
+import pytest
+
+from repro.core.costs import close_to
+from repro.sim.mobility import commuter_trajectories
+from repro.sim.workload import make_workload
+
+
+def test_shapes_and_determinism(grid8):
+    trajs = commuter_trajectories(grid8, num_objects=5, moves_per_object=30, seed=2)
+    assert sorted(trajs) == [f"obj{i}" for i in range(5)]
+    for path in trajs.values():
+        assert len(path) == 31
+    again = commuter_trajectories(grid8, num_objects=5, moves_per_object=30, seed=2)
+    assert again == trajs
+    other = commuter_trajectories(grid8, num_objects=5, moves_per_object=30, seed=3)
+    assert other != trajs
+
+
+def test_every_step_is_one_hop(grid8):
+    trajs = commuter_trajectories(grid8, num_objects=4, moves_per_object=40, seed=1)
+    for path in trajs.values():
+        for a, b in zip(path, path[1:]):
+            # commuting and milling both move: every step is one hop
+            assert b in grid8.neighbors(a)
+
+
+def test_objects_actually_commute_across_the_network(grid8):
+    # home/work anchors are network-diameter apart, so a long enough
+    # trajectory must visit sensors far from its start
+    trajs = commuter_trajectories(
+        grid8, num_objects=3, moves_per_object=60, seed=4, zone_radius=1.0
+    )
+    for path in trajs.values():
+        reach = max(float(grid8.distance(path[0], v)) for v in path)
+        assert reach >= 7.0  # most of an 8x8 grid's diameter (14 hops)
+
+
+def test_shared_anchors_synchronize_the_flow(grid8):
+    # all objects share one home/work anchor pair: their farthest points
+    # concentrate around the same work zone
+    trajs = commuter_trajectories(
+        grid8, num_objects=6, moves_per_object=60, seed=7, zone_radius=1.0
+    )
+    extremes = []
+    for path in trajs.values():
+        dists = [(float(grid8.distance(path[0], v)), i) for i, v in enumerate(path)]
+        extremes.append(path[max(dists)[1]])
+    spread = max(
+        float(grid8.distance(a, b)) for a in extremes for b in extremes
+    )
+    assert spread <= 6.0  # clustered, not scattered across the whole grid
+
+
+def test_zero_moves_and_validation(grid8):
+    trajs = commuter_trajectories(grid8, num_objects=2, moves_per_object=0, seed=0)
+    assert all(len(p) == 1 for p in trajs.values())
+    with pytest.raises(ValueError):
+        commuter_trajectories(grid8, num_objects=0, moves_per_object=5)
+    with pytest.raises(ValueError):
+        commuter_trajectories(grid8, num_objects=2, moves_per_object=5, dwell=-1)
+
+
+def test_commuter_workload_integrates_with_the_generator(grid8):
+    wl = make_workload(
+        grid8,
+        num_objects=4,
+        moves_per_object=12,
+        num_queries=10,
+        seed=6,
+        mobility="commuter",
+    )
+    assert len(wl.moves) == 48
+    assert len(wl.queries) == 10
+    # the traffic profile counts real adjacency crossings of the commute
+    total = sum(wl.traffic.rate(u, v) for u, v in grid8.graph.edges())
+    assert close_to(float(total), 0.0, tol=1e-9) is False

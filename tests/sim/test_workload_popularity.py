@@ -1,0 +1,110 @@
+"""Query-popularity shaping: Zipf skew and flash-crowd bursts."""
+
+from collections import Counter
+
+import pytest
+
+from repro.sim.workload import make_workload, workload_digest
+
+
+def _query_counts(wl):
+    return Counter(q.obj for q in wl.queries)
+
+
+def test_zipf_concentrates_queries_on_head_objects(grid8):
+    wl = make_workload(
+        grid8,
+        num_objects=10,
+        moves_per_object=2,
+        num_queries=500,
+        seed=3,
+        query_popularity="zipf",
+        zipf_exponent=2.0,
+    )
+    counts = _query_counts(wl)
+    objects = list(wl.starts)
+    head, tail = counts[objects[0]], counts[objects[-1]]
+    # weight ratio head:tail is 10^2 = 100x; even with sampling noise the
+    # head object must dominate and the last-ranked object stay rare
+    assert head > 200
+    assert tail < 25
+    assert head > 5 * tail
+    # rank order is respected in aggregate: the top half of the ranking
+    # absorbs the large majority of queries
+    top_half = sum(counts[o] for o in objects[:5])
+    assert top_half > 400
+
+
+def test_uniform_stays_spread_out(grid8):
+    wl = make_workload(
+        grid8, num_objects=10, moves_per_object=2, num_queries=500, seed=3
+    )
+    counts = _query_counts(wl)
+    # uniform draw: every object queried, none dominates
+    assert len(counts) == 10
+    assert max(counts.values()) < 100
+
+
+def test_flash_crowd_carves_a_contiguous_burst(grid8):
+    wl = make_workload(
+        grid8,
+        num_objects=8,
+        moves_per_object=2,
+        num_queries=200,
+        seed=4,
+        flash_crowd_fraction=0.25,
+        flash_crowd_start=0.5,
+    )
+    head = list(wl.starts)[0]
+    targets = [q.obj for q in wl.queries]
+    # burst = 50 queries starting at index 100
+    assert targets[100:150] == [head] * 50
+    outside = targets[:100] + targets[150:]
+    assert any(t != head for t in outside)
+    # sources inside the burst stay whatever the base draw chose: the
+    # burst rewrites targets only
+    assert len({q.source for q in wl.queries[100:150]}) > 1
+
+
+def test_flash_crowd_window_clamps_to_the_tail(grid8):
+    wl = make_workload(
+        grid8,
+        num_objects=4,
+        moves_per_object=2,
+        num_queries=100,
+        seed=4,
+        flash_crowd_fraction=0.5,
+        flash_crowd_start=0.9,
+    )
+    head = list(wl.starts)[0]
+    targets = [q.obj for q in wl.queries]
+    # a burst that would overflow the sequence slides back to fit
+    assert targets[50:] == [head] * 50
+
+
+def test_default_path_is_unchanged_by_the_new_parameters(grid8):
+    legacy = make_workload(
+        grid8, num_objects=6, moves_per_object=4, num_queries=30, seed=9
+    )
+    explicit = make_workload(
+        grid8,
+        num_objects=6,
+        moves_per_object=4,
+        num_queries=30,
+        seed=9,
+        query_popularity="uniform",
+        flash_crowd_fraction=0.0,
+    )
+    assert workload_digest(legacy) == workload_digest(explicit)
+
+
+def test_parameter_validation(grid8):
+    common = dict(num_objects=2, moves_per_object=2, num_queries=4, seed=0)
+    with pytest.raises(ValueError, match="query_popularity"):
+        make_workload(grid8, query_popularity="lognormal", **common)
+    with pytest.raises(ValueError, match="zipf_exponent"):
+        make_workload(grid8, query_popularity="zipf", zipf_exponent=0.0, **common)
+    with pytest.raises(ValueError, match="flash_crowd_fraction"):
+        make_workload(grid8, flash_crowd_fraction=1.5, **common)
+    with pytest.raises(ValueError, match="flash_crowd_start"):
+        make_workload(grid8, flash_crowd_start=-0.1, **common)

@@ -308,3 +308,61 @@ def test_serve_bench_distance_backend_flag(capsys):
     report = json.loads(capsys.readouterr().out)
     assert report["audit"]["ok"] is True
     assert report["network"]["distance_backend"] == "lazy"
+
+
+def test_eval_list_prints_the_catalog(capsys):
+    assert main(["eval", "--list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("zipf-flash-crowd", "rush-hour", "adversarial-handover",
+                 "churn-faults", "trace-replay"):
+        assert name in out
+
+
+def test_eval_single_scenario_to_file(tmp_path, capsys):
+    import json
+
+    out_path = tmp_path / "eval" / "report.json"
+    assert main(["eval", "--scenario", "rush-hour", "--out", str(out_path)]) == 0
+    assert "wrote" in capsys.readouterr().out
+    report = json.loads(out_path.read_text())
+    assert list(report["scenarios"]) == ["rush-hour"]
+    rep = report["scenarios"]["rush-hour"]
+    assert rep["serve"]["audit_ok"] is True
+    assert len(rep["digest"]) == 64
+
+
+def test_eval_baseline_round_trip_and_gate(tmp_path, capsys):
+    import json
+
+    base = tmp_path / "base.json"
+    assert main(["eval", "--scenario", "rush-hour",
+                 "--write-baseline", str(base),
+                 "--out", str(tmp_path / "a.json")]) == 0
+    capsys.readouterr()
+    # a fresh same-seed run passes the gate it just wrote
+    assert main(["eval", "--scenario", "rush-hour", "--check", str(base),
+                 "--out", str(tmp_path / "b.json")]) == 0
+    assert "eval gate: ok" in capsys.readouterr().out
+    # byte-identical reports across the two runs (virtual clock)
+    assert (tmp_path / "a.json").read_text() == (tmp_path / "b.json").read_text()
+    # an injected cost-ratio perturbation must flip the gate to exit 1
+    doc = json.loads(base.read_text())
+    doc["scenarios"]["rush-hour"]["metrics"][
+        "sequential.maintenance_cost_ratio"] *= 1.5
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps(doc))
+    assert main(["eval", "--scenario", "rush-hour", "--check", str(bad),
+                 "--out", str(tmp_path / "c.json")]) == 1
+    err = capsys.readouterr().err
+    assert "out_of_band" in err and "maintenance_cost_ratio" in err
+
+
+def test_eval_usage_errors_exit_two(tmp_path, capsys):
+    assert main(["eval", "--scenario", "no-such-scenario"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+    assert main(["eval", "--workers", "2", "--clock", "virtual"]) == 2
+    assert 'requires clock="wall"' in capsys.readouterr().err
+    assert main(["eval", "--scenario", "rush-hour",
+                 "--check", str(tmp_path / "missing.json"),
+                 "--out", str(tmp_path / "r.json")]) == 2
+    assert "cannot read baseline" in capsys.readouterr().err
