@@ -227,8 +227,9 @@ class TreeTracker:
         proxy = self.proxy_of(obj)
         if source == proxy:
             # local hit: skip the oracle solve — it would never reach the
-            # ledger on this path (RPL103)
-            self.ledger.record_query(0.0, 0.0)
+            # ledger on this path (RPL103); tallied apart from real
+            # queries so per-operation means stay undiluted
+            self.ledger.record_local_query()
             return QueryResult(
                 obj=obj, source=source, proxy=proxy, cost=0.0,
                 found_level=0, via_sdl=False, optimal_cost=0.0,

@@ -292,6 +292,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             ),
             trace_path=args.trace,
             distance_backend=args.distance_backend,
+            batch_core=args.batch_core,
         )
     except ValueError as exc:
         print(f"repro serve-bench: {exc}", file=sys.stderr)
@@ -340,6 +341,7 @@ def _cmd_eval(args: argparse.Namespace) -> int:
             clock=clock,
             rate=args.rate,
             distance_backend=args.distance_backend,
+            batch_core=args.batch_core,
         )
         names = args.scenario or None
         if names:
@@ -368,7 +370,9 @@ def _cmd_eval(args: argparse.Namespace) -> int:
         print(f"wrote baseline {path}")
 
     ok = all(
-        rep["serve"]["audit_ok"] and rep.get("chaos", {}).get("consistency_ok", True)
+        rep["serve"]["audit_ok"]
+        and rep.get("serve_batch", {}).get("audit_ok", True)
+        and rep.get("chaos", {}).get("consistency_ok", True)
         for rep in report["scenarios"].values()
     )
     if not ok:
@@ -401,6 +405,62 @@ def _cmd_eval(args: argparse.Namespace) -> int:
                   f"{result['checked']} checks", file=sys.stderr)
             return 1
 
+    return 0 if ok else 1
+
+
+def _cmd_audit_batch(args: argparse.Namespace) -> int:
+    """Scenario packs → columnar engine → scalar-equivalence audit.
+
+    The batch analogue of the serve audit: every scenario workload is
+    chunked through :class:`~repro.core.batch.BatchMOTEngine.apply_ops`
+    and the engine's op log is replayed through a sequential
+    :class:`~repro.core.mot.MOTTracker` — proxies and epochs must match
+    exactly, costs and ledgers up to float tolerance. Exit 1 on any
+    mismatch.
+    """
+    import json
+
+    from repro.core.batch import BatchMOTEngine, audit_batch_core
+    from repro.graphs.generators import grid_network
+    from repro.scenarios import all_scenarios, get_scenario
+
+    names = args.scenario or list(all_scenarios())
+    specs = [get_scenario(n) for n in names]
+    report: dict = {"suite": args.suite, "seed": args.seed, "scenarios": {}}
+    ok = True
+    for spec in specs:
+        scale = spec.scale(args.suite)
+        net = grid_network(scale.side, scale.side)
+        workload = spec.generate(net, scale, args.seed)
+        engine = BatchMOTEngine.build(net, seed=args.seed)
+        ops = [("publish", obj, start) for obj, start in workload.starts.items()]
+        ops += [("move", m.obj, m.new) for m in workload.moves]
+        ops += [("query", q.obj, q.source) for q in workload.queries]
+        failures = 0
+        for i in range(0, len(ops), args.chunk):
+            for out in engine.apply_ops(ops[i : i + args.chunk]):
+                if out.error is not None:
+                    failures += 1
+        audit = audit_batch_core(engine)
+        ok = ok and audit.ok and failures == 0
+        report["scenarios"][spec.name] = {
+            "ops": len(ops),
+            "chunks": (len(ops) + args.chunk - 1) // args.chunk,
+            "failed_ops": failures,
+            "audit": audit.as_dict(),
+        }
+        status = "ok" if audit.ok and failures == 0 else "MISMATCH"
+        print(f"audit-batch {spec.name:>22}: {status} "
+              f"({len(ops)} ops, {audit.moves_replayed} moves replayed, "
+              f"{audit.queries_checked} queries checked)")
+    report["ok"] = ok
+    if args.out:
+        out_path = Path(args.out)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+        print(f"wrote {out_path}")
+    if not ok:
+        print("repro audit-batch: scalar-equivalence audit failed", file=sys.stderr)
     return 0 if ok else 1
 
 
@@ -639,6 +699,9 @@ def main(argv: list[str] | None = None) -> int:
                       choices=("auto", "full", "lazy", "landmark", "memmap"),
                       default="auto",
                       help="distance backend of the shared network")
+    p_sb.add_argument("--batch-core", action="store_true",
+                      help="apply batches through the columnar engine "
+                           "(repro.core.batch) instead of per-op tracker calls")
     p_sb.add_argument("--out", help="write the JSON report here instead of stdout")
     p_sb.set_defaults(fn=_cmd_serve_bench)
 
@@ -694,8 +757,28 @@ def main(argv: list[str] | None = None) -> int:
                            "(default path: benchmarks/eval_baselines.json)")
     p_ev.add_argument("--write-baseline", metavar="PATH", default=None,
                       help="distill the report into a baseline file at PATH")
+    p_ev.add_argument("--batch-core", action="store_true",
+                      help="also run the serve section through the columnar "
+                           "batch engine and report it as serve_batch "
+                           "(never gated against baselines)")
     p_ev.add_argument("--out", help="write the report here instead of stdout")
     p_ev.set_defaults(fn=_cmd_eval)
+
+    p_ab2 = sub.add_parser(
+        "audit-batch",
+        help="replay every scenario pack through the columnar batch engine "
+             "and audit it against the sequential MOT reference",
+    )
+    p_ab2.add_argument("--scenario", action="append", metavar="NAME",
+                       help="audit only this scenario (repeatable; default: all)")
+    p_ab2.add_argument("--suite", choices=("smoke", "full"), default="smoke",
+                       help="scale ladder rung to audit at")
+    p_ab2.add_argument("--seed", type=int, default=7,
+                       help="workload + hierarchy seed")
+    p_ab2.add_argument("--chunk", type=int, default=256,
+                       help="ops per engine apply_ops() call")
+    p_ab2.add_argument("--out", help="write the JSON report here instead of stdout")
+    p_ab2.set_defaults(fn=_cmd_audit_batch)
 
     p_sd = sub.add_parser("serve-demo", help="guided tour of the service layer")
     p_sd.add_argument("--seed", type=int, default=0,

@@ -14,6 +14,7 @@ divided).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 __all__ = ["CostLedger", "close_to"]
 
@@ -50,6 +51,7 @@ class CostLedger:
     query_optimal: float = 0.0
     query_ops: int = 0
     query_messages: int = 0
+    local_queries: int = 0
     _maint_ratios: list[float] = field(default_factory=list, repr=False)
     _query_ratios: list[float] = field(default_factory=list, repr=False)
 
@@ -96,6 +98,74 @@ class CostLedger:
         self.query_messages += messages
         if optimal > 0:
             self._query_ratios.append(cost / optimal)
+
+    def record_local_query(self) -> None:
+        """Count a local hit (source == proxy) without touching averages.
+
+        Local queries send no messages and cost nothing; recording them
+        as ordinary queries used to dilute ``query_cost``/``query_ops``
+        per-operation means exactly the way no-op moves once diluted the
+        maintenance averages. ``query_ops`` counts only queries that
+        walked the structure.
+        """
+        self.local_queries += 1
+
+    # ------------------------------------------------------------------
+    # batched deltas (the columnar engine reduces a kernel call's worth
+    # of operations into one delta; zero-op deltas must be no-ops so
+    # empty batches cannot skew counts, sums, or the derived means)
+    # ------------------------------------------------------------------
+    def record_publish_batch(self, total_cost: float, ops: int) -> None:
+        """Accumulate ``ops`` publishes costing ``total_cost`` altogether."""
+        if ops <= 0:
+            return
+        self.publish_cost += total_cost
+
+    def record_maintenance_batch(
+        self,
+        total_cost: float,
+        total_optimal: float,
+        ops: int,
+        messages: int,
+        ratios: "Iterable[float]" = (),
+    ) -> None:
+        """Accumulate a batch of maintenance ops as one reduced delta."""
+        if ops <= 0:
+            return
+        self.maintenance_cost += total_cost
+        self.maintenance_optimal += total_optimal
+        self.maintenance_ops += ops
+        self.maintenance_messages += messages
+        self._maint_ratios.extend(ratios)
+
+    def record_noop_moves(self, count: int) -> None:
+        """Tally ``count`` zero-distance moves (see :meth:`record_noop_move`)."""
+        if count <= 0:
+            return
+        self.noop_moves += count
+
+    def record_query_batch(
+        self,
+        total_cost: float,
+        total_optimal: float,
+        ops: int,
+        messages: int,
+        ratios: "Iterable[float]" = (),
+    ) -> None:
+        """Accumulate a batch of executed queries as one reduced delta."""
+        if ops <= 0:
+            return
+        self.query_cost += total_cost
+        self.query_optimal += total_optimal
+        self.query_ops += ops
+        self.query_messages += messages
+        self._query_ratios.extend(ratios)
+
+    def record_local_queries(self, count: int) -> None:
+        """Tally ``count`` local query hits (see :meth:`record_local_query`)."""
+        if count <= 0:
+            return
+        self.local_queries += count
 
     # ------------------------------------------------------------------
     @property
@@ -146,6 +216,7 @@ class CostLedger:
         self.query_cost += other.query_cost
         self.query_optimal += other.query_optimal
         self.query_ops += other.query_ops
+        self.local_queries += other.local_queries
         self.maintenance_messages += other.maintenance_messages
         self.query_messages += other.query_messages
         self._maint_ratios.extend(other._maint_ratios)

@@ -362,8 +362,11 @@ class MOTTracker:
             raise KeyError(f"{source!r} is not a sensor of this network")
         if source == proxy:
             # local hit: no oracle solve — computing `optimal` here would
-            # waste a Dijkstra row that never reaches the ledger (RPL103)
-            self.ledger.record_query(0.0, 0.0)
+            # waste a Dijkstra row that never reaches the ledger (RPL103).
+            # Tallied apart from real queries: a (0, 0) record used to
+            # inflate query_ops and dilute the per-operation means, the
+            # same distortion no-op moves once caused for maintenance.
+            self.ledger.record_local_query()
             if TRACER.enabled:
                 TRACER.event("query", obj=str(obj), cost=0.0, level=0, local=True, source=source)
             return QueryResult(

@@ -90,11 +90,27 @@ class BalancedMOTTracker(MOTTracker):
     # hooks into the base tracker
     # ------------------------------------------------------------------
     def publish(self, obj: ObjectId, proxy: Node) -> PublishResult:
-        """Publish; assigns the object's integer hash key (paper §5)."""
-        if obj not in self._obj_key:
+        """Publish; assigns the object's integer hash key (paper §5).
+
+        The key is assigned tentatively and rolled back on failure: a
+        rejected publish (unknown proxy, duplicate object) must not burn
+        a key, or every later object's hashed hosts would diverge from a
+        clean-history replay of the same operations — the snapshot
+        restore path and the consistency audits both rely on replays
+        reproducing hosts exactly.
+        """
+        fresh = obj not in self._obj_key
+        if fresh:
             self._obj_key[obj] = self._next_key
+        try:
+            result = super().publish(obj, proxy)
+        except Exception:
+            if fresh:
+                del self._obj_key[obj]
+            raise
+        if fresh:
             self._next_key += 1
-        return super().publish(obj, proxy)
+        return result
 
     def _probe_cost(self, hnode: HNode, obj: ObjectId) -> float:
         if hnode.level == 0 or not self.count_routing_cost:

@@ -268,6 +268,10 @@ class DistanceBackend(Protocol):
         """``[d(i, j) for i, j in pairs]`` via one batched solve."""
         ...
 
+    def pair_index_distances(self, pairs: np.ndarray) -> np.ndarray:
+        """:meth:`pair_distances` over a ``(k, 2)`` index array."""
+        ...
+
     def pair_distance(self, i: int, j: int) -> float:
         """Single-pair distance with the cheap fast paths."""
         ...
@@ -367,6 +371,16 @@ class _BackendBase:
         a = np.asarray([spos[i] for i, _ in pairs])
         b = np.asarray([tpos[j] for _, j in pairs])
         return block[a, b]
+
+    def pair_index_distances(self, pairs: np.ndarray) -> np.ndarray:
+        """:meth:`pair_distances` over a ``(k, 2)`` index array.
+
+        The columnar batch kernels hold integer node indices; accepting
+        the array directly spares them a per-pair tuple conversion.
+        """
+        if len(pairs) == 0:
+            return np.empty(0)
+        return self.pair_distances(pairs.tolist())
 
     def k_neighborhood(self, i: int, k: float) -> np.ndarray:
         """Exact pruned search; boundary nodes kept by the cost tolerance."""
@@ -504,6 +518,23 @@ class FullMatrixBackend(_BackendBase):
 
     def pair_distance(self, i: int, j: int) -> float:
         return float(self._ensure()[i, j])
+
+    def pair_distances(self, pairs: Sequence[tuple[int, int]]) -> np.ndarray:
+        # the base implementation deduplicates sources/targets to keep
+        # the distances_to_many block small — pointless when the whole
+        # matrix is resident: one fancy-indexed gather beats the Python
+        # dict churn (the columnar batch kernels hit this per batch)
+        if len(pairs) == 0:
+            return np.empty(0)
+        self._count_batched()
+        arr = np.asarray(pairs, dtype=np.intp)
+        return self._ensure()[arr[:, 0], arr[:, 1]]
+
+    def pair_index_distances(self, pairs: np.ndarray) -> np.ndarray:
+        if len(pairs) == 0:
+            return np.empty(0)
+        self._count_batched()
+        return self._ensure()[pairs[:, 0], pairs[:, 1]]
 
     def _neighborhood_row(self, i: int, cutoff: float) -> np.ndarray:
         return self._ensure()[i]

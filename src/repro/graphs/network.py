@@ -39,7 +39,8 @@ bounds are then independent of the deployment's physical scale.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Iterator, Sequence
+from types import MappingProxyType
+from typing import Hashable, Iterable, Iterator, Mapping, Sequence
 
 import networkx as nx
 import numpy as np
@@ -149,6 +150,7 @@ class SensorNetwork:
         except TypeError:
             self._nodes = sorted(self._graph.nodes(), key=repr)
         self._index: dict[Node, int] = {v: i for i, v in enumerate(self._nodes)}
+        self._index_proxy: Mapping[Node, int] | None = None
         self._all_idx = list(range(len(self._nodes)))
 
         self._positions = dict(positions) if positions else None
@@ -194,6 +196,18 @@ class SensorNetwork:
             return self._index[node]
         except KeyError:
             raise KeyError(f"{node!r} is not a node of this network") from None
+
+    @property
+    def index_map(self) -> "Mapping[Node, int]":
+        """Read-only node-to-index mapping.
+
+        Hot loops (the columnar batch engine validates every op's node)
+        test membership and resolve indices against this directly — a
+        C-level dict probe instead of a Python method call per element.
+        """
+        if self._index_proxy is None:
+            self._index_proxy = MappingProxyType(self._index)
+        return self._index_proxy
 
     def __contains__(self, node: Node) -> bool:
         return node in self._index
@@ -363,6 +377,17 @@ class SensorNetwork:
             return np.empty(0)
         idx_pairs = [(self._index[u], self._index[v]) for u, v in pairs]
         return self._backend.pair_distances(idx_pairs)
+
+    def pair_index_distances(self, pairs: np.ndarray) -> np.ndarray:
+        """:meth:`pair_distances` over a ``(k, 2)`` array of node *indices*.
+
+        The columnar batch kernels already hold integer indices; this
+        skips the per-pair node-to-index dict lookups (and, on matrix
+        backends, resolves as one fancy-indexed gather).
+        """
+        if len(pairs) == 0:
+            return np.empty(0)
+        return self._backend.pair_index_distances(pairs)
 
     def consecutive_distances(self, seq: Sequence[Node]) -> np.ndarray:
         """``[dist(seq[0], seq[1]), dist(seq[1], seq[2]), ...]`` in one batch.

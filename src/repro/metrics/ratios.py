@@ -51,13 +51,15 @@ def summarize_ratios(values: Sequence[float] | Iterable[float]) -> RatioStats:
 
 
 def per_operation_means(ledger: "CostLedger") -> dict[str, float]:
-    """Per-operation averages of a ledger, excluding no-op moves.
+    """Per-operation averages of a ledger, excluding do-nothing ops.
 
     ``maintenance_ops`` counts only moves that did real work (the ledger
-    records zero-distance moves under ``noop_moves``), so the averages
-    here are per *effective* operation — the quantity the paper's
-    per-op tables intend. ``noop_moves`` is passed through so reports
-    can show how much of the workload was stationary.
+    records zero-distance moves under ``noop_moves``) and ``query_ops``
+    only queries that walked the structure (local hits live under
+    ``local_queries``), so the averages here are per *effective*
+    operation — the quantity the paper's per-op tables intend. The
+    ``noop_moves``/``local_queries`` tallies are passed through so
+    reports can show how much of the workload was stationary or local.
     """
     m_ops = ledger.maintenance_ops or 1
     q_ops = ledger.query_ops or 1
@@ -69,4 +71,5 @@ def per_operation_means(ledger: "CostLedger") -> dict[str, float]:
         "maintenance_ops": float(ledger.maintenance_ops),
         "query_ops": float(ledger.query_ops),
         "noop_moves": float(ledger.noop_moves),
+        "local_queries": float(ledger.local_queries),
     }

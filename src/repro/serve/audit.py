@@ -101,6 +101,10 @@ def audit_service(service: TrackingService) -> AuditReport:
         by_obj_epoch: dict[tuple[str, int], list[QueryRecord]] = {}
         for rec in shard.query_log:
             by_obj_epoch.setdefault((rec.obj, rec.epoch), []).append(rec)
+        # epochs reached during the replay; built as we go because a
+        # no-op move does not advance the epoch (the shard's rule too),
+        # so the reachable set is not derivable from move counts alone
+        replayed: set[tuple[str, int]] = set()
         for obj, ops in shard.oplog.items():
             report.objects_checked += 1
             epoch = 0
@@ -109,17 +113,15 @@ def audit_service(service: TrackingService) -> AuditReport:
                     ref.publish(obj, node)
                     epoch = 0
                 else:
-                    ref.move(obj, node)
-                    epoch += 1
+                    res = ref.move(obj, node)
+                    if res.new_proxy != res.old_proxy:
+                        epoch += 1
                     report.moves_replayed += 1
-                _check_queries(ref, by_obj_epoch.get((obj, epoch), ()), report)
+                if (obj, epoch) not in replayed:
+                    replayed.add((obj, epoch))
+                    _check_queries(ref, by_obj_epoch.get((obj, epoch), ()), report)
         # queries the shard answered for never-applied epochs would be a
         # bug in the shard itself; surface them as proxy mismatches
-        replayed = {
-            (obj, e)
-            for obj, ops in shard.oplog.items()
-            for e in range(sum(1 for op, _ in ops if op == "move") + 1)
-        }
         for key, recs in by_obj_epoch.items():
             if key not in replayed:
                 for rec in recs:

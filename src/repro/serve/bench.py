@@ -80,6 +80,8 @@ class ServeBenchConfig:
     distance_backend: str = "auto"
     metrics_snapshot_interval_s: float | None = 0.5  # service-clock seconds
     trace_path: str | None = None  # JSONL span trace (None = tracing off)
+    #: apply batches through the columnar engine (repro.core.batch)
+    batch_core: bool = False
 
     def __post_init__(self) -> None:
         if self.nodes < 4:
@@ -112,6 +114,7 @@ class ServeBenchConfig:
             service_time_base_s=self.service_time_base_s,
             service_time_per_cost_s=self.service_time_per_cost_s,
             metrics_snapshot_interval_s=self.metrics_snapshot_interval_s,
+            batch_core=self.batch_core,
         )
 
 

@@ -94,6 +94,11 @@ class ServiceConfig:
       a periodic counters snapshot (see
       :meth:`TrackingService.maybe_snapshot`) no more often than every
       interval seconds of service-clock time; ``None`` disables.
+    - ``batch_core`` — apply each drained batch through the columnar
+      :class:`~repro.core.batch.BatchMOTEngine` instead of per-op
+      tracker calls. Answers are audit-identical (that is what
+      :func:`repro.core.batch.audit_batch_core` checks); only
+      throughput changes.
     """
 
     shards: int = 4
@@ -106,6 +111,7 @@ class ServiceConfig:
     service_time_base_s: float = 1e-3
     service_time_per_cost_s: float = 0.0
     metrics_snapshot_interval_s: float | None = None
+    batch_core: bool = False
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -235,6 +241,7 @@ class TrackingService:
                     shard_id=shard_id,
                     hierarchy=self.hierarchy,
                     mot_config=self.mot_config,
+                    batch=self.config.batch_core,
                 ),
                 clock=self.clock,
                 metrics=self.metrics,
@@ -248,6 +255,7 @@ class TrackingService:
             batch_size=self.config.batch_size,
             service_time_base_s=self.config.service_time_base_s,
             service_time_per_cost_s=self.config.service_time_per_cost_s,
+            batch=self.config.batch_core,
         )
 
     # ------------------------------------------------------------------

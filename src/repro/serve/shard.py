@@ -47,6 +47,7 @@ import asyncio
 from dataclasses import dataclass
 from typing import Hashable, Union
 
+from repro.core.batch import BatchMOTEngine
 from repro.core.costs import CostLedger
 from repro.core.mot import MOTTracker
 from repro.obs.trace import TRACER
@@ -102,14 +103,61 @@ class ShardCore:
     :class:`~repro.serve.worker.ShardWorker` both drive it.
     """
 
-    def __init__(self, tracker: MOTTracker) -> None:
+    def __init__(self, tracker: MOTTracker, batch: bool = False) -> None:
         self.tracker = tracker
+        #: columnar apply path (``batch=True``): the struct-of-arrays
+        #: engine replaces per-op tracker calls with vectorized kernels.
+        #: The engine keeps its *own* op/query logs for
+        #: :func:`repro.core.batch.audit_batch_core`; the core's logs
+        #: below stay authoritative for the service audit and snapshots
+        #: in both modes.
+        self.engine: BatchMOTEngine | None = (
+            BatchMOTEngine(tracker.hs, tracker.config) if batch else None
+        )
         #: per-object applied-move count (the audit's version number)
         self.epochs: dict[str, int] = {}
         #: applied ops per object: [("publish", proxy), ("move", new), ...]
         self.oplog: dict[str, list[tuple[str, Node]]] = {}
         #: every answered query in execution order
         self.query_log: list[QueryRecord] = []
+
+    @property
+    def ledger(self) -> CostLedger:
+        """The active kernel's cost ledger (tracker or columnar engine)."""
+        return self.engine.ledger if self.engine is not None else self.tracker.ledger
+
+    def install_ledger(self, ledger: CostLedger) -> None:
+        """Overwrite the active kernel's ledger (snapshot restore)."""
+        if self.engine is not None:
+            self.engine.ledger = ledger
+        else:
+            self.tracker.ledger = ledger
+
+    def replay_history(self, oplog: dict[str, list[tuple[str, Node]]]) -> None:
+        """Rebuild the active kernel's structure by replaying ``oplog``.
+
+        Used by snapshot restore: MOT state is deterministic in the
+        operation history, so replaying through the public apply path
+        reproduces it bit-identically in either mode.
+        """
+        for obj, ops in oplog.items():
+            for op, _node in ops:
+                if op not in ("publish", "move"):
+                    raise ValueError(f"unknown oplog entry {op!r} for {obj!r}")
+        if self.engine is not None:
+            flat = [
+                (op, obj, node) for obj, ops in oplog.items() for op, node in ops
+            ]
+            for out in self.engine.apply_ops(flat):
+                if out.error is not None:
+                    raise out.error
+        else:
+            for obj, ops in oplog.items():
+                for op, node in ops:
+                    if op == "publish":
+                        self.tracker.publish(obj, node)
+                    else:
+                        self.tracker.move(obj, node)
 
     def prefetch_moves(self, reqs: list[Request]) -> int:
         """Warm oracle rows for the batch's move endpoints in one solve.
@@ -154,8 +202,14 @@ class ShardCore:
             return req.proxy, res.cost, 0, False
         if isinstance(req, MoveRequest):
             res = self.tracker.move(req.obj, req.new_proxy)
-            epoch = self.epochs[req.obj] + 1
-            self.epochs[req.obj] = epoch
+            epoch = self.epochs[req.obj]
+            if res.new_proxy != res.old_proxy:
+                # No-op moves leave the structure untouched, so they must
+                # not advance the epoch: bumping it used to break query
+                # coalescing across a stationary "move" even though every
+                # answer before and after it is identical.
+                epoch += 1
+                self.epochs[req.obj] = epoch
             self.oplog[req.obj].append(("move", req.new_proxy))
             return req.new_proxy, res.cost, epoch, False
         if isinstance(req, QueryRequest):
@@ -174,6 +228,49 @@ class ShardCore:
             )
             return res.proxy, res.cost, epoch, False
         raise TypeError(f"not a service request: {req!r}")
+
+    def apply_requests(self, reqs: list[Request]) -> list[tuple]:
+        """Apply a whole batch through the columnar engine.
+
+        Returns one tuple per request, positionally aligned:
+        ``("ok", proxy, cost, epoch, coalesced)`` or ``("err", exc)`` —
+        the worker-protocol result shape, so both the in-process shard
+        and the process-boundary worker consume it unchanged. The
+        engine already coalesces duplicate queries per call, which is
+        exactly the per-drained-batch boundary ``apply_one`` uses.
+        """
+        engine = self.engine
+        if engine is None:
+            raise RuntimeError("apply_requests requires a batch-mode core")
+        ops: list[tuple[str, str, Node]] = []
+        for req in reqs:
+            if isinstance(req, PublishRequest):
+                ops.append(("publish", req.obj, req.proxy))
+            elif isinstance(req, MoveRequest):
+                ops.append(("move", req.obj, req.new_proxy))
+            elif isinstance(req, QueryRequest):
+                ops.append(("query", req.obj, req.source))
+            else:
+                raise TypeError(f"not a service request: {req!r}")
+        results: list[tuple] = []
+        for (kind, obj, node), out in zip(ops, engine.apply_ops(ops), strict=True):
+            if out.error is not None:
+                results.append(("err", out.error))
+                continue
+            if kind == "publish":
+                self.epochs[obj] = 0
+                self.oplog.setdefault(obj, []).append(("publish", node))
+            elif kind == "move":
+                self.epochs[obj] = out.epoch
+                self.oplog[obj].append(("move", node))
+            else:
+                self.query_log.append(
+                    QueryRecord(
+                        obj, out.epoch, node, out.proxy, out.cost, out.coalesced
+                    )
+                )
+            results.append(("ok", out.proxy, out.cost, out.epoch, out.coalesced))
+        return results
 
 
 def shard_sli(shard, makespan_s: float | None = None) -> dict:
@@ -221,9 +318,10 @@ class TrackerShard:
         batch_size: int,
         service_time_base_s: float,
         service_time_per_cost_s: float,
+        batch: bool = False,
     ) -> None:
         self.shard_id = shard_id
-        self.core = ShardCore(tracker)
+        self.core = ShardCore(tracker, batch=batch)
         self.clock = clock
         self.metrics = metrics
         self.batch_size = batch_size
@@ -268,8 +366,8 @@ class TrackerShard:
 
     @property
     def ledger(self) -> CostLedger:
-        """The shard tracker's cost ledger (uniform with process handles)."""
-        return self.core.tracker.ledger
+        """The shard's cost ledger (uniform with process handles)."""
+        return self.core.ledger
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -366,6 +464,9 @@ class TrackerShard:
     # batch application (synchronous: no awaits between ops)
     # ------------------------------------------------------------------
     def _apply_batch(self, batch: list[_Admitted]) -> None:
+        if self.core.engine is not None:
+            self._apply_batch_columnar(batch)
+            return
         virtual = self.clock.virtual
         start = max(self.busy_until, self.clock.now) if virtual else self.clock.now
         prefetched = self.core.prefetch_moves([item.req for item in batch])
@@ -424,3 +525,71 @@ class TrackerShard:
         if virtual:
             self.busy_until = start + elapsed
         self.metrics.record_batch(len(batch), prefetched)
+
+    def _apply_batch_columnar(self, batch: list[_Admitted]) -> None:
+        """Columnar flavour of :meth:`_apply_batch`.
+
+        The kernels run once for the whole batch up front
+        (:meth:`ShardCore.apply_requests`); the per-op loop here only
+        settles futures, spans and the virtual-clock charge — with
+        **identical** charging rules to the scalar path, so the two
+        modes produce the same deterministic completion times under a
+        virtual clock (the CI determinism check compares them run to
+        run). Move prefetch is skipped: the engine batches its
+        distance-oracle lookups internally.
+        """
+        virtual = self.clock.virtual
+        start = max(self.busy_until, self.clock.now) if virtual else self.clock.now
+        results = self.core.apply_requests([item.req for item in batch])
+        elapsed = 0.0
+        for item, res in zip(batch, results, strict=True):
+            kind = kind_of(item.req)
+            sp = TRACER.span(
+                "serve." + kind,
+                obj=str(item.req.obj),
+                shard=self.shard_id,
+                batch=len(batch),
+            )
+            with sp:
+                if res[0] == "err":
+                    exc = res[1]
+                    if sp:
+                        sp.annotate(failed=True, error=type(exc).__name__)
+                    if virtual:
+                        elapsed += self.service_time_base_s
+                    self.depth -= 1
+                    self.metrics.record_failure()
+                    if not item.future.done():
+                        item.future.set_exception(exc)
+                    continue
+                _tag, proxy, cost, epoch, coalesced = res
+                if sp:
+                    sp.set_result(cost=cost)
+                    sp.annotate(epoch=epoch, coalesced=coalesced)
+            if virtual:
+                if not coalesced:
+                    elapsed += (
+                        self.service_time_base_s + self.service_time_per_cost_s * cost
+                    )
+                completion = start + elapsed
+            else:
+                completion = self.clock.now
+            resp = OpResponse(
+                kind=kind,
+                obj=item.req.obj,
+                proxy=proxy,
+                cost=cost,
+                epoch=epoch,
+                coalesced=coalesced,
+                arrival_t=item.arrival_t,
+                completion_t=completion,
+            )
+            self.depth -= 1
+            self.completed_ops += 1
+            self.latency.add(resp.latency_s)
+            self.metrics.record_completion(kind, resp.latency_s, coalesced)
+            if not item.future.done():
+                item.future.set_result(resp)
+        if virtual:
+            self.busy_until = start + elapsed
+        self.metrics.record_batch(len(batch), 0)

@@ -76,24 +76,26 @@ def capture_snapshot(core, shard_id: int) -> ShardSnapshot:
 
     ``core`` is a :class:`~repro.serve.shard.ShardCore` (duck-typed to
     avoid a module cycle): anything with ``epochs``/``oplog``/
-    ``query_log`` and a ``tracker.ledger``.
+    ``query_log`` and a ``ledger`` — the core indirection picks the
+    live ledger whichever kernel (scalar tracker or columnar engine)
+    the shard runs.
     """
     return ShardSnapshot(
         shard_id=shard_id,
         epochs=dict(core.epochs),
         oplog={obj: list(ops) for obj, ops in core.oplog.items()},
         query_log=tuple(core.query_log),
-        ledger=copy.deepcopy(core.tracker.ledger),
+        ledger=copy.deepcopy(core.ledger),
     )
 
 
 def restore_snapshot(core, snap: ShardSnapshot) -> None:
     """Rebuild ``snap``'s state inside the empty shard ``core``.
 
-    Replays the op log through the tracker's public API (see module
-    docstring), then installs the snapshot's epoch map, logs and
-    ledger. ``core.tracker`` must be fresh — restoring over live
-    objects would interleave two histories.
+    Replays the op log through the core's public apply path (see
+    module docstring), then installs the snapshot's epoch map, logs
+    and ledger. ``core`` must be fresh — restoring over live objects
+    would interleave two histories.
     """
     if snap.version != SNAPSHOT_VERSION:
         raise ValueError(
@@ -101,19 +103,12 @@ def restore_snapshot(core, snap: ShardSnapshot) -> None:
         )
     if core.epochs or core.oplog:
         raise ValueError("restore requires an empty shard core")
-    for obj, ops in snap.oplog.items():
-        for op, node in ops:
-            if op == "publish":
-                core.tracker.publish(obj, node)
-            elif op == "move":
-                core.tracker.move(obj, node)
-            else:
-                raise ValueError(f"unknown oplog entry {op!r} for {obj!r}")
+    core.replay_history(snap.oplog)
     core.epochs = dict(snap.epochs)
     core.oplog = {obj: list(ops) for obj, ops in snap.oplog.items()}
     core.query_log = list(snap.query_log)
     # carry accrued costs once: the replay's own accrual is discarded
-    core.tracker.ledger = copy.deepcopy(snap.ledger)
+    core.install_ledger(copy.deepcopy(snap.ledger))
 
 
 def snapshot_to_bytes(snap: ShardSnapshot) -> bytes:

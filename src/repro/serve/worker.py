@@ -81,6 +81,8 @@ class WorkerSpec:
     shard_id: int
     hierarchy: BaseHierarchy
     mot_config: MOTConfig
+    #: run the columnar batch engine instead of per-op tracker calls
+    batch: bool = False
 
 
 @dataclass
@@ -114,7 +116,9 @@ class ShardWorker:
 
     def __init__(self, spec: WorkerSpec) -> None:
         self.shard_id = spec.shard_id
-        self.core = ShardCore(MOTTracker(spec.hierarchy, spec.mot_config))
+        self.core = ShardCore(
+            MOTTracker(spec.hierarchy, spec.mot_config), batch=spec.batch
+        )
         self.ops_applied = 0
         self.batches = 0
         self.prefetch_pairs = 0
@@ -125,18 +129,29 @@ class ShardWorker:
     def handle_batch(self, reqs: list[Request]) -> tuple[str, Any]:
         """Apply one batch; per-op results, exceptions carried by value."""
         t0 = time.perf_counter()
-        prefetched = self.core.prefetch_moves(reqs)
-        answered: dict[tuple[str, int, Node], tuple[Node, float]] = {}
-        results: list[tuple] = []
-        for req in reqs:
-            try:
-                proxy, cost, epoch, coalesced = self.core.apply_one(req, answered)
-            except Exception as exc:  # noqa: BLE001 — failures belong to the caller
-                self.failures += 1
-                results.append(("err", exc))
-            else:
-                self.ops_applied += 1
-                results.append(("ok", proxy, cost, epoch, coalesced))
+        if self.core.engine is not None:
+            # columnar path: the engine batches its own oracle lookups,
+            # so the move prefetch is skipped (same as TrackerShard)
+            prefetched = 0
+            results = self.core.apply_requests(reqs)
+            for res in results:
+                if res[0] == "err":
+                    self.failures += 1
+                else:
+                    self.ops_applied += 1
+        else:
+            prefetched = self.core.prefetch_moves(reqs)
+            answered: dict[tuple[str, int, Node], tuple[Node, float]] = {}
+            results = []
+            for req in reqs:
+                try:
+                    proxy, cost, epoch, coalesced = self.core.apply_one(req, answered)
+                except Exception as exc:  # noqa: BLE001 — failures belong to the caller
+                    self.failures += 1
+                    results.append(("err", exc))
+                else:
+                    self.ops_applied += 1
+                    results.append(("ok", proxy, cost, epoch, coalesced))
         self.batches += 1
         self.prefetch_pairs += prefetched
         self.apply_time.add(time.perf_counter() - t0)
@@ -171,7 +186,7 @@ class ShardWorker:
             "epochs": dict(self.core.epochs),
             "oplog": {obj: list(ops) for obj, ops in self.core.oplog.items()},
             "query_log": list(self.core.query_log),
-            "ledger": self.core.tracker.ledger,
+            "ledger": self.core.ledger,
             "stats": {
                 "ops_applied": self.ops_applied,
                 "batches": self.batches,

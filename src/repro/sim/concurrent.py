@@ -521,7 +521,14 @@ class ConcurrentTracker:
                     removed = spine[:pos]
                     top_station, _ = spine[pos]
                     entry = self._entry(top_station, obj)
-                    if entry is not None:
+                    if entry is not None and entry.seq <= seq:
+                        # same ownership rule as the off-spine branch: a
+                        # *newer* entry here belongs to an operation that
+                        # overtook us (tree case: the splice station is
+                        # simultaneously that move's bottom marker) and
+                        # must survive — downgrading its seq would let an
+                        # older chasing delete erase the live entry and
+                        # strand queries on a self-forwarding tombstone.
                         entry.seq = seq
                         entry.down = prev_station
                         entry.hint = st.new

@@ -4,7 +4,7 @@ Generic linters cannot know that ``net.distance`` inside a loop is an
 O(n · Dijkstra) regression, that unseeded randomness invalidates the
 paper's cost-ratio tables, or that ``networkx`` shortest paths bypass
 the batched distance oracle. This package encodes those invariants as
-seven fixture-tested AST rules (stdlib :mod:`ast` only, no third-party
+eight fixture-tested AST rules (stdlib :mod:`ast` only, no third-party
 dependencies):
 
 ========  ============================================================
@@ -31,6 +31,10 @@ RPL007    direct output (``print``, ``logging``, raw
           ``sys.stdout``/``sys.stderr`` writes) inside ``repro/obs`` —
           the tracing layer sits on instrumented hot paths and must
           emit through sinks; rendering belongs to the CLI
+RPL008    per-element python loops over columnar arrays inside
+          ``repro/core/batch`` — element-wise iteration materializes
+          one numpy scalar per element and drags a vectorized kernel
+          back to scalar speed; use fancy indexing or one ``.tolist()``
 ========  ============================================================
 
 A finding on one line is silenced with a same-line comment::

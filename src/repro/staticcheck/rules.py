@@ -554,6 +554,89 @@ class ObsOutputChecker(BaseChecker):
         self.generic_visit(node)
 
 
+class ColumnarLoopChecker(BaseChecker):
+    """RPL008 — per-element python loops over columnar arrays.
+
+    ``repro/core/batch`` is the struct-of-arrays kernel layer: its whole
+    reason to exist is that state lives in numpy columns and every op
+    touches them with vectorized kernels. Iterating one of those columns
+    from python — ``for e in self._epoch``, ``zip(rows, self._spine[rows])``,
+    ``for i in np.flatnonzero(mask)`` — materializes one numpy *scalar*
+    per element, each ~100x a plain-int access, and quietly drags a
+    kernel back to scalar speed while every test still passes. The
+    sanctioned idioms are numpy fancy indexing for bulk work and a
+    single ``.tolist()`` conversion when python-object iteration is
+    genuinely needed (outcome assembly does exactly that).
+
+    Scoped to ``repro/core/batch``: elsewhere a small python loop over
+    an array is usually fine and the rule would be noise.
+    """
+
+    rule_id = "RPL008"
+    summary = "per-element python loop over a columnar array in repro/core/batch"
+
+    #: the engine's per-object state columns and the static hierarchy tables
+    _COLUMNS = frozenset(
+        {
+            "_spine", "_spine_hop", "_epoch", "_published",
+            "chain", "chain_hop", "cum_q", "up_cum", "pub_cost",
+            "lift", "sdl_cost",
+        }
+    )
+    #: iteration wrappers whose arguments are what is really iterated
+    _WRAPPERS = frozenset({"zip", "enumerate", "reversed", "sorted", "iter"})
+
+    @classmethod
+    def applies_to(cls, path: str) -> bool:
+        return "repro/core/batch" in path.replace("\\", "/")
+
+    def _columnar(self, node: ast.expr) -> ast.expr | None:
+        """The columnar-attribute expression behind ``node``, if any."""
+        while isinstance(node, ast.Subscript):
+            node = node.value
+        dotted = _dotted_name(node)
+        if dotted and dotted[-1] in self._COLUMNS:
+            return node
+        return None
+
+    def _check_iterable(self, node: ast.expr) -> None:
+        if isinstance(node, ast.Call):
+            dotted = _dotted_name(node.func)
+            if dotted and dotted[-1] in self._WRAPPERS:
+                for arg in node.args:
+                    self._check_iterable(arg)
+                return
+            if len(dotted) >= 2 and dotted[0] in ("np", "numpy"):
+                self.report(
+                    node,
+                    f"iterating {'.'.join(dotted)}(...) element-wise yields "
+                    "one numpy scalar per element; keep it an array "
+                    "(vectorize) or convert once with .tolist()",
+                )
+                return
+        target = self._columnar(node)
+        if target is not None:
+            self.report(
+                node,
+                "per-element python loop over a columnar array; use numpy "
+                "fancy indexing for bulk work or convert once with .tolist()",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iterable(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comp(self, node: ast.AST) -> None:
+        for gen in node.generators:
+            self._check_iterable(gen.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comp
+    visit_SetComp = _visit_comp
+    visit_DictComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
+
+
 #: every rule, in id order — the runner instantiates one of each per file
 ALL_CHECKERS: tuple[type[BaseChecker], ...] = (
     PerPairDistanceChecker,
@@ -563,6 +646,7 @@ ALL_CHECKERS: tuple[type[BaseChecker], ...] = (
     NetworkxDistanceChecker,
     AsyncBlockingChecker,
     ObsOutputChecker,
+    ColumnarLoopChecker,
 )
 
 #: rule id → one-line summary (docs page and ``--format json`` metadata)

@@ -1,0 +1,263 @@
+"""Scalar-equivalence of the columnar batch engine (hypothesis + packs).
+
+The contract under test: for any FIFO op stream, chunked arbitrarily
+through :meth:`BatchMOTEngine.apply_ops`, every outcome matches what a
+sequential :class:`MOTTracker` produces op by op — proxies and epochs
+exactly, costs ``close_to``, failures with the same exception type and
+message — and the ledgers agree modulo query coalescing (the engine
+deliberately answers duplicate ``(obj, epoch, source)`` queries from
+their executed twin without re-charging the ledger).
+
+Three layers:
+
+1. hypothesis property runs over random op streams and chunkings,
+2. the six committed scenario packs replayed at smoke scale,
+3. hand-written edge cases (empty batch, single op, duplicate objects,
+   wave interleavings, error parity, coalescing).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.batch import BatchMOTEngine, audit_batch_core
+from repro.core.costs import close_to
+from repro.core.mot import MOTConfig, MOTTracker
+from repro.graphs.generators import grid_network
+from repro.scenarios.registry import all_scenarios
+
+NET = grid_network(6, 6)
+NODES = tuple(NET.nodes)
+CONFIGS = {
+    "default": MOTConfig(),
+    "sdl-cost": MOTConfig(count_special_parent_cost=True),
+    "gap-2": MOTConfig(special_parent_gap=2),
+}
+
+
+def _run_scalar(net, cfg, seed, ops):
+    """The sequential reference: one call per op, exceptions captured."""
+    tracker = MOTTracker.build(net, cfg, seed=seed)
+    results = []
+    for kind, obj, node in ops:
+        try:
+            if kind == "publish":
+                tracker.publish(obj, node)
+                results.append(("ok", node, None))
+            elif kind == "move":
+                res = tracker.move(obj, node)
+                results.append(("ok", res.new_proxy, res.cost))
+            else:
+                res = tracker.query(obj, node)
+                results.append(("ok", res.proxy, res.cost))
+        except Exception as exc:  # noqa: BLE001 - parity check needs them all
+            results.append(("err", type(exc), str(exc)))
+    return tracker, results
+
+
+def _run_batch(net, cfg, seed, ops, chunks):
+    """The engine under test, fed the same stream in the given chunks."""
+    engine = BatchMOTEngine.build(net, cfg, seed=seed)
+    outcomes = []
+    i = 0
+    for size in chunks:
+        outcomes.extend(engine.apply_ops(ops[i : i + size]))
+        i += size
+    assert i >= len(ops) and len(outcomes) == len(ops)
+    return engine, outcomes
+
+
+def _chunks_covering(n, rng, lo=1, hi=64):
+    sizes = []
+    total = 0
+    while total < n:
+        size = rng.randint(lo, hi)
+        sizes.append(size)
+        total += size
+    return sizes
+
+
+def _assert_equivalent(ops, scalar_results, outcomes):
+    for k, (ref, out) in enumerate(zip(scalar_results, outcomes)):
+        if ref[0] == "err":
+            assert out.error is not None, (k, ops[k], ref)
+            assert type(out.error) is ref[1], (k, ops[k], ref, out.error)
+            assert str(out.error) == ref[2], (k, ops[k], ref, out.error)
+        else:
+            assert out.error is None, (k, ops[k], out.error)
+            assert out.proxy == ref[1], (k, ops[k], ref, out.proxy)
+            if ref[2] is not None:
+                assert close_to(out.cost, ref[2]), (k, ops[k], ref, out.cost)
+
+
+def _assert_ledgers_match(tracker, engine, ops, outcomes):
+    """Ledger equality modulo coalescing (twins are engine-side savings)."""
+    coalesced = [
+        (out, op[2])
+        for out, op in zip(outcomes, ops)
+        if out.kind == "query" and out.error is None and out.coalesced
+    ]
+    saved_local = sum(1 for out, src in coalesced if out.proxy == src)
+    saved = [(out.cost, out.optimal, out.messages) for out, src in coalesced if out.proxy != src]
+    lt, le = tracker.ledger, engine.ledger
+    assert le.publish_cost == pytest.approx(lt.publish_cost)
+    assert le.maintenance_cost == pytest.approx(lt.maintenance_cost)
+    assert le.maintenance_ops == lt.maintenance_ops
+    assert le.noop_moves == lt.noop_moves
+    assert le.maintenance_messages == lt.maintenance_messages
+    assert le.query_cost == pytest.approx(lt.query_cost - sum(c for c, _, _ in saved))
+    assert le.query_optimal == pytest.approx(lt.query_optimal - sum(o for _, o, _ in saved))
+    assert le.query_ops == lt.query_ops - len(saved)
+    assert le.query_messages == lt.query_messages - sum(m for _, _, m in saved)
+    assert le.local_queries == lt.local_queries - saved_local
+
+
+@st.composite
+def op_streams(draw):
+    """A FIFO op stream over a small object pool, duplicates encouraged."""
+    n_ops = draw(st.integers(min_value=1, max_value=120))
+    objs = [f"o{i}" for i in range(draw(st.integers(min_value=1, max_value=8)))]
+    ops = []
+    for _ in range(n_ops):
+        kind = draw(st.sampled_from(("publish", "move", "move", "query", "query")))
+        obj = draw(st.sampled_from(objs))
+        node = draw(st.sampled_from(NODES))
+        ops.append((kind, obj, node))
+    return ops
+
+
+class TestPropertyEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(ops=op_streams(), chunk_seed=st.integers(min_value=0, max_value=2**16))
+    def test_random_streams_match_scalar(self, ops, chunk_seed):
+        cfg = CONFIGS["default"]
+        tracker, scalar_results = _run_scalar(NET, cfg, 3, ops)
+        rng = random.Random(chunk_seed)
+        engine, outcomes = _run_batch(
+            NET, cfg, 3, ops, _chunks_covering(len(ops), rng)
+        )
+        _assert_equivalent(ops, scalar_results, outcomes)
+        _assert_ledgers_match(tracker, engine, ops, outcomes)
+        audit = audit_batch_core(engine)
+        assert audit.ok, audit.as_dict()
+
+    @pytest.mark.parametrize("cfg_name", sorted(CONFIGS))
+    def test_config_variants_long_stream(self, cfg_name):
+        cfg = CONFIGS[cfg_name]
+        rng = random.Random(11)
+        objs = [f"o{i}" for i in range(25)]
+        ops = []
+        for _ in range(1500):
+            r = rng.random()
+            kind = "publish" if r < 0.15 else ("move" if r < 0.6 else "query")
+            ops.append((kind, rng.choice(objs), rng.choice(NODES)))
+        tracker, scalar_results = _run_scalar(NET, cfg, 5, ops)
+        engine, outcomes = _run_batch(
+            NET, cfg, 5, ops, _chunks_covering(len(ops), rng)
+        )
+        _assert_equivalent(ops, scalar_results, outcomes)
+        _assert_ledgers_match(tracker, engine, ops, outcomes)
+        audit = audit_batch_core(engine)
+        assert audit.ok, audit.as_dict()
+
+
+class TestScenarioPacks:
+    @pytest.mark.parametrize("name", sorted(all_scenarios()))
+    def test_pack_replays_clean_through_engine(self, name):
+        spec = all_scenarios()[name]
+        scale = spec.scale("smoke")
+        net = grid_network(scale.side, scale.side)
+        workload = spec.generate(net, scale, 7)
+        ops = [("publish", o, s) for o, s in workload.starts.items()]
+        ops += [("move", m.obj, m.new) for m in workload.moves]
+        ops += [("query", q.obj, q.source) for q in workload.queries]
+        engine = BatchMOTEngine.build(net, MOTConfig(), seed=7)
+        for i in range(0, len(ops), 256):
+            for out in engine.apply_ops(ops[i : i + 256]):
+                assert out.error is None, (name, out.obj, out.error)
+        audit = audit_batch_core(engine)
+        assert audit.ok, (name, audit.as_dict())
+        assert audit.objects_checked == len(workload.starts)
+
+
+class TestEdgeCases:
+    def _engine(self, seed=5):
+        return BatchMOTEngine.build(NET, MOTConfig(), seed=seed)
+
+    def test_empty_batch(self):
+        assert self._engine().apply_ops([]) == []
+
+    def test_single_op(self):
+        out = self._engine().apply_ops([("publish", "a", NODES[0])])
+        assert len(out) == 1
+        assert out[0].error is None
+        assert out[0].proxy == NODES[0] and out[0].epoch == 0
+
+    def test_duplicate_publish_same_batch(self):
+        out = self._engine().apply_ops(
+            [("publish", "b", NODES[1]), ("publish", "b", NODES[2])]
+        )
+        assert out[0].error is None
+        assert isinstance(out[1].error, ValueError)
+        assert "already published" in str(out[1].error)
+
+    def test_move_and_query_before_publish(self):
+        out = self._engine().apply_ops(
+            [("move", "ghost", NODES[0]), ("query", "ghost", NODES[1])]
+        )
+        assert all(isinstance(o.error, KeyError) for o in out)
+        assert all("never published" in str(o.error) for o in out)
+
+    def test_unknown_node_error_parity(self):
+        engine = self._engine()
+        out = engine.apply_ops([("publish", "c", "not-a-node")])
+        assert isinstance(out[0].error, KeyError)
+        assert "not a sensor of this network" in str(out[0].error)
+        # publish-first ordering: already-published wins over bad node
+        engine.apply_ops([("publish", "c", NODES[0])])
+        out = engine.apply_ops([("publish", "c", "not-a-node")])
+        assert isinstance(out[0].error, ValueError)
+
+    def test_noop_move_keeps_epoch(self):
+        engine = self._engine()
+        engine.apply_ops([("publish", "a", NODES[0])])
+        out = engine.apply_ops([("move", "a", NODES[0])])
+        assert out[0].error is None
+        assert out[0].epoch == 0 and out[0].cost == 0.0
+        assert engine.ledger.noop_moves == 1
+        assert engine.ledger.maintenance_ops == 0
+
+    def test_same_batch_waves_observe_prior_ops(self):
+        """publish → move → query → move → query of one object, one batch."""
+        engine = self._engine()
+        tracker = MOTTracker.build(NET, MOTConfig(), seed=5)
+        ops = [
+            ("publish", "a", NODES[0]),
+            ("move", "a", NODES[7]),
+            ("query", "a", NODES[3]),
+            ("move", "a", NODES[11]),
+            ("query", "a", NODES[3]),
+        ]
+        _, scalar_results = _run_scalar(NET, MOTConfig(), 5, ops)
+        outcomes = engine.apply_ops(ops)
+        _assert_equivalent(ops, scalar_results, outcomes)
+        # the two queries hit different epochs: no coalescing
+        assert not outcomes[2].coalesced and not outcomes[4].coalesced
+
+    def test_duplicate_queries_coalesce_within_epoch(self):
+        engine = self._engine()
+        engine.apply_ops([("publish", "a", NODES[0])])
+        out = engine.apply_ops(
+            [("query", "a", NODES[9]), ("query", "a", NODES[9])]
+        )
+        assert not out[0].coalesced and out[1].coalesced
+        assert out[1].cost == out[0].cost and out[1].proxy == out[0].proxy
+        # the twin is answered but not re-charged
+        assert engine.ledger.query_ops == 1
+
+    def test_unknown_kind_rejected_in_place(self):
+        out = self._engine().apply_ops([("frobnicate", "a", NODES[0])])
+        assert isinstance(out[0].error, TypeError)

@@ -1,8 +1,10 @@
 """Tests for the cost ledger (paper §1.1 / §4.1 aggregation)."""
 
 import pytest
+from hypothesis import given, strategies as st
 
 from repro.core.costs import CostLedger, close_to
+from repro.metrics.ratios import per_operation_means
 
 
 class TestLedger:
@@ -71,6 +73,88 @@ class TestLedger:
         assert a.maintenance_ops == 2
         assert a.max_maintenance_ratio == pytest.approx(4.0)
         assert a.publish_cost == 1.0
+
+
+class TestBatchedDeltas:
+    """The columnar engine's reduced-delta recording APIs.
+
+    Regression targets: a zero-op delta must be a strict no-op (an empty
+    kernel call cannot skew counts, sums, or the derived means), and the
+    batched recorders must agree with their per-op twins.
+    """
+
+    def test_zero_op_batches_are_noops(self):
+        ledger = CostLedger()
+        ledger.record_publish_batch(0.0, 0)
+        ledger.record_maintenance_batch(0.0, 0.0, 0, 0)
+        ledger.record_query_batch(0.0, 0.0, 0, 0)
+        ledger.record_noop_moves(0)
+        ledger.record_local_queries(0)
+        assert ledger == CostLedger()
+
+    def test_zero_op_batch_with_nonzero_cost_is_dropped(self):
+        """ops=0 wins: nothing is charged even if a sum sneaks in."""
+        ledger = CostLedger()
+        ledger.record_maintenance_batch(5.0, 2.0, 0, 3)
+        ledger.record_query_batch(5.0, 2.0, 0, 3)
+        assert ledger.maintenance_cost == 0.0
+        assert ledger.query_cost == 0.0
+        assert ledger.maintenance_messages == 0
+        assert ledger.query_messages == 0
+
+    def test_zero_op_batches_do_not_skew_means(self):
+        ledger = CostLedger()
+        ledger.record_maintenance_batch(12.0, 6.0, 3, 9, [2.0, 2.0, 2.0])
+        ledger.record_query_batch(8.0, 4.0, 2, 4, [2.0, 2.0])
+        before = per_operation_means(ledger)
+        for _ in range(5):
+            ledger.record_maintenance_batch(0.0, 0.0, 0, 0)
+            ledger.record_query_batch(0.0, 0.0, 0, 0)
+        assert per_operation_means(ledger) == before
+        assert before["maintenance_cost_per_op"] == pytest.approx(4.0)
+        assert before["query_cost_per_op"] == pytest.approx(4.0)
+
+    def test_batched_recording_equals_per_op_recording(self):
+        batched, scalar = CostLedger(), CostLedger()
+        moves = [(4.0, 2.0, 3), (6.0, 3.0, 5), (0.5, 0.0, 1)]
+        for cost, optimal, messages in moves:
+            scalar.record_maintenance(cost, optimal, messages)
+        batched.record_maintenance_batch(
+            sum(c for c, _, _ in moves),
+            sum(o for _, o, _ in moves),
+            len(moves),
+            sum(m for _, _, m in moves),
+            [c / o for c, o, _ in moves if o > 0],
+        )
+        assert batched.maintenance_cost == pytest.approx(scalar.maintenance_cost)
+        assert batched.maintenance_ops == scalar.maintenance_ops
+        assert batched.maintenance_messages == scalar.maintenance_messages
+        assert batched.max_maintenance_ratio == scalar.max_maintenance_ratio
+
+    @given(
+        noops=st.lists(st.integers(min_value=0, max_value=50), max_size=6),
+        locals_=st.lists(st.integers(min_value=0, max_value=50), max_size=6),
+        split=st.integers(min_value=0, max_value=6),
+    )
+    def test_merge_conserves_noop_and_local_tallies(self, noops, locals_, split):
+        """Shard + batch merges must conserve the do-nothing tallies."""
+        shards = [CostLedger() for _ in range(max(1, split))]
+        for i, n in enumerate(noops):
+            shards[i % len(shards)].record_noop_moves(n)
+        for i, n in enumerate(locals_):
+            shards[i % len(shards)].record_local_queries(n)
+        merged = CostLedger()
+        for shard in shards:
+            merged.merge(shard)
+        assert merged.noop_moves == sum(noops)
+        assert merged.local_queries == sum(locals_)
+
+    def test_merge_conserves_local_queries_field(self):
+        a, b = CostLedger(), CostLedger()
+        a.record_local_query()
+        b.record_local_queries(4)
+        a.merge(b)
+        assert a.local_queries == 5
 
 
 class TestCloseTo:

@@ -1,0 +1,99 @@
+"""Named regressions for the scalar hot-path bugfix sweep.
+
+Each test pins one divergence the batch-equivalence audit surfaced (or
+nearly surfaced) while the scalar paths were transcribed into the
+columnar kernels:
+
+* no-op moves must not bump the epoch (they don't change the proxy, so
+  serve-layer query coalescing keyed by epoch would silently stop
+  deduplicating);
+* a failed publish must not burn a balanced-MOT hash key (replays of the
+  surviving op log would re-hash every later object differently);
+* local queries (source == proxy) must charge the ledger's
+  ``local_queries`` tally, not dilute the real per-query means.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.mot import MOTConfig, MOTTracker
+from repro.core.mot_balanced import BalancedMOTTracker
+from repro.graphs.generators import grid_network
+from repro.metrics.ratios import per_operation_means
+
+NET = grid_network(5, 5)
+NODES = tuple(NET.nodes)
+
+
+def _mot(seed=3) -> MOTTracker:
+    return MOTTracker.build(NET, MOTConfig(), seed=seed)
+
+
+class TestNoopMoveEpoch:
+    def test_noop_move_does_not_bump_epoch_state(self):
+        tracker = _mot()
+        tracker.publish("a", NODES[0])
+        before = tracker.move("a", NODES[4])
+        noop = tracker.move("a", NODES[4])
+        assert noop.new_proxy == noop.old_proxy == before.new_proxy
+        assert noop.cost == 0.0
+
+    def test_noop_move_ledger_split(self):
+        tracker = _mot()
+        tracker.publish("a", NODES[0])
+        tracker.move("a", NODES[4])
+        tracker.move("a", NODES[4])  # no-op
+        assert tracker.ledger.maintenance_ops == 1
+        assert tracker.ledger.noop_moves == 1
+
+
+class TestBalancedKeyBurn:
+    def test_failed_publish_does_not_burn_a_key(self):
+        """Unknown proxy → rejected publish → next object's key unchanged."""
+        a = BalancedMOTTracker.build(NET, MOTConfig(), seed=3)
+        b = BalancedMOTTracker.build(NET, MOTConfig(), seed=3)
+        with pytest.raises(KeyError):
+            a.publish("doomed", "not-a-node")
+        # b never saw the failure; both must assign the same keys now
+        a.publish("x", NODES[1])
+        b.publish("x", NODES[1])
+        assert a.object_key("x") == b.object_key("x")
+        with pytest.raises(KeyError):
+            a.object_key("doomed")
+
+    def test_duplicate_publish_does_not_burn_a_key(self):
+        a = BalancedMOTTracker.build(NET, MOTConfig(), seed=3)
+        a.publish("x", NODES[1])
+        key_x = a.object_key("x")
+        with pytest.raises(ValueError):
+            a.publish("x", NODES[2])
+        assert a.object_key("x") == key_x  # retained, not reassigned
+        a.publish("y", NODES[3])
+        assert a.object_key("y") == key_x + 1  # consecutive, no gap
+
+
+class TestLocalQueryLedger:
+    def test_local_query_charges_local_tally_not_query_ops(self):
+        tracker = _mot()
+        tracker.publish("a", NODES[0])
+        res = tracker.query("a", NODES[0])  # source == proxy
+        assert res.cost == 0.0 and res.found_level == 0
+        assert tracker.ledger.local_queries == 1
+        assert tracker.ledger.query_ops == 0
+        assert tracker.ledger.query_cost == 0.0
+
+    def test_local_queries_do_not_dilute_per_op_means(self):
+        tracker = _mot()
+        tracker.publish("a", NODES[0])
+        real = tracker.query("a", NODES[12])
+        assert real.cost > 0
+        means_before = per_operation_means(tracker.ledger)
+        for _ in range(10):
+            tracker.query("a", NODES[0])  # local hits
+        means_after = per_operation_means(tracker.ledger)
+        assert means_after["query_cost_per_op"] == pytest.approx(
+            means_before["query_cost_per_op"]
+        )
+        assert means_after["local_queries"] == 10.0
+        assert means_after["query_ops"] == 1.0

@@ -25,16 +25,17 @@ class TestFactories:
     def test_one_by_one_factory(self, name):
         tr = make_tracker(name, NET, WL.traffic, seed=1)
         ledger = execute_one_by_one(tr, WL)
-        assert ledger.maintenance_ops == len(WL.moves)
-        assert ledger.query_ops == len(WL.queries)
+        assert ledger.maintenance_ops + ledger.noop_moves == len(WL.moves)
+        # local hits (source == proxy) land in their own tally now
+        assert ledger.query_ops + ledger.local_queries == len(WL.queries)
         assert ledger.maintenance_cost_ratio >= 1.0
 
     @pytest.mark.parametrize("name", ["MOT", "STUN", "Z-DAT", "Z-DAT+shortcuts"])
     def test_concurrent_factory(self, name):
         tr = make_concurrent_tracker(name, NET, WL.traffic, seed=1)
         ledger = execute_concurrent(tr, WL, batch=5)
-        assert ledger.maintenance_ops == len(WL.moves)
-        assert ledger.query_ops == len(WL.queries)
+        assert ledger.maintenance_ops + ledger.noop_moves == len(WL.moves)
+        assert ledger.query_ops + ledger.local_queries == len(WL.queries)
 
     def test_unknown_algorithm_rejected(self):
         with pytest.raises(ValueError, match="unknown algorithm"):

@@ -1,0 +1,149 @@
+"""ShardCore's columnar apply path vs its scalar twin.
+
+``ShardCore(batch=True)`` swaps the per-op tracker calls for the
+struct-of-arrays :class:`~repro.core.batch.BatchMOTEngine` while the
+audit-facing state (epochs, op log, query log) stays core-owned. The
+contract: a batch-mode core fed the same request stream as a scalar
+core produces the same results, logs and epochs — and snapshots taken
+from either mode restore into either mode.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.batch import audit_batch_core
+from repro.core.costs import close_to
+from repro.core.mot import MOTTracker
+from repro.graphs.generators import grid_network
+from repro.hierarchy.structure import build_hierarchy
+from repro.serve.protocol import MoveRequest, PublishRequest, QueryRequest
+from repro.serve.shard import ShardCore
+from repro.serve.snapshot import capture_snapshot, restore_snapshot
+
+NET = grid_network(5, 5)
+HIER = build_hierarchy(NET, seed=2)
+
+
+def _request_stream(seed: int = 13, objects: int = 6, n: int = 120):
+    """A deterministic FIFO request mix, duplicate queries included."""
+    rng = random.Random(seed)
+    reqs = [
+        PublishRequest(f"obj-{i}", NET.node_at(rng.randrange(NET.n)))
+        for i in range(objects)
+    ]
+    for _ in range(n):
+        obj = f"obj-{rng.randrange(objects)}"
+        r = rng.random()
+        if r < 0.4:
+            reqs.append(MoveRequest(obj, NET.node_at(rng.randrange(NET.n))))
+        elif r < 0.7:
+            reqs.append(QueryRequest(obj, NET.node_at(rng.randrange(NET.n))))
+        else:
+            # repeat a recent query verbatim to exercise coalescing
+            reqs.append(QueryRequest(obj, NET.node_at(0)))
+    return reqs
+
+
+def _drive_scalar(core: ShardCore, reqs, batch_size: int = 16):
+    """The scalar reference: apply_one per request, coalescing per batch."""
+    results = []
+    for i in range(0, len(reqs), batch_size):
+        answered: dict = {}
+        for req in reqs[i : i + batch_size]:
+            try:
+                proxy, cost, epoch, coalesced = core.apply_one(req, answered)
+                results.append(("ok", proxy, cost, epoch, coalesced))
+            except Exception as exc:  # noqa: BLE001 - parity needs them all
+                results.append(("err", exc))
+    return results
+
+
+def _drive_batch(core: ShardCore, reqs, batch_size: int = 16):
+    results = []
+    for i in range(0, len(reqs), batch_size):
+        results.extend(core.apply_requests(reqs[i : i + batch_size]))
+    return results
+
+
+class TestApplyParity:
+    def test_batch_results_match_scalar(self):
+        reqs = _request_stream()
+        scalar = ShardCore(MOTTracker(HIER))
+        batch = ShardCore(MOTTracker(HIER), batch=True)
+        res_s = _drive_scalar(scalar, reqs)
+        res_b = _drive_batch(batch, reqs)
+        assert len(res_s) == len(res_b) == len(reqs)
+        for k, (a, b) in enumerate(zip(res_s, res_b)):
+            assert a[0] == b[0], (k, reqs[k], a, b)
+            if a[0] == "err":
+                assert type(a[1]) is type(b[1]) and str(a[1]) == str(b[1])
+            else:
+                assert a[1] == b[1], (k, reqs[k], a, b)  # proxy
+                assert close_to(a[2], b[2]), (k, reqs[k], a, b)  # cost
+                assert a[3] == b[3], (k, reqs[k], a, b)  # epoch
+                assert a[4] == b[4], (k, reqs[k], a, b)  # coalesced
+
+    def test_batch_core_keeps_audit_logs(self):
+        reqs = _request_stream()
+        scalar = ShardCore(MOTTracker(HIER))
+        batch = ShardCore(MOTTracker(HIER), batch=True)
+        _drive_scalar(scalar, reqs)
+        _drive_batch(batch, reqs)
+        assert batch.epochs == scalar.epochs
+        assert batch.oplog == scalar.oplog
+        assert batch.query_log == scalar.query_log
+        # and the engine's own op log passes the columnar audit
+        audit = audit_batch_core(batch.engine)
+        assert audit.ok, audit.as_dict()
+
+    def test_errors_carried_in_place(self):
+        core = ShardCore(MOTTracker(HIER), batch=True)
+        res = core.apply_requests(
+            [
+                PublishRequest("a", NET.node_at(0)),
+                PublishRequest("a", NET.node_at(1)),
+                MoveRequest("ghost", NET.node_at(2)),
+            ]
+        )
+        assert res[0][0] == "ok"
+        assert res[1][0] == "err" and isinstance(res[1][1], ValueError)
+        assert res[2][0] == "err" and isinstance(res[2][1], KeyError)
+        # the failed ops never reached the audit logs
+        assert list(core.oplog) == ["a"] and len(core.oplog["a"]) == 1
+
+    def test_apply_requests_requires_batch_mode(self):
+        core = ShardCore(MOTTracker(HIER))
+        with pytest.raises(RuntimeError, match="batch-mode"):
+            core.apply_requests([PublishRequest("a", NET.node_at(0))])
+
+
+class TestSnapshotRoundTrip:
+    @pytest.mark.parametrize("src_batch", [False, True])
+    @pytest.mark.parametrize("dst_batch", [False, True])
+    def test_capture_restore_across_modes(self, src_batch, dst_batch):
+        """Snapshots are mode-agnostic: any source restores into any mode."""
+        reqs = _request_stream(seed=21, objects=4, n=60)
+        tail = _request_stream(seed=22, objects=4, n=40)[4:]  # skip publishes
+        src = ShardCore(MOTTracker(HIER), batch=src_batch)
+        drive = _drive_batch if src_batch else _drive_scalar
+        drive(src, reqs)
+        snap = capture_snapshot(src, shard_id=0)
+
+        dst = ShardCore(MOTTracker(HIER), batch=dst_batch)
+        restore_snapshot(dst, snap)
+        assert dst.epochs == src.epochs
+        assert dst.oplog == src.oplog
+        assert dst.ledger == src.ledger
+
+        # the restored core answers the continuation like the original
+        drive_dst = _drive_batch if dst_batch else _drive_scalar
+        res_src = drive(src, tail)
+        res_dst = drive_dst(dst, tail)
+        for k, (a, b) in enumerate(zip(res_src, res_dst)):
+            assert a[0] == b[0], (k, tail[k], a, b)
+            if a[0] == "ok":
+                assert a[1] == b[1] and a[3] == b[3]
+                assert close_to(a[2], b[2])

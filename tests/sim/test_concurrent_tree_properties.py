@@ -70,3 +70,41 @@ def test_concurrent_tree_invariants(script, shortcuts):
     tr.submit_query(tr.engine.now, "o", tree.root)
     tr.run()
     assert tr.query_results[-1].proxy == trail[-1]
+
+
+def test_stale_insert_cannot_downgrade_a_newer_splice_entry():
+    """Regression: an in-flight older move's splice must not overwrite a
+    newer move's entry at the splice station.
+
+    Hypothesis-found script: move 5 (to node 8) is still climbing when
+    move 6 brings the object back to node 2 — which is both move 6's
+    bottom marker and the station move 5's climb splices at. The splice
+    used to downgrade the live entry's seq from 6 to 5, so move 6's own
+    chasing delete (recorded against owner seq 5) erased the live entry
+    and left a self-forwarding tombstone; a query then waited at node 2
+    forever. The fix applies the off-spine ownership rule to the splice
+    entry too (newer entries survive).
+    """
+    nodes = list(NET.nodes)
+    parent_idx = {0: None, 1: 0, 2: 0, 3: 0, 4: 2, 5: 0, 6: 0, 7: 0,
+                  8: 2, 9: 0, 10: 0, 11: 0, 12: 0, 13: 0, 14: 0, 15: 0}
+    parent = {
+        nodes[i]: (nodes[p] if p is not None else None)
+        for i, p in parent_idx.items()
+    }
+    trail = [nodes[i] for i in [0, 0, 0, 0, 2, 8, 2, 4, 7, 4]]
+    gaps = [0.0, 0.0, 0.0, 0.0, 0.0, 2.0, 2.0, 0.0, 0.0]
+    tree = TrackingTree(NET, parent)
+    tr = ConcurrentTreeTracker(tree, query_shortcuts=False)
+    tr.publish("o", trail[0])
+    t = 0.0
+    for node, gap in zip(trail[1:], gaps, strict=False):
+        t += gap
+        tr.submit_move(t, "o", node)
+    tr.submit_query(0.0, "o", NET.node_at(1))
+    tr.run(max_events=300_000)
+
+    assert tr.waiting_queries == 0
+    assert tr.garbage_entries() == []
+    assert tr.fallback_queries == 0
+    assert [r.proxy for r in tr.query_results] == [trail[-1]]

@@ -451,6 +451,66 @@ class TestRPL007:
 
 
 # ----------------------------------------------------------------------
+# RPL008 — per-element loops over columnar arrays in repro/core/batch
+# ----------------------------------------------------------------------
+BATCH_PATH = "src/repro/core/batch.py"
+
+
+class TestRPL008:
+    def test_for_over_column_fires(self):
+        src = """\
+        def bump(self):
+            for e in self._epoch:
+                use(e)
+        """
+        assert ("RPL008", 2) in rules_at(src, path=BATCH_PATH)
+
+    def test_subscripted_column_and_zip_fire(self):
+        src = """\
+        def walk(self, rows):
+            for s in self._spine[rows]:
+                use(s)
+            for r, e in zip(rows, self._epoch[rows]):
+                use(r, e)
+        """
+        got = rules_at(src, path=BATCH_PATH)
+        assert ("RPL008", 2) in got
+        assert ("RPL008", 4) in got
+
+    def test_comprehension_over_numpy_result_fires(self):
+        src = """\
+        def pick(self, mask):
+            return [int(i) for i in np.flatnonzero(mask)]
+        """
+        assert ("RPL008", 2) in rules_at(src, path=BATCH_PATH)
+
+    def test_tolist_and_plain_sequences_are_fine(self):
+        src = """\
+        def assemble(self, rows, objs):
+            el = self._epoch[rows].tolist()
+            return [make(o, el[k]) for k, o in enumerate(objs)]
+        """
+        assert rules_at(src, path=BATCH_PATH) == []
+
+    def test_outside_batch_module_is_exempt(self):
+        src = """\
+        def bump(self):
+            for e in self._epoch:
+                use(e)
+        """
+        assert rules_at(src, path="src/repro/core/mot.py") == []
+
+    def test_suppressed_and_unused(self):
+        src = """\
+        def bump(self):
+            for e in self._epoch:  # repro-lint: disable=RPL008
+                use(e)
+            return 0  # repro-lint: disable=RPL008
+        """
+        assert rules_at(src, path=BATCH_PATH) == [(UNUSED_SUPPRESSION_RULE, 4)]
+
+
+# ----------------------------------------------------------------------
 # cross-cutting machinery
 # ----------------------------------------------------------------------
 class TestMachinery:
